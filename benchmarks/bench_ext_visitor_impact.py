@@ -1,0 +1,70 @@
+"""Extension — quantifying the paper's future work (Section 6).
+
+The paper closes: "the impact of the CPU intensive miner on a website's
+performance, a mobile device's battery lifetime or a visitor's energy
+bill is yet to be quantified but it could be a huge hurdle". This bench
+quantifies it with the first-order model of
+:mod:`repro.analysis.impact` across device classes and throttle levels.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.analysis.impact import (
+    DESKTOP_2013,
+    DESKTOP_2018,
+    PHONE_2018,
+    ad_revenue_equivalent_minutes,
+    battery_lifetime_hours,
+    visit_impact,
+)
+from repro.analysis.reporting import render_table
+
+
+def test_ext_visitor_impact(benchmark):
+    devices = (DESKTOP_2013, DESKTOP_2018, PHONE_2018)
+
+    def run():
+        rows = []
+        for device in devices:
+            for throttle in (0.0, 0.5):
+                impact = visit_impact(device, duration_s=3600, throttle=throttle)
+                battery = (
+                    f"{battery_lifetime_hours(device, throttle):.1f}h"
+                    if device.battery_wh
+                    else "mains"
+                )
+                rows.append(
+                    [
+                        device.name,
+                        f"{throttle:.0%}",
+                        f"{impact.energy_wh:.1f} Wh",
+                        battery,
+                        f"${impact.visitor_cost_usd:.4f}",
+                        f"${impact.operator_revenue_usd:.4f}",
+                        f"{impact.transfer_efficiency:.2f}",
+                        f"{ad_revenue_equivalent_minutes(device, 2.0, throttle):.0f} min"
+                        if throttle < 1
+                        else "-",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_visitor_impact",
+        render_table(
+            [
+                "device", "throttle", "energy/h", "battery life",
+                "visitor cost/h", "operator gain/h", "$out/$in", "mins ≈ 1 ad",
+            ],
+            rows,
+            title="Extension: visitor-side cost of one hour of mining "
+                  "(paper Section 6's open question)",
+        ),
+    )
+
+    # the quantified conclusion: mining transfers less value than it burns
+    full_speed = [r for r in rows if r[1] == "0%"]
+    for row in full_speed:
+        assert float(row[6]) < 1.0

@@ -1,0 +1,56 @@
+"""Figure 4 — required hashes per link and resolution time at 20 H/s.
+
+Paper: majority of links resolvable below 1024 hashes (<51 s at 20 H/s);
+heavy-user bias peaks at 512 hashes; removing the bias, over 2/3 of links
+stay ≤1024; hundreds of links demand 10^19 hashes (≈16 Gyr).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.analysis.reporting import render_histogram, render_table
+from repro.coinhive.resolver import duration_seconds
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400 * 365:
+        return f"{seconds / 3600:.0f}h"
+    return f"{seconds / (365.25 * 86400):.1e}yr"
+
+
+def test_fig4_hash_requirements(benchmark, shortlink_study):
+    result = benchmark.pedantic(shortlink_study.hash_requirements, rounds=1, iterations=1)
+
+    histogram = result.histogram(unbiased=False)
+    buckets = sorted(histogram)
+    hist_text = render_histogram(
+        [f"{b} ({_fmt_duration(duration_seconds(b))})" for b in buckets],
+        [histogram[b] for b in buckets],
+        title="Figure 4: required hashes (all links) with duration @20 H/s",
+        width=36,
+    )
+
+    rows = [
+        ["≤1024 hashes, all links", f"{result.share_resolvable_within(1024, unbiased=False):.0%}", "majority"],
+        ["≤1024 hashes, user bias removed", f"{result.share_resolvable_within(1024, unbiased=True):.0%}", "> 2/3"],
+        ["≤10K hashes, bias removed", f"{result.share_resolvable_within(10_000, unbiased=True):.0%}", "85%"],
+        ["links at ≥1e18 hashes", sum(1 for v in result.all_links if v >= 10**18), "hundreds"],
+        ["1024 hashes @20 H/s", _fmt_duration(duration_seconds(1024)), "51s"],
+        ["1e19 hashes @20 H/s", _fmt_duration(duration_seconds(10**19)), "16 Gyr"],
+    ]
+    table = render_table(["quantity", "measured", "paper"], rows)
+    emit("fig4_hash_requirements", hist_text + "\n\n" + table)
+
+    assert result.share_resolvable_within(1024, unbiased=False) > 0.5
+    assert result.share_resolvable_within(1024, unbiased=True) > 0.6
+    assert result.share_resolvable_within(10_000, unbiased=True) > 0.75
+    assert max(result.all_links) >= 10**18
+    # the heavy-user spike: 512 over-represented in the biased view
+    biased_share_512 = histogram.get(512, 0) / len(result.all_links)
+    unbiased_hist = result.histogram(unbiased=True)
+    unbiased_share_512 = unbiased_hist.get(512, 0) / len(result.user_bias_removed)
+    assert biased_share_512 > unbiased_share_512

@@ -1,0 +1,94 @@
+"""Performance benchmarks of the substrate primitives.
+
+These are classic pytest-benchmark microbenchmarks (multiple rounds), so
+regressions in the hot paths — the PoW hash, module decoding, signature
+computation, HTML parsing, filter matching — are visible across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.hashing import DEFAULT_PARAMS, FAST_PARAMS, cryptonight
+from repro.blockchain.merkle import tree_hash
+from repro.core.nocoin import default_nocoin_list
+from repro.core.signatures import wasm_signature
+from repro.wasm.builder import ModuleBlueprint, WasmCorpusBuilder
+from repro.wasm.decoder import decode_module
+from repro.web.html import parse_html
+
+_BUILDER = WasmCorpusBuilder()
+_WASM = _BUILDER.build(ModuleBlueprint("coinhive", 0))
+_HTML = (
+    "<html><head><title>t</title>"
+    + '<script src="https://coinhive.com/lib/coinhive.min.js"></script>' * 3
+    + "</head><body>"
+    + "<div><p>paragraph text</p></div>" * 200
+    + "</body></html>"
+)
+
+
+def test_perf_cryptonight_fast(benchmark):
+    benchmark(cryptonight, b"blob" * 19, FAST_PARAMS)
+
+
+def test_perf_cryptonight_default(benchmark):
+    benchmark(cryptonight, b"blob" * 19, DEFAULT_PARAMS)
+
+
+def test_perf_tree_hash_16(benchmark):
+    import hashlib
+
+    leaves = [hashlib.sha3_256(bytes([i])).digest() for i in range(16)]
+    benchmark(tree_hash, leaves)
+
+
+def test_perf_wasm_decode(benchmark):
+    benchmark(decode_module, _WASM)
+
+
+def test_perf_wasm_signature(benchmark):
+    benchmark(wasm_signature, _WASM)
+
+
+def test_perf_html_parse(benchmark):
+    benchmark(parse_html, _HTML)
+
+
+def test_perf_nocoin_matching(benchmark):
+    nocoin = default_nocoin_list()
+    scripts = parse_html(_HTML).scripts()
+    benchmark(nocoin.match_scripts, scripts)
+
+
+def test_perf_interpreter_kernel(benchmark):
+    from repro.wasm.decoder import decode_module
+    from repro.wasm.interp import Instance
+
+    module = decode_module(_WASM)
+    export = next(e.name for e in module.exports if e.kind == 0)
+
+    def invoke():
+        return Instance(module).invoke(export, 16, 7)
+
+    benchmark(invoke)
+
+
+def test_perf_dynamic_profile(benchmark):
+    from repro.core.dynamic import profile_execution
+
+    benchmark(profile_execution, _WASM, 16)
+
+
+def test_perf_browser_visit(benchmark):
+    from repro.web.browser import HeadlessBrowser
+    from repro.web.http import SyntheticWeb
+
+    web = SyntheticWeb()
+    web.register_page("http://www.bench.com/", _HTML.encode())
+
+    def visit():
+        return HeadlessBrowser(web).visit("http://www.bench.com/")
+
+    result = benchmark(visit)
+    assert result.status == "ok"

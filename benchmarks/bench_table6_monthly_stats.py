@@ -1,0 +1,75 @@
+"""Table 6 — Coinhive mining statistics for May/June/July 2018.
+
+Paper:
+
+    month  med[blocks/day]  avg   hashrate  currency
+    May    9.0              8.8   5.5 MH/s  1231 XMR
+    June   10.0             9.7   5.5 MH/s  1293 XMR
+    July   9.0              9.1   5.8 MH/s  1215 XMR
+
+plus the in-text derivations: 1.18% of all blocks, 462 MH/s network rate,
+58K–292K concurrent users, ~150K USD/month at 120 USD/XMR.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.analysis.economics import EconomicsReport, user_count_bracket
+from repro.analysis.reporting import render_table
+
+PAPER_ROWS = {
+    "2018-05": (9.0, 8.8, 5.5, 1231),
+    "2018-06": (10.0, 9.7, 5.5, 1293),
+    "2018-07": (9.0, 9.1, 5.8, 1215),
+}
+
+
+def test_table6_monthly_stats(benchmark, network_observation):
+    rows_data = benchmark.pedantic(network_observation.monthly_stats, rounds=1, iterations=1)
+
+    rows = []
+    for row in rows_data:
+        paper = PAPER_ROWS[row["month"]]
+        rows.append(
+            [
+                row["month"],
+                f"{row['median_blocks_per_day']:.1f} ({paper[0]})",
+                f"{row['avg_blocks_per_day']:.1f} ({paper[1]})",
+                f"{row['pool_hashrate_mhs']:.1f} ({paper[2]})",
+                f"{row['xmr']:.0f} ({paper[3]})",
+                f"{row['share']:.2%}",
+            ]
+        )
+    emit(
+        "table6_monthly_stats",
+        render_table(
+            ["month", "med blocks/day", "avg", "MH/s", "XMR", "share"],
+            rows,
+            title="Table 6: Coinhive monthly mining statistics (paper in parens)",
+        ),
+    )
+
+    # in-text derivations
+    june = next(r for r in rows_data if r["month"] == "2018-06")
+    economics = EconomicsReport(xmr_mined=june["xmr"])
+    high, low = user_count_bracket(june["pool_hashrate_mhs"] * 1e6)
+    derived = render_table(
+        ["quantity", "measured", "paper"],
+        [
+            ["network hashrate", f"{june['network_hashrate_mhs']:.0f} MH/s", "462 MH/s"],
+            ["pool share (June)", f"{june['share']:.2%}", "~1.18% (June was peak)"],
+            ["users @20 H/s", f"{high:,.0f}", "292K"],
+            ["users @100 H/s", f"{low:,.0f}", "58K"],
+            ["gross USD/month @120", f"{economics.gross_usd:,.0f}", "~150,000"],
+            ["users' 70% cut", f"{economics.users_cut_usd:,.0f}", ""],
+        ],
+    )
+    emit("table6_derived_economics", derived)
+
+    for row in rows_data:
+        paper = PAPER_ROWS[row["month"]]
+        assert abs(row["median_blocks_per_day"] - paper[0]) <= 2.5
+        assert abs(row["avg_blocks_per_day"] - paper[1]) <= 2.0
+        assert abs(row["pool_hashrate_mhs"] - paper[2]) <= 1.5
+        assert abs(row["xmr"] - paper[3]) <= 250
+    assert abs(june["network_hashrate_mhs"] - 462) < 60

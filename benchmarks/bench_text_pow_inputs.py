@@ -1,0 +1,58 @@
+"""In-text experiment (Section 4.2) — PoW-input counting at full fidelity.
+
+The paper connects to the Coinhive pool and requests a fresh PoW input
+every 500 ms: per endpoint it never sees more than 8 distinct inputs per
+block; across all 32 endpoints at most 128 — revealing 16 backend systems
+behind 32 endpoints. This benchmark runs the actual 500 ms polling loop
+against the service simulator for several block intervals.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.analysis.reporting import render_table
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.difficulty import DifficultyAdjuster
+from repro.blockchain.hashing import FAST_PARAMS
+from repro.coinhive.service import CoinhiveService
+from repro.core.pool_association import PoolObserver
+from repro.sim.events import EventLoop
+
+
+def test_text_pow_inputs(benchmark):
+    chain = Blockchain(
+        pow_params=FAST_PARAMS,
+        adjuster=DifficultyAdjuster(window=30, cut=2, initial_difficulty=10**9),
+        genesis_timestamp=1_526_000_000,
+    )
+    service = CoinhiveService(chain=chain)
+
+    def run():
+        observer = PoolObserver(
+            fetch_input=service.pow_input_for_endpoint,
+            endpoints=service.endpoints(),
+            poll_interval=0.5,
+            detransform=service.obfuscator.revert,
+        )
+        loop = EventLoop()
+        observer.run(loop, duration=600.0)  # five 120 s block intervals
+        return observer
+
+    observer = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = render_table(
+        ["quantity", "measured", "paper"],
+        [
+            ["polls issued", observer.polls, "1 per endpoint per 500 ms"],
+            ["endpoints", len(observer.endpoints), 32],
+            ["max distinct PoW inputs per endpoint", observer.max_inputs_per_endpoint(), "≤ 8"],
+            ["max distinct PoW inputs per block", observer.max_inputs_per_block(), "≤ 128"],
+            ["implied backends", observer.max_inputs_per_block() // 8, 16],
+        ],
+        title="Section 4.2 in-text: PoW-input enumeration at 500 ms polling",
+    )
+    emit("text_pow_inputs", table)
+
+    assert observer.max_inputs_per_endpoint() <= 8
+    assert observer.max_inputs_per_block() <= 128
+    assert observer.max_inputs_per_block() >= 100  # refresh cadence really yields ~8/backend

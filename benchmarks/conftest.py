@@ -1,0 +1,79 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Expensive artifacts (full-calibration populations, the Chrome crawls, the
+three-month network simulation) are computed once per session and shared;
+the benchmark that owns an artifact times its construction, the others time
+their own aggregation step on top of it.
+
+Every benchmark prints the regenerated table/figure and appends it to
+``benchmarks/results/<name>.txt`` so paper-vs-measured comparisons survive
+the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.crawl import ChromeCampaign, ZgrabCampaign
+from repro.analysis.network import NetworkSimConfig, simulate_network
+from repro.analysis.shortlink import ShortLinkStudy
+from repro.core.signatures import build_reference_database
+from repro.internet.population import build_population
+from repro.internet.shortlinks import build_shortlink_population
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SEED = 2018
+#: Full calibration scale for the Chrome datasets; .com's zgrab-only zone is
+#: large, so it runs at 1.0 too but has no browser layer.
+SCALE = 1.0
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def signature_db():
+    return build_reference_database()
+
+
+@pytest.fixture(scope="session")
+def populations():
+    return {
+        name: build_population(name, seed=SEED, scale=SCALE)
+        for name in ("alexa", "com", "net", "org")
+    }
+
+
+@pytest.fixture(scope="session")
+def zgrab_scans(populations):
+    return {
+        name: ZgrabCampaign(population=populations[name]).both_scans()
+        for name in ("alexa", "com", "net", "org")
+    }
+
+
+@pytest.fixture(scope="session")
+def chrome_results(populations):
+    return {
+        name: ChromeCampaign(population=populations[name]).run()
+        for name in ("alexa", "org")
+    }
+
+
+@pytest.fixture(scope="session")
+def shortlink_study():
+    population = build_shortlink_population(seed=SEED, scale=0.01)
+    return ShortLinkStudy(population=population, sample_per_top_user=1000)
+
+
+@pytest.fixture(scope="session")
+def network_observation():
+    return simulate_network(NetworkSimConfig(seed=SEED))

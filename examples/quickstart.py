@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a browser miner the way the paper does.
+
+Builds a tiny synthetic web containing one Coinhive-mining site and one
+clean site, crawls both with the instrumented headless browser, and runs
+the two detectors — the NoCoin block list and the WebAssembly
+fingerprint — on the captures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.difficulty import DifficultyAdjuster
+from repro.blockchain.hashing import FAST_PARAMS
+from repro.coinhive.miner_script import CoinhiveMinerKit
+from repro.coinhive.service import CoinhiveService
+from repro.core.detector import PageDetector
+from repro.core.features import extract_features
+from repro.core.signatures import build_reference_database, wasm_signature
+from repro.web.browser import HeadlessBrowser
+from repro.web.http import SyntheticWeb
+from repro.web.scripts import inline_key
+
+
+def main() -> None:
+    # 1. A Monero-like chain and the Coinhive service on top of it.
+    chain = Blockchain(
+        pow_params=FAST_PARAMS,
+        adjuster=DifficultyAdjuster(window=30, cut=2, initial_difficulty=100_000),
+        genesis_timestamp=1_525_000_000,
+    )
+    coinhive = CoinhiveService(chain=chain)
+
+    # 2. A synthetic web: one mining site (official Coinhive embed), one clean.
+    web = SyntheticWeb()
+    kit = CoinhiveMinerKit(service=coinhive, web=web)
+    kit.install()
+    owner = coinhive.register_user("shady-streaming.com")
+    tags = kit.official_tags(owner.token, endpoint_index=5)
+    html = "<html><head>{}</head><body>Watch movies free!</body></html>".format(
+        "".join(tag.to_element().serialize() for tag in tags)
+    )
+    web.register_page("http://www.shady-streaming.com/", html.encode())
+    web.register_page(
+        "http://www.knitting-blog.com/",
+        b"<html><head></head><body>Scarf patterns</body></html>",
+    )
+    behaviors = {
+        (tag.src or inline_key(tag.inline)): tag.behavior
+        for tag in tags
+        if tag.behavior is not None
+    }
+
+    # 3. Crawl with the instrumented browser (Section 3.2 methodology).
+    browser = HeadlessBrowser(web, behavior_registry=behaviors)
+    detector = PageDetector()
+    detector.classifier.database = build_reference_database()
+
+    for domain in ("shady-streaming.com", "knitting-blog.com"):
+        page = browser.visit(f"http://www.{domain}/")
+        report = detector.detect_page(domain, page)
+        print(f"\n== {domain} ==")
+        print(f"  wasm modules dumped : {len(page.wasm_dumps)}")
+        print(f"  websocket endpoints : {sorted(page.websocket_urls())}")
+        print(f"  NoCoin list hit     : {report.nocoin_hit} {report.nocoin_rule_labels}")
+        if report.is_miner:
+            miner = report.miner
+            print(f"  MINER detected      : family={miner.family} via {miner.method}")
+            features = extract_features(page.wasm_dumps[0])
+            print(f"  wasm signature      : {wasm_signature(page.wasm_dumps[0])[:16]}…")
+            print(
+                f"  instruction mix     : xor={features.xor_count} shifts={features.shift_count}"
+                f" rotates={features.rotate_count} loads={features.load_count}"
+                f" memory={features.memory_pages} pages"
+            )
+            print(f"  name hints          : {features.name_hints[:3]}")
+        else:
+            print("  no miner on this page")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Dissecting the cnhv.co short-link service (Section 4.1).
+
+Enumerates a calibrated short-link population, scrapes creator tokens and
+hash requirements from the landing pages, *actually resolves* a sample of
+links by computing (scaled) CryptoNight hashes — reverting Coinhive's XOR
+blob obfuscation on the way — and reports the paper's Figure 3/4 and
+Table 4/5 views.
+
+Run:  python examples/shortlink_study.py
+"""
+
+from collections import Counter
+
+from repro.analysis.reporting import render_cdf_points, render_table
+from repro.analysis.shortlink import ShortLinkStudy
+from repro.coinhive.resolver import LinkResolver, duration_seconds
+from repro.internet.shortlinks import build_shortlink_population
+
+
+def main() -> None:
+    population = build_shortlink_population(seed=13, scale=0.003)
+    service = population.service
+    print(f"enumerated {len(service)} active short links "
+          f"(IDs a..{service.links[-1].link_id})")
+
+    # --- scan phase: no hashing needed, just landing-page scraping ---
+    resolver = LinkResolver(shortlinks=service, hash_scale=2048)
+    scanned = resolver.scan()
+    print(f"scanned {len(scanned)} landing pages for (token, goal) pairs")
+
+    # --- Figure 3: links per token ---
+    study = ShortLinkStudy(population=population, resolver=resolver, sample_per_top_user=50)
+    ranks = study.links_per_token()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["distinct tokens", len(ranks.counts_by_rank)],
+            ["top-1 creator share", f"{ranks.top1_share:.1%} (paper: 1/3)"],
+            ["top-10 creators share", f"{ranks.topn_share(10):.1%} (paper: 85%)"],
+        ],
+        title="\nFigure 3: heavy-user concentration",
+    ))
+
+    # --- Figure 4: hash requirements and durations ---
+    requirements = study.hash_requirements()
+    print("\nFigure 4: required hashes (unbiased), quantiles:")
+    print(render_cdf_points(sorted(requirements.user_bias_removed)))
+    for hashes in (512, 1024, 65536):
+        print(f"  {hashes:>6} hashes -> {duration_seconds(hashes):6.0f}s at 20 H/s "
+              f"(≤ this: {requirements.share_resolvable_within(hashes):.0%} of links)")
+
+    # --- Tables 4 + 5: resolve destinations ---
+    destinations = study.destinations()
+    rows = [
+        [host, f"{count / destinations.top_user_sample_size:.1%}"]
+        for host, count in destinations.top_user_domains.most_common(8)
+    ]
+    print(render_table(["destination", "freq"], rows,
+                       title="\nTable 4: top-10 creators' destinations"))
+    rows = [[cat, count] for cat, count in destinations.unbiased_categories.most_common(8)]
+    print(render_table(["category", "count"], rows,
+                       title="\nTable 5: categories of the unbiased dataset"))
+    print(f"\nresolver computed {destinations.hashes_computed} physical hashes "
+          f"(scale 1:{resolver.hash_scale}, as the paper computed 61.5M real ones)")
+
+
+if __name__ == "__main__":
+    main()

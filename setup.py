@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package (offline), so PEP 517
+editable installs cannot build a wheel. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work with legacy setuptools.
+"""
+
+from setuptools import setup
+
+setup(
+    # duplicated from [project.scripts]: setuptools 65's beta pyproject
+    # support does not materialize console scripts on `setup.py develop`
+    entry_points={"console_scripts": ["repro-mining = repro.cli:main"]},
+)

@@ -1,0 +1,29 @@
+"""repro — reproduction of "Digging into Browser-based Crypto Mining" (IMC 2018).
+
+This package reimplements, in pure Python, every system the paper builds on:
+
+- :mod:`repro.wasm` — a WebAssembly binary-format substrate (encoder/decoder)
+  plus a synthetic miner/benign module generator.
+- :mod:`repro.web` — a web substrate: HTML parsing, a simulated HTTP/TLS
+  fetcher (zgrab-style), WebSockets, and an instrumented headless browser.
+- :mod:`repro.blockchain` — a Monero-like blockchain: CryptoNight stand-in
+  proof of work, Merkle trees, difficulty retargeting, chain state.
+- :mod:`repro.pool` — mining-pool job distribution and share accounting.
+- :mod:`repro.coinhive` — a faithful simulator of the Coinhive service
+  (tokens, pool endpoints, XOR header obfuscation, short links).
+- :mod:`repro.rulespace` — a RuleSpace-like website categorizer.
+- :mod:`repro.internet` — synthetic, seeded domain populations calibrated to
+  the paper's reported distributions.
+- :mod:`repro.core` — the paper's contributions: the NoCoin filter engine,
+  Wasm fingerprinting, miner classification, the combined detector, and the
+  blockchain pool-association methodology.
+- :mod:`repro.analysis` — measurement campaigns and the table/figure
+  reproduction harness.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for paper-vs-measured
+results for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,176 @@
+"""Crawl campaigns (Sections 3.1 and 3.2).
+
+:class:`ZgrabCampaign` reproduces Figure 2: TLS-only landing-page fetches
+matched against the NoCoin list, with per-script-family shares, across two
+scan dates (the second scan applies the population's churn flags).
+
+:class:`ChromeCampaign` reproduces Tables 1–3: instrumented browser visits
+of ``http://www.<domain>`` with Wasm-signature classification, NoCoin
+re-matching on post-execution HTML, and RuleSpace categorization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.detector import CrossTabulation, DetectionReport, PageDetector, cross_tabulate
+from repro.core.signatures import SignatureDatabase, build_reference_database, wasm_signature
+from repro.internet.population import WebPopulation
+from repro.rulespace.engine import RuleSpaceEngine
+from repro.web.browser import BrowserConfig, HeadlessBrowser
+from repro.web.zgrab import ZgrabFetcher
+
+
+@dataclass
+class ZgrabScanResult:
+    """One Figure-2 bar: a dataset at one scan date."""
+
+    dataset: str
+    scan_date: str
+    domains_probed: int
+    nocoin_domains: int
+    script_shares: dict  # family label → share of detected domains
+    paper_total_domains: int
+    fetch_failures: int = 0  # DNS/TLS/timeout — the non-HTTPS web, mostly
+
+    @property
+    def prevalence(self) -> float:
+        """Share of the paper's full zone this detection count represents."""
+        return self.nocoin_domains / self.paper_total_domains
+
+
+@dataclass
+class ZgrabCampaign:
+    """Runs the Section 3.1 pipeline over a population."""
+
+    population: WebPopulation
+    detector: PageDetector = field(default_factory=PageDetector)
+
+    def scan(self, scan_index: int = 0) -> ZgrabScanResult:
+        """Scan ``0`` (first date) or ``1`` (second date, after churn)."""
+        spec = self.population.spec
+        fetcher = ZgrabFetcher(self.population.web)
+        label_hits: Counter = Counter()
+        nocoin_domains = 0
+        probed = 0
+        failures = 0
+        for site in self.population.sites:
+            if scan_index == 1 and not site.present_scan2:
+                continue  # site dropped its tag between the scans
+            probed += 1
+            result = fetcher.fetch_domain(site.domain)
+            if not result.ok:
+                failures += 1
+                continue
+            report = self.detector.detect_static(site.domain, result.body)
+            if report.nocoin_hit:
+                nocoin_domains += 1
+                for label in report.nocoin_rule_labels:
+                    label_hits[label] += 1
+        shares = {
+            label: count / nocoin_domains for label, count in label_hits.most_common()
+        } if nocoin_domains else {}
+        # scale the detected count back up by the churned share so both
+        # scans report against the same nominal zone size
+        return ZgrabScanResult(
+            dataset=spec.name,
+            scan_date=spec.scan_dates[scan_index],
+            domains_probed=probed,
+            nocoin_domains=nocoin_domains,
+            script_shares=shares,
+            paper_total_domains=spec.paper_total_domains,
+            fetch_failures=failures,
+        )
+
+    def both_scans(self) -> list:
+        return [self.scan(0), self.scan(1)]
+
+
+@dataclass
+class ChromeCampaignResult:
+    """Everything Tables 1–3 need from one Chrome crawl."""
+
+    dataset: str
+    reports: list
+    signature_counts: Counter       # family → #sites with that miner (Table 1)
+    total_wasm_sites: int
+    miner_wasm_sites: int
+    cross_tab: CrossTabulation      # Table 2
+    nocoin_categories: Counter      # Table 3 left columns
+    nocoin_categorized_fraction: float
+    signature_categories: Counter   # Table 3 right columns
+    signature_categorized_fraction: float
+
+
+@dataclass
+class ChromeCampaign:
+    """Runs the Section 3.2 pipeline over a population."""
+
+    population: WebPopulation
+    detector: Optional[PageDetector] = None
+    browser_config: BrowserConfig = field(default_factory=BrowserConfig)
+    rulespace: RuleSpaceEngine = field(default_factory=RuleSpaceEngine)
+
+    def __post_init__(self) -> None:
+        if self.detector is None:
+            self.detector = PageDetector()
+            self.detector.classifier.database = build_reference_database()
+
+    def run(self) -> ChromeCampaignResult:
+        browser = HeadlessBrowser(
+            self.population.web,
+            config=self.browser_config,
+            behavior_registry=self.population.behavior_registry,
+        )
+        reports: list[DetectionReport] = []
+        signature_counts: Counter = Counter()
+        total_wasm_sites = 0
+        miner_wasm_sites = 0
+        nocoin_cats: Counter = Counter()
+        nocoin_total = 0
+        nocoin_categorized = 0
+        sig_cats: Counter = Counter()
+        sig_total = 0
+        sig_categorized = 0
+
+        for site in self.population.sites:
+            page = browser.visit(f"http://www.{site.domain}/")
+            report = self.detector.detect_page(site.domain, page)
+            reports.append(report)
+            if report.wasm_present:
+                total_wasm_sites += 1
+            if report.is_miner:
+                miner_wasm_sites += 1
+                signature_counts[self._display_family(report.miner.family)] += 1
+            if report.nocoin_hit:
+                nocoin_total += 1
+                labels = self.rulespace.classify_domain(site.domain)
+                if labels:
+                    nocoin_categorized += 1
+                    nocoin_cats.update(labels[:1])
+            if report.is_miner:
+                sig_total += 1
+                labels = self.rulespace.classify_domain(site.domain)
+                if labels:
+                    sig_categorized += 1
+                    sig_cats.update(labels[:1])
+
+        return ChromeCampaignResult(
+            dataset=self.population.spec.name,
+            reports=reports,
+            signature_counts=signature_counts,
+            total_wasm_sites=total_wasm_sites,
+            miner_wasm_sites=miner_wasm_sites,
+            cross_tab=cross_tabulate(reports),
+            nocoin_categories=nocoin_cats,
+            nocoin_categorized_fraction=nocoin_categorized / nocoin_total if nocoin_total else 0.0,
+            signature_categories=sig_cats,
+            signature_categorized_fraction=sig_categorized / sig_total if sig_total else 0.0,
+        )
+
+    @staticmethod
+    def _display_family(family: str) -> str:
+        """Paper naming: the WebSocket-only class prints as UnknownWSS."""
+        return "UnknownWSS" if family in ("unknown-wss", "unknown-miner") else family

@@ -1,0 +1,58 @@
+"""Revenue arithmetic (Section 4.2's economics).
+
+Pure functions over attribution results: XMR mined, USD turnover, the
+70/30 split, and the user-count bracket — everything behind the paper's
+"Moneros worth 150,000 USD per month" and "between 292K and 58K constantly
+mining users".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blockchain.transactions import ATOMIC_PER_XMR
+from repro.core.pool_association import NetworkEstimator
+
+XMR_USD_AT_WRITING = 120.0   # the paper's conversion rate
+XMR_USD_2018_PEAK = 400.0
+
+
+@dataclass(frozen=True)
+class EconomicsReport:
+    """Monthly economics of a pool."""
+
+    xmr_mined: float
+    usd_per_xmr: float = XMR_USD_AT_WRITING
+    pool_fee_percent: int = 30
+
+    @property
+    def gross_usd(self) -> float:
+        return self.xmr_mined * self.usd_per_xmr
+
+    @property
+    def pool_cut_usd(self) -> float:
+        return self.gross_usd * self.pool_fee_percent / 100
+
+    @property
+    def users_cut_usd(self) -> float:
+        return self.gross_usd - self.pool_cut_usd
+
+    @classmethod
+    def from_attributed(cls, attributed, usd_per_xmr: float = XMR_USD_AT_WRITING) -> "EconomicsReport":
+        xmr = sum(block.reward_atomic for block in attributed) / ATOMIC_PER_XMR
+        return cls(xmr_mined=xmr, usd_per_xmr=usd_per_xmr)
+
+
+def user_count_bracket(
+    pool_hashrate: float, low_rate: float = 20.0, high_rate: float = 100.0
+) -> tuple:
+    """(max_users, min_users) needed to sustain ``pool_hashrate``.
+
+    Paper: 5.5 MH/s at 20–100 H/s per client ⇒ between 292K and 58K
+    constantly mining users.
+    """
+    estimator = NetworkEstimator()
+    return (
+        estimator.users_required(pool_hashrate, low_rate),
+        estimator.users_required(pool_hashrate, high_rate),
+    )

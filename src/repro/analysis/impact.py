@@ -1,0 +1,155 @@
+"""Visitor-side impact of browser mining (the paper's future work).
+
+Section 6 of the paper: "the impact of the CPU intensive miner on a
+website's performance, a mobile device's battery lifetime or a visitor's
+energy bill is yet to be quantified but it could be a huge hurdle to be
+competitive to ad-based financing on a larger scale."
+
+This module quantifies exactly that, with a transparent first-order
+model, and answers the paper's implicit comparison: what does a visitor
+*pay* (in electricity) per dollar the site operator *earns*?
+
+Model parameters are sourced from 2018-era measurements:
+
+- a CryptoNight web miner drives the CPU package to ~25–45 W extra on
+  desktops, ~2–4 W on phones,
+- client hash rates: 20–100 H/s (the paper's bracket),
+- Coinhive pays the operator 70% of mined XMR; at the paper's numbers
+  (5.5 MH/s network-wide pool rate earning ~42 XMR/day ⇒ ~0.012 XMR per
+  MH), a visitor-hour at 50 H/s earns the operator fractions of a cent,
+- typical electricity price 0.12–0.30 USD/kWh; phone batteries hold
+  10–15 Wh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Power/performance profile of a visiting device."""
+
+    name: str
+    hash_rate: float            # H/s while mining, unthrottled
+    mining_power_watts: float   # extra package power drawn by the miner
+    idle_power_watts: float     # baseline while browsing
+    battery_wh: float = 0.0     # 0 for mains-powered devices
+
+
+DESKTOP_2013 = DeviceProfile(
+    name="2013 laptop (the paper's 20 H/s reference)",
+    hash_rate=20.0,
+    mining_power_watts=30.0,
+    idle_power_watts=10.0,
+)
+DESKTOP_2018 = DeviceProfile(
+    name="2018 quad-core desktop",
+    hash_rate=90.0,
+    mining_power_watts=45.0,
+    idle_power_watts=15.0,
+)
+PHONE_2018 = DeviceProfile(
+    name="2018 Android phone",
+    hash_rate=10.0,
+    mining_power_watts=3.0,
+    idle_power_watts=0.8,
+    battery_wh=11.0,
+)
+
+#: Monero economics at the paper's observation point.
+XMR_USD = 120.0
+#: Network: 462 MH/s earns 720 blocks/day × 4.7 XMR ⇒ XMR per hash.
+XMR_PER_HASH = (720 * 4.7) / (462e6 * 86400)
+OPERATOR_REVENUE_SHARE = 0.70  # Coinhive pays out 70%
+
+
+@dataclass(frozen=True)
+class VisitImpact:
+    """Impact of one mining visit on one device."""
+
+    device: str
+    duration_s: float
+    throttle: float
+    hashes: float
+    energy_wh: float
+    battery_fraction: float          # 0 for mains devices
+    visitor_cost_usd: float
+    operator_revenue_usd: float
+
+    @property
+    def transfer_efficiency(self) -> float:
+        """Operator dollars earned per visitor dollar burned.
+
+        Ads transfer advertiser money; mining transfers *visitor
+        electricity* — this ratio is the paper's "huge hurdle" made
+        concrete (typically ≪ 1).
+        """
+        if self.visitor_cost_usd == 0:
+            return float("inf")
+        return self.operator_revenue_usd / self.visitor_cost_usd
+
+
+def visit_impact(
+    device: DeviceProfile,
+    duration_s: float,
+    throttle: float = 0.0,
+    electricity_usd_per_kwh: float = 0.20,
+) -> VisitImpact:
+    """Quantify one visit of ``duration_s`` seconds of mining.
+
+    ``throttle`` is Coinhive's setThrottle semantics: fraction of time
+    the miner sleeps (0 = full speed). Energy scales with throttle;
+    hash output scales identically (CryptoNight is compute-bound).
+    """
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    if not 0.0 <= throttle <= 1.0:
+        raise ValueError("throttle must be within [0, 1]")
+    active = 1.0 - throttle
+    hashes = device.hash_rate * active * duration_s
+    extra_watts = device.mining_power_watts * active
+    energy_wh = extra_watts * duration_s / SECONDS_PER_HOUR
+    battery_fraction = energy_wh / device.battery_wh if device.battery_wh else 0.0
+    visitor_cost = energy_wh / 1000.0 * electricity_usd_per_kwh
+    operator_revenue = hashes * XMR_PER_HASH * XMR_USD * OPERATOR_REVENUE_SHARE
+    return VisitImpact(
+        device=device.name,
+        duration_s=duration_s,
+        throttle=throttle,
+        hashes=hashes,
+        energy_wh=energy_wh,
+        battery_fraction=min(1.0, battery_fraction),
+        visitor_cost_usd=visitor_cost,
+        operator_revenue_usd=operator_revenue,
+    )
+
+
+def battery_lifetime_hours(device: DeviceProfile, throttle: float = 0.0) -> float:
+    """Hours until a full battery is drained by browsing+mining."""
+    if not device.battery_wh:
+        raise ValueError(f"{device.name} has no battery")
+    draw = device.idle_power_watts + device.mining_power_watts * (1.0 - throttle)
+    return device.battery_wh / draw
+
+
+def ad_revenue_equivalent_minutes(
+    device: DeviceProfile, cpm_usd: float = 2.0, throttle: float = 0.0
+) -> float:
+    """Minutes of mining needed to match ONE ad impression's revenue.
+
+    A display-ad impression at ``cpm_usd`` CPM earns the operator
+    cpm/1000 dollars. This is the paper's ad-alternative question in one
+    number: how long must a visitor mine to be "worth" one ad?
+    """
+    if cpm_usd <= 0:
+        raise ValueError("CPM must be positive")
+    per_impression = cpm_usd / 1000.0
+    revenue_per_second = (
+        device.hash_rate * (1.0 - throttle) * XMR_PER_HASH * XMR_USD * OPERATOR_REVENUE_SHARE
+    )
+    if revenue_per_second == 0:
+        return float("inf")
+    return per_impression / revenue_per_second / 60.0

@@ -1,0 +1,85 @@
+"""Plain-text rendering of tables and figure summaries.
+
+Benchmarks print these so a run regenerates the same rows/series as the
+paper's tables and figures, directly comparable side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bins: Sequence, counts: Sequence[int], title: str = "", width: int = 40
+) -> str:
+    """Horizontal ASCII histogram (one bar per bin)."""
+    peak = max(counts) if counts else 1
+    lines = [title] if title else []
+    for label, count in zip(bins, counts):
+        bar = "#" * max(0, round(width * count / peak)) if peak else ""
+        lines.append(f"{str(label):>12}  {str(count):>8}  {bar}")
+    return "\n".join(lines)
+
+
+def render_cdf_points(values: Sequence[float], quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.67, 0.75, 0.9, 0.99)) -> str:
+    """Quantile summary of an empirical distribution."""
+    ordered = sorted(values)
+    if not ordered:
+        return "(empty)"
+    lines = []
+    for q in quantiles:
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        lines.append(f"  p{int(q * 100):>2} = {ordered[index]}")
+    return "\n".join(lines)
+
+
+def format_quantity(value: float) -> str:
+    """Human units: 55.4e9 → '55.4G', 5.5e6 → '5.5M'."""
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{value:.1f}"
+
+
+def render_day_hour_heatmap(matrix: dict, title: str = "") -> str:
+    """Figure-5-style day × hour-of-day block map.
+
+    ``matrix`` maps ``(date_string, hour)`` → count. Rows are dates,
+    columns hours 0–23; cells print '.', digits, or '+' for ≥10.
+    """
+    dates = sorted({key[0] for key in matrix})
+    lines = [title] if title else []
+    lines.append("date        " + "".join(f"{h:>2}" for h in range(0, 24, 2)))
+    for date in dates:
+        cells = []
+        for hour in range(24):
+            count = matrix.get((date, hour), 0)
+            if count == 0:
+                cells.append(".")
+            elif count < 10:
+                cells.append(str(count))
+            else:
+                cells.append("+")
+        total = sum(matrix.get((date, hour), 0) for hour in range(24))
+        lines.append(f"{date}  {''.join(cells)}  | {total}")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""One-call reproduction runner.
+
+``run_reproduction()`` executes every experiment at a configurable scale
+and assembles a single markdown report with all regenerated tables — the
+programmatic equivalent of running the whole benchmark suite, for use
+from scripts, notebooks, or ``repro-mining reproduce``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.crawl import ChromeCampaign, ZgrabCampaign
+from repro.analysis.economics import EconomicsReport, user_count_bracket
+from repro.analysis.network import NetworkSimConfig, simulate_network
+from repro.analysis.reporting import render_day_hour_heatmap, render_table
+from repro.analysis.shortlink import ShortLinkStudy
+from repro.internet.population import build_population
+from repro.internet.shortlinks import build_shortlink_population
+from repro.sim.clock import utc_timestamp
+
+
+@dataclass
+class ReproductionConfig:
+    """Scales for one full reproduction run.
+
+    The defaults favour a quick run (a couple of minutes); the benchmark
+    suite is the full-calibration reference.
+    """
+
+    seed: int = 2018
+    crawl_scale: float = 0.25
+    shortlink_scale: float = 0.004
+    shortlink_samples: int = 100
+    network_days: int = 28
+    datasets: tuple = ("alexa", "com", "net", "org")
+
+
+@dataclass
+class ReproductionReport:
+    """Collected results plus the rendered markdown."""
+
+    config: ReproductionConfig
+    sections: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# Reproduction report — Digging into Browser-based Crypto Mining",
+            "",
+            f"seed={self.config.seed} crawl_scale={self.config.crawl_scale} "
+            f"shortlink_scale={self.config.shortlink_scale} "
+            f"network_days={self.config.network_days}",
+            f"completed in {self.elapsed_seconds:.1f}s",
+        ]
+        for title, body in self.sections.items():
+            lines += ["", f"## {title}", "", "```", body, "```"]
+        return "\n".join(lines) + "\n"
+
+
+def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> ReproductionReport:
+    """Run every experiment; returns the assembled report."""
+    config = config if config is not None else ReproductionConfig()
+    report = ReproductionReport(config=config)
+    started = time.monotonic()
+
+    # ---- Figure 2 + Tables 1-3 ------------------------------------------------
+    chrome_rows = []
+    fig2_rows = []
+    for dataset in config.datasets:
+        log(f"[crawl] {dataset} @ scale {config.crawl_scale}")
+        population = build_population(dataset, seed=config.seed, scale=config.crawl_scale)
+        for scan in ZgrabCampaign(population=population).both_scans():
+            fig2_rows.append(
+                [dataset, scan.scan_date, scan.nocoin_domains, f"{scan.prevalence:.4%}"]
+            )
+        if population.spec.chrome_crawl:
+            result = ChromeCampaign(population=population).run()
+            tab = result.cross_tab
+            top = ", ".join(f"{f}:{c}" for f, c in result.signature_counts.most_common(3))
+            chrome_rows.append(
+                [dataset, tab.wasm_miner_hits, tab.nocoin_hits,
+                 f"{tab.missed_fraction:.0%}", f"{tab.detection_factor:.1f}x", top]
+            )
+    report.sections["Figure 2 — NoCoin prevalence"] = render_table(
+        ["dataset", "scan", "NoCoin domains", "prevalence"], fig2_rows
+    )
+    report.sections["Tables 1–2 — Chrome crawls"] = render_table(
+        ["dataset", "Wasm miners", "NoCoin hits", "missed", "factor", "top families"],
+        chrome_rows,
+    )
+
+    # ---- Figures 3-4 + Tables 4-5 ------------------------------------------------
+    log(f"[shortlinks] scale {config.shortlink_scale}")
+    population = build_shortlink_population(seed=config.seed, scale=config.shortlink_scale)
+    study = ShortLinkStudy(population=population, sample_per_top_user=config.shortlink_samples)
+    ranks = study.links_per_token()
+    hashes = study.hash_requirements()
+    destinations = study.destinations()
+    report.sections["Figures 3–4 — short links"] = render_table(
+        ["quantity", "value"],
+        [
+            ["links / tokens", f"{ranks.total_links} / {len(ranks.counts_by_rank)}"],
+            ["top-1 / top-10 share", f"{ranks.top1_share:.1%} / {ranks.topn_share(10):.1%}"],
+            ["≤1024 hashes (unbiased)", f"{hashes.share_resolvable_within(1024):.0%}"],
+            ["max hashes", max(hashes.all_links)],
+        ],
+    )
+    report.sections["Tables 4–5 — destinations"] = render_table(
+        ["destination", "count"], destinations.top_user_domains.most_common(8)
+    ) + "\n\n" + render_table(
+        ["category", "count"], destinations.unbiased_categories.most_common(8)
+    )
+
+    # ---- Figure 5 + Table 6 ----------------------------------------------------------
+    log(f"[network] {config.network_days} days")
+    start = utc_timestamp(2018, 4, 26)
+    observation = simulate_network(
+        NetworkSimConfig(seed=config.seed, start=start, end=start + config.network_days * 86400)
+    )
+    economics = EconomicsReport.from_attributed(observation.attributed)
+    median_difficulty = observation.chain.median_difficulty(last=5000)
+    pool_rate = observation.overall_share() * median_difficulty / 120
+    high, low = user_count_bracket(max(pool_rate, 1.0))
+    report.sections["Figure 5 — blocks over time"] = render_day_hour_heatmap(
+        observation.day_hour_matrix()
+    )
+    report.sections["Table 6 — economics"] = render_table(
+        ["quantity", "value"],
+        [
+            ["blocks attributed", len(observation.attributed)],
+            ["share of all blocks", f"{observation.overall_share():.2%}"],
+            ["attribution recall", f"{observation.attribution_recall():.1%}"],
+            ["pool hash rate", f"{pool_rate / 1e6:.1f} MH/s"],
+            ["users @20–100 H/s", f"{low:,.0f}–{high:,.0f}"],
+            ["XMR mined", f"{economics.xmr_mined:.0f}"],
+            ["USD @120/XMR", f"{economics.gross_usd:,.0f}"],
+        ],
+    )
+
+    report.elapsed_seconds = time.monotonic() - started
+    return report

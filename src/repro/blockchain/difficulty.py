@@ -1,0 +1,81 @@
+"""Difficulty retargeting.
+
+A port of Monero's ``next_difficulty`` (cryptonote_basic difficulty.cpp):
+take the last ``window`` blocks, sort their timestamps, cut ``cut`` outliers
+from both ends, and set
+
+    difficulty = ceil( Σ cumulative_difficulty_span × target / time_span )
+
+so that the chain keeps its 120-second average block rate as hash rate
+changes. The paper converts the observed difficulty back to a network hash
+rate (difficulty / target ≈ hashes per second), which this module also
+provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+DIFFICULTY_TARGET = 120  # seconds per block (Monero v2+)
+DIFFICULTY_WINDOW = 720  # blocks
+DIFFICULTY_CUT = 60      # outliers trimmed from each end
+DIFFICULTY_LAG = 15
+
+
+@dataclass
+class DifficultyAdjuster:
+    """Stateless retargeting calculator with configurable parameters.
+
+    The simulation uses smaller windows than mainnet so short experiments
+    still retarget; defaults match Monero's constants.
+    """
+
+    target: int = DIFFICULTY_TARGET
+    window: int = DIFFICULTY_WINDOW
+    cut: int = DIFFICULTY_CUT
+    initial_difficulty: int = 1000
+
+    def next_difficulty(
+        self, timestamps: Sequence[int], cumulative_difficulties: Sequence[int]
+    ) -> int:
+        """Difficulty for the next block given per-block history.
+
+        ``timestamps[i]`` and ``cumulative_difficulties[i]`` describe the
+        i-th most recent blocks in chain order (oldest first). Both lists
+        must have equal length; shorter-than-window histories are used as-is
+        (chain bootstrap).
+        """
+        if len(timestamps) != len(cumulative_difficulties):
+            raise ValueError("history lists must have equal length")
+        length = len(timestamps)
+        if length <= 1:
+            return self.initial_difficulty
+
+        timestamps = list(timestamps[-self.window :])
+        cumulative_difficulties = list(cumulative_difficulties[-self.window :])
+        length = len(timestamps)
+
+        sorted_ts = sorted(timestamps)
+        if length > 2 * self.cut + 2:
+            cut_begin = self.cut
+            cut_end = length - self.cut
+        else:
+            cut_begin = 0
+            cut_end = length
+        time_span = sorted_ts[cut_end - 1] - sorted_ts[cut_begin]
+        if time_span <= 0:
+            time_span = 1
+        total_work = cumulative_difficulties[cut_end - 1] - cumulative_difficulties[cut_begin]
+        if total_work <= 0:
+            return self.initial_difficulty
+        # ceil division, as in Monero
+        return max(1, (total_work * self.target + time_span - 1) // time_span)
+
+    def hashrate_from_difficulty(self, difficulty: int) -> float:
+        """Network hash rate implied by a difficulty (hashes/second).
+
+        The paper (Section 4.2): median difficulty 55.4G over the target of
+        120 s ⇒ 462 MH/s.
+        """
+        return difficulty / self.target

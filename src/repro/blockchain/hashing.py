@@ -1,0 +1,126 @@
+"""CryptoNight stand-in proof-of-work hash.
+
+Real CryptoNight [CNS008] initializes a 2 MB scratchpad from a Keccak state,
+performs ~1M AES-assisted memory-hard mixing iterations, and finalizes with
+one of four hash functions. Running that in pure Python would make every
+experiment intractable, so we implement a *scaled* CryptoNight with the same
+architecture — Keccak-family initialization (SHA3-256), scratchpad
+expansion, data-dependent memory mixing, finalization — and configurable
+scratchpad size and iteration count.
+
+What the paper's experiments need from the PoW is:
+
+- determinism and uniformity (difficulty statistics work out),
+- a tunable cost knob (hash-duration modelling at 20 H/s is arithmetic,
+  not wall-clock),
+- the Monero acceptance test ``hash_as_int × difficulty < 2^256``.
+
+All three are preserved exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+_GOLDEN = 0x9E3779B97F4A7C15  # 64-bit golden-ratio multiplier used in mixing
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class CryptonightParams:
+    """Cost parameters of the stand-in hash.
+
+    ``scratchpad_bytes`` must be a power of two and a multiple of 64.
+    Real CryptoNight: 2 MiB / 524288 iterations. The defaults below are the
+    simulation profile used across the reproduction; ``FAST`` is for unit
+    tests, ``HEAVY`` approximates a hash slow enough to measure.
+    """
+
+    scratchpad_bytes: int = 4096
+    iterations: int = 64
+
+    def __post_init__(self) -> None:
+        sp = self.scratchpad_bytes
+        if sp < 128 or sp & (sp - 1) or sp % 64:
+            raise ValueError("scratchpad_bytes must be a power of two >= 128")
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+
+
+#: Default simulation profile (used by the chain and pools).
+DEFAULT_PARAMS = CryptonightParams()
+#: Cheap profile for tests that hash a lot.
+FAST_PARAMS = CryptonightParams(scratchpad_bytes=128, iterations=4)
+#: Expensive profile for performance benchmarks.
+HEAVY_PARAMS = CryptonightParams(scratchpad_bytes=65536, iterations=4096)
+
+
+def _rotl64(value: int, count: int) -> int:
+    count &= 63
+    return ((value << count) | (value >> (64 - count))) & _MASK64
+
+
+def cryptonight(data: bytes, params: CryptonightParams = DEFAULT_PARAMS) -> bytes:
+    """Compute the 32-byte stand-in CryptoNight hash of ``data``.
+
+    Stages mirror the real function:
+
+    1. *Init*: SHA3-256 of the input seeds the state.
+    2. *Expand*: the scratchpad is filled by chaining BLAKE2b blocks.
+    3. *Mix*: data-dependent reads/writes over the scratchpad — addresses
+       derive from the evolving state, so the whole pad stays hot.
+    4. *Finalize*: BLAKE2b over state and scratchpad digest.
+    """
+    state = hashlib.sha3_256(data).digest()
+
+    # Stage 2: expansion
+    pad = bytearray(params.scratchpad_bytes)
+    block = hashlib.blake2b(state, digest_size=64).digest()
+    for offset in range(0, params.scratchpad_bytes, 64):
+        pad[offset : offset + 64] = block
+        block = hashlib.blake2b(block, digest_size=64).digest()
+
+    # Stage 3: memory-hard mixing
+    words = memoryview(pad).cast("Q")
+    num_words = params.scratchpad_bytes // 8
+    mask = num_words - 1
+    a, b = struct.unpack_from("<QQ", state, 0)
+    c, d = struct.unpack_from("<QQ", state, 16)
+    for _ in range(params.iterations):
+        idx = a & mask
+        value = words[idx]
+        a = (a ^ value) & _MASK64
+        b = (b + a * _GOLDEN) & _MASK64
+        words[idx] = b ^ value
+        idx2 = b & mask
+        c = (c ^ words[idx2]) & _MASK64
+        words[idx2] = (c + d) & _MASK64
+        d = _rotl64(d ^ a, 13)
+        a = _rotl64(a, 29) ^ c
+
+    # Stage 4: finalization — fold the pad so every byte matters
+    fold = hashlib.blake2b(digest_size=32)
+    fold.update(state)
+    fold.update(struct.pack("<QQQQ", a, b, c, d))
+    fold.update(pad)
+    return fold.digest()
+
+
+def hash_meets_difficulty(pow_hash: bytes, difficulty: int) -> bool:
+    """Monero's acceptance test: ``hash × difficulty < 2^256``.
+
+    The hash is interpreted little-endian, as in Monero's
+    ``check_hash``. Equivalent to ``hash < 2^256 / difficulty`` but exact.
+    """
+    if len(pow_hash) != 32:
+        raise ValueError("PoW hash must be 32 bytes")
+    if difficulty < 1:
+        raise ValueError("difficulty must be >= 1")
+    return int.from_bytes(pow_hash, "little") * difficulty < (1 << 256)
+
+
+def expected_hashes(difficulty: int) -> float:
+    """Expected number of hash draws to meet ``difficulty`` (= difficulty)."""
+    return float(difficulty)

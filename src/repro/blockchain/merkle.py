@@ -1,0 +1,72 @@
+"""Monero's tree-hash (Merkle root) algorithm.
+
+Faithful port of ``crypto/tree-hash.c`` from the Monero source: for a
+non-power-of-two leaf count ``n`` the bottom layer keeps the first
+``2·cnt − n`` hashes verbatim (where ``cnt`` is the largest power of two
+with ``cnt < n ≤ 2·cnt``) and pairs up the rest, then reduces layers
+pairwise. The first leaf is always the coinbase transaction hash — the
+property the paper's pool-association method relies on: a PoW input's
+Merkle root uniquely commits to the pool's own coinbase.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+
+def _h(data: bytes) -> bytes:
+    """Monero uses Keccak; SHA3-256 is our stand-in throughout."""
+    return hashlib.sha3_256(data).digest()
+
+
+def tree_hash_cnt(count: int) -> int:
+    """Largest power of two ``pow`` with ``pow < count <= 2*pow``."""
+    if count < 3:
+        raise ValueError("tree_hash_cnt requires count >= 3")
+    pow_ = 1
+    while pow_ * 2 < count:
+        pow_ *= 2
+    return pow_
+
+
+def tree_hash(hashes: Sequence[bytes]) -> bytes:
+    """Merkle root over transaction hashes, Monero layout.
+
+    - 1 leaf: the root *is* that hash (no extra hashing),
+    - 2 leaves: ``H(h0 ∥ h1)``,
+    - n ≥ 3: the tree-hash reduction described in the module docstring.
+    """
+    count = len(hashes)
+    if count == 0:
+        raise ValueError("tree_hash of zero transactions")
+    for h in hashes:
+        if len(h) != 32:
+            raise ValueError("tree_hash leaves must be 32-byte hashes")
+    if count == 1:
+        return bytes(hashes[0])
+    if count == 2:
+        return _h(hashes[0] + hashes[1])
+
+    cnt = tree_hash_cnt(count)
+    ints: list[bytes] = list(hashes[: 2 * cnt - count])
+    i = 2 * cnt - count
+    j = 2 * cnt - count
+    while j < cnt:
+        ints.append(_h(hashes[i] + hashes[i + 1]))
+        i += 2
+        j += 1
+    assert i == count
+
+    while cnt > 2:
+        cnt //= 2
+        ints = [_h(ints[2 * k] + ints[2 * k + 1]) for k in range(cnt)]
+    return _h(ints[0] + ints[1])
+
+
+def tree_branch_covers(root: bytes, hashes: Sequence[bytes]) -> bool:
+    """Check whether ``hashes`` reproduce ``root`` (convenience predicate)."""
+    try:
+        return tree_hash(hashes) == root
+    except ValueError:
+        return False

@@ -1,0 +1,213 @@
+"""Monero's privacy mechanics, simulated.
+
+The paper leans on Monero being "privacy-preserving": one cannot read a
+pool's blocks off the chain the way one can with Bitcoin — which is *why*
+the Merkle-root association method had to be invented. To make that
+property concrete, this module simulates the three mechanisms that
+provide it:
+
+- **stealth (one-time) outputs** — every payment goes to a fresh one-time
+  key derived from the recipient's address and per-transaction
+  randomness; observers cannot link outputs to addresses,
+- **ring signatures** — a spend references a *ring* of plausible source
+  outputs (decoys + the real one) without revealing which is real,
+- **key images** — a deterministic tag of the real spent output; the
+  network rejects a repeated key image (double spend) without learning
+  which ring member it belongs to.
+
+The cryptography is *simulated* with hashes (no discrete-log math): the
+unlinkability, ring-membership, and double-spend-detection *interfaces and
+invariants* are faithful, the hardness assumptions are not. That is the
+right fidelity for this reproduction: the chain analysis in
+:mod:`repro.core.pool_association` must work *despite* these properties,
+and the tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.rng import RngStream
+
+
+def _h(*parts: bytes) -> bytes:
+    digest = hashlib.sha3_256()
+    for part in parts:
+        digest.update(len(part).to_bytes(4, "little"))
+        digest.update(part)
+    return digest.digest()
+
+
+@dataclass(frozen=True)
+class Wallet:
+    """A keypair owner (simulated: keys are opaque 32-byte secrets)."""
+
+    name: str
+    spend_secret: bytes
+    view_secret: bytes
+
+    @classmethod
+    def create(cls, name: str, rng: RngStream) -> "Wallet":
+        return cls(name=name, spend_secret=rng.randbytes(32), view_secret=rng.randbytes(32))
+
+    @property
+    def address(self) -> str:
+        """Public address: derived from the secrets, safe to publish."""
+        return "4" + _h(b"addr", self.spend_secret, self.view_secret).hex()[:40]
+
+
+@dataclass(frozen=True)
+class StealthOutput:
+    """A one-time output on the chain.
+
+    ``one_time_key`` is all an observer sees; only the recipient (holding
+    the view secret) can recognize it via :func:`output_belongs_to`.
+    """
+
+    one_time_key: bytes
+    amount_atomic: int
+    tx_randomness: bytes
+
+    @property
+    def key_image_preimage(self) -> bytes:
+        return self.one_time_key
+
+
+def make_stealth_output(recipient: Wallet, amount_atomic: int, rng: RngStream) -> StealthOutput:
+    """Pay ``recipient``: derive a fresh unlinkable one-time key."""
+    randomness = rng.randbytes(32)
+    one_time_key = _h(b"otk", recipient.view_secret, recipient.spend_secret, randomness)
+    return StealthOutput(
+        one_time_key=one_time_key, amount_atomic=amount_atomic, tx_randomness=randomness
+    )
+
+
+def output_belongs_to(output: StealthOutput, wallet: Wallet) -> bool:
+    """Recipient-side scan: recompute the one-time key from the secrets."""
+    expected = _h(b"otk", wallet.view_secret, wallet.spend_secret, output.tx_randomness)
+    return expected == output.one_time_key
+
+
+def key_image_for(output: StealthOutput, owner: Wallet) -> bytes:
+    """The unique spend tag: deterministic in (output, owner secret).
+
+    Spending the same output twice — even in different rings — produces
+    the same key image, which is how double spends are caught without
+    revealing the output.
+    """
+    return _h(b"keyimage", output.one_time_key, owner.spend_secret)
+
+
+@dataclass(frozen=True)
+class RingSignature:
+    """A simulated ring signature over a spend."""
+
+    ring: tuple            # one-time keys of all ring members (real + decoys)
+    key_image: bytes
+    challenge: bytes       # binds the ring, key image, and message
+
+    def ring_size(self) -> int:
+        return len(self.ring)
+
+
+def sign_spend(
+    output: StealthOutput,
+    owner: Wallet,
+    decoys: list,
+    message: bytes,
+    rng: RngStream,
+) -> RingSignature:
+    """Produce a ring signature spending ``output`` among ``decoys``.
+
+    The real member's position is shuffled into the ring; the challenge
+    commits to everything so the signature cannot be transplanted onto a
+    different message (transaction).
+    """
+    members = [output.one_time_key] + [d.one_time_key for d in decoys]
+    rng.shuffle(members)
+    key_image = key_image_for(output, owner)
+    challenge = _h(b"ringsig", key_image, message, *members)
+    return RingSignature(ring=tuple(members), key_image=key_image, challenge=challenge)
+
+
+def verify_spend(signature: RingSignature, message: bytes) -> bool:
+    """Structural verification: ring non-trivial and challenge consistent."""
+    if signature.ring_size() < 2:
+        return False
+    expected = _h(b"ringsig", signature.key_image, message, *signature.ring)
+    return expected == signature.challenge
+
+
+class DoubleSpendError(ValueError):
+    """Raised when a key image is seen twice."""
+
+
+@dataclass
+class KeyImageRegistry:
+    """The network's double-spend ledger."""
+
+    seen: set = field(default_factory=set)
+
+    def register(self, key_image: bytes) -> None:
+        if key_image in self.seen:
+            raise DoubleSpendError(f"key image {key_image.hex()[:16]}… already spent")
+        self.seen.add(key_image)
+
+    def is_spent(self, key_image: bytes) -> bool:
+        return key_image in self.seen
+
+    def __len__(self) -> int:
+        return len(self.seen)
+
+
+@dataclass
+class PrivateTransferFactory:
+    """Builds fully private transfers (stealth outputs + ring signatures).
+
+    A drop-in richer alternative to
+    :class:`repro.blockchain.transactions.TransferFactory`: transactions
+    carry a ring signature blob in ``extra`` and their inputs reference
+    key images, so the chain's observer genuinely cannot tell who paid
+    whom — only the pool-association method (which never needs to) works.
+    """
+
+    rng: RngStream
+    registry: KeyImageRegistry = field(default_factory=KeyImageRegistry)
+    decoy_pool: list = field(default_factory=list)
+    _counter: int = 0
+
+    def fund_wallet(self, wallet: Wallet, amount_atomic: int) -> StealthOutput:
+        """Create a spendable output for ``wallet`` (e.g. mining income)."""
+        output = make_stealth_output(wallet, amount_atomic, self.rng.substream("fund", str(len(self.decoy_pool))))
+        self.decoy_pool.append(output)
+        return output
+
+    def transfer(self, sender: Wallet, sender_output: StealthOutput, recipient: Wallet, ring_size: int = 11):
+        """Spend ``sender_output`` to ``recipient``; returns a Transaction.
+
+        Raises :class:`DoubleSpendError` on output reuse.
+        """
+        from repro.blockchain.transactions import Transaction
+
+        self._counter += 1
+        decoys = [o for o in self.decoy_pool if o is not sender_output]
+        self.rng.shuffle(decoys)
+        decoys = decoys[: max(1, ring_size - 1)]
+        new_output = make_stealth_output(
+            recipient, sender_output.amount_atomic, self.rng.substream("xfer", str(self._counter))
+        )
+        message = _h(b"txmsg", new_output.one_time_key, self._counter.to_bytes(8, "little"))
+        signature = sign_spend(sender_output, sender, decoys, message, self.rng.substream("sig", str(self._counter)))
+        if not verify_spend(signature, message):
+            raise ValueError("ring signature failed self-verification")
+        self.registry.register(signature.key_image)
+        self.decoy_pool.append(new_output)
+        return Transaction(
+            version=2,
+            unlock_time=0,
+            inputs=(("key", signature.key_image),),
+            outputs=((new_output.amount_atomic, new_output.one_time_key.hex()),),
+            extra=signature.challenge + message,
+        )

@@ -1,0 +1,40 @@
+"""Monero-style varint (base-128 little-endian, same wire format as
+unsigned LEB128). Kept as its own module because block serialization
+documents itself in terms of *varints* and the blockchain code should not
+reach into the WebAssembly package for them.
+"""
+
+from __future__ import annotations
+
+
+def encode(value: int) -> bytes:
+    """Encode a non-negative integer as a Monero varint."""
+    if value < 0:
+        raise ValueError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    i = offset
+    while True:
+        if i >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[i]
+        result |= (byte & 0x7F) << shift
+        i += 1
+        if not byte & 0x80:
+            return result, i
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")

@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Installed as ``repro-mining``. Subcommands mirror the paper's workflows:
+
+- ``fingerprint`` — signature + features + classification of .wasm files,
+- ``nocoin``      — match an HTML file's script tags against the list,
+- ``crawl``       — run a scaled zgrab+Chrome campaign over a dataset,
+- ``shortlinks``  — the cnhv.co study summary,
+- ``attribute``   — simulate the network and attribute Coinhive blocks,
+- ``corpus``      — dump the synthetic Wasm corpus to disk.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.core.classifier import MinerClassifier
+    from repro.core.features import extract_features
+    from repro.core.signatures import build_reference_database, wasm_signature
+    from repro.wasm.decoder import WasmDecodeError
+
+    classifier = MinerClassifier(database=build_reference_database())
+    status = 0
+    for path in args.files:
+        data = pathlib.Path(path).read_bytes()
+        try:
+            signature = wasm_signature(data)
+        except WasmDecodeError as exc:
+            print(f"{path}: not a decodable wasm module ({exc})")
+            status = 1
+            continue
+        features = extract_features(data)
+        verdict = classifier.classify_wasm(data)
+        marker = "MINER" if verdict.is_miner else "benign"
+        print(f"{path}: {marker} family={verdict.family} via={verdict.method}")
+        print(f"  signature : {signature}")
+        print(
+            f"  features  : instrs={features.total_instructions}"
+            f" xor={features.xor_count} shift={features.shift_count}"
+            f" rot={features.rotate_count} load={features.load_count}"
+            f" float={features.float_count} mem={features.memory_pages}p"
+        )
+        if features.name_hints:
+            print(f"  name hints: {', '.join(features.name_hints[:5])}")
+    return status
+
+
+def _cmd_nocoin(args: argparse.Namespace) -> int:
+    from repro.core.nocoin import default_nocoin_list, FilterList
+    from repro.web.html import extract_scripts
+
+    if args.list:
+        lines = pathlib.Path(args.list).read_text().splitlines()
+        nocoin = FilterList.from_lines(lines)
+    else:
+        nocoin = default_nocoin_list()
+    status = 0
+    for path in args.files:
+        html = pathlib.Path(path).read_text(errors="replace")
+        hits = nocoin.match_scripts(extract_scripts(html))
+        if hits:
+            labels = sorted({rule.label or rule.raw for rule in hits})
+            print(f"{path}: HIT ({', '.join(labels)})")
+            status = 2
+        else:
+            print(f"{path}: clean")
+    return status
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.analysis.crawl import ChromeCampaign, ZgrabCampaign
+    from repro.analysis.reporting import render_table
+    from repro.internet.population import build_population
+
+    population = build_population(args.dataset, seed=args.seed, scale=args.scale)
+    print(f"dataset={args.dataset} sites={len(population.sites)} scale={args.scale}")
+    scans = ZgrabCampaign(population=population).both_scans()
+    rows = [[s.scan_date, s.nocoin_domains, f"{s.prevalence:.4%}"] for s in scans]
+    print(render_table(["scan", "NoCoin domains", "prevalence"], rows, title="\nzgrab pass"))
+    if population.spec.chrome_crawl:
+        result = ChromeCampaign(population=population).run()
+        tab = result.cross_tab
+        rows = [
+            ["Wasm miner sites", tab.wasm_miner_hits],
+            ["NoCoin hits", tab.nocoin_hits],
+            ["missed by NoCoin", f"{tab.miners_missed_by_nocoin} ({tab.missed_fraction:.0%})"],
+            ["detection factor", f"{tab.detection_factor:.1f}x"],
+        ]
+        print(render_table(["metric", "value"], rows, title="\nChrome pass"))
+        rows = list(result.signature_counts.most_common(5))
+        print(render_table(["family", "sites"], rows, title="\ntop signatures"))
+    return 0
+
+
+def _cmd_shortlinks(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.analysis.shortlink import ShortLinkStudy
+    from repro.internet.shortlinks import build_shortlink_population
+
+    population = build_shortlink_population(seed=args.seed, scale=args.scale)
+    study = ShortLinkStudy(population=population, sample_per_top_user=args.sample)
+    ranks = study.links_per_token()
+    hashes = study.hash_requirements()
+    rows = [
+        ["links", ranks.total_links],
+        ["tokens", len(ranks.counts_by_rank)],
+        ["top-1 share", f"{ranks.top1_share:.1%}"],
+        ["top-10 share", f"{ranks.topn_share(10):.1%}"],
+        ["≤1024 hashes (unbiased)", f"{hashes.share_resolvable_within(1024):.0%}"],
+        ["max required hashes", max(hashes.all_links)],
+    ]
+    print(render_table(["metric", "value"], rows, title="cnhv.co study"))
+    if args.resolve:
+        destinations = study.destinations()
+        rows = list(destinations.top_user_domains.most_common(10))
+        print(render_table(["destination", "count"], rows, title="\ntop-creator destinations"))
+    return 0
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    from repro.analysis.network import NetworkSimConfig, simulate_network
+    from repro.analysis.reporting import render_table
+    from repro.sim.clock import utc_timestamp
+
+    start = utc_timestamp(2018, 4, 26)
+    config = NetworkSimConfig(seed=args.seed, start=start, end=start + args.days * 86400)
+    observation = simulate_network(config)
+    rows = [
+        ["chain blocks", observation.chain.height],
+        ["attributed to Coinhive", len(observation.attributed)],
+        ["recall vs ground truth", f"{observation.attribution_recall():.1%}"],
+        ["share of all blocks", f"{observation.overall_share():.2%}"],
+        ["median difficulty", f"{observation.chain.median_difficulty(last=5000) / 1e9:.1f}G"],
+    ]
+    print(render_table(["metric", "value"], rows, title=f"{args.days}-day observation"))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import ReproductionConfig, run_reproduction
+
+    config = ReproductionConfig(
+        seed=args.seed,
+        crawl_scale=args.crawl_scale,
+        shortlink_scale=args.shortlink_scale,
+        network_days=args.days,
+    )
+    report = run_reproduction(config)
+    markdown = report.to_markdown()
+    if args.out:
+        pathlib.Path(args.out).write_text(markdown)
+        print(f"report written to {args.out} ({report.elapsed_seconds:.1f}s)")
+    else:
+        print(markdown)
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.wasm.decoder import WasmDecodeError
+    from repro.wasm.wat import disassemble
+
+    status = 0
+    for path in args.files:
+        data = pathlib.Path(path).read_bytes()
+        try:
+            print(disassemble(data, max_functions=args.max_functions))
+        except WasmDecodeError as exc:
+            print(f";; {path}: {exc}")
+            status = 1
+    return status
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.wasm.builder import WasmCorpusBuilder, all_blueprints
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    builder = WasmCorpusBuilder(root_seed=args.seed)
+    count = 0
+    for blueprint in all_blueprints():
+        if args.family and blueprint.family != args.family:
+            continue
+        name = f"{blueprint.family.replace('.', '_')}-v{blueprint.variant}.wasm"
+        (out / name).write_bytes(builder.build(blueprint))
+        count += 1
+    print(f"wrote {count} modules to {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining",
+        description="Reproduction toolkit for 'Digging into Browser-based Crypto Mining' (IMC 2018)",
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fingerprint", help="fingerprint .wasm files")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=_cmd_fingerprint)
+
+    p = sub.add_parser("nocoin", help="match HTML files against the NoCoin list")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--list", help="custom filter list file (Adblock syntax)")
+    p.set_defaults(func=_cmd_nocoin)
+
+    p = sub.add_parser("crawl", help="run a scaled crawl campaign")
+    p.add_argument("--dataset", choices=("alexa", "com", "net", "org"), default="alexa")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(func=_cmd_crawl)
+
+    p = sub.add_parser("shortlinks", help="run the cnhv.co study")
+    p.add_argument("--scale", type=float, default=0.002)
+    p.add_argument("--sample", type=int, default=50)
+    p.add_argument("--resolve", action="store_true", help="also resolve destinations")
+    p.set_defaults(func=_cmd_shortlinks)
+
+    p = sub.add_parser("attribute", help="simulate the network and attribute blocks")
+    p.add_argument("--days", type=int, default=7)
+    p.set_defaults(func=_cmd_attribute)
+
+    p = sub.add_parser("reproduce", help="run every experiment, emit a markdown report")
+    p.add_argument("--out", help="write the report here instead of stdout")
+    p.add_argument("--crawl-scale", type=float, default=0.25)
+    p.add_argument("--shortlink-scale", type=float, default=0.004)
+    p.add_argument("--days", type=int, default=28)
+    p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--max-functions", type=int, default=None)
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("corpus", help="dump the synthetic wasm corpus")
+    p.add_argument("--out", default="wasm-corpus")
+    p.add_argument("--family", help="only this family")
+    p.set_defaults(func=_cmd_corpus)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

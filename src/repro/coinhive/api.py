@@ -1,0 +1,127 @@
+"""Coinhive's owner-facing HTTP API.
+
+Site owners interacted with Coinhive through an authenticated JSON API
+(``api.coinhive.com``): per-site-key hash/payout statistics, token
+verification (the captcha backend call), and payout requests once the
+balance crossed the withdrawal threshold. This module implements that
+surface over the pool's ledgers, so a complete owner workflow — embed,
+mine, query stats, withdraw — is expressible end-to-end.
+
+Coinhive's real minimum payout was 0.05 XMR (raised over time); we adopt
+that default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.transactions import ATOMIC_PER_XMR
+from repro.coinhive.service import CoinhiveService
+
+MIN_PAYOUT_ATOMIC = int(0.05 * ATOMIC_PER_XMR)
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """All endpoints respond with this envelope (mirrors the JSON API)."""
+
+    success: bool
+    data: dict = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"success": self.success}
+        out.update(self.data)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class CoinhiveApi:
+    """``api.coinhive.com`` over the simulated service."""
+
+    service: CoinhiveService
+    min_payout_atomic: int = MIN_PAYOUT_ATOMIC
+    payouts_issued: list = field(default_factory=list)
+
+    def _require_user(self, token: str) -> Optional[ApiResponse]:
+        if token not in self.service.users:
+            return ApiResponse(False, error="invalid_site_key")
+        return None
+
+    # -- GET /user/balance ---------------------------------------------------------
+
+    def user_balance(self, token: str) -> ApiResponse:
+        error = self._require_user(token)
+        if error:
+            return error
+        pool = self.service.pool
+        balance = pool.payouts.balances_atomic.get(token, 0)
+        return ApiResponse(
+            True,
+            data={
+                "name": self.service.users[token].label,
+                "balance": balance,
+                "balance_xmr": balance / ATOMIC_PER_XMR,
+                "withdrawable": balance >= self.min_payout_atomic,
+                "hashes_pending": pool.shares.hashes_credited.get(token, 0),
+            },
+        )
+
+    # -- GET /stats/site --------------------------------------------------------------
+
+    def site_stats(self, token: str) -> ApiResponse:
+        error = self._require_user(token)
+        if error:
+            return error
+        pool = self.service.pool
+        return ApiResponse(
+            True,
+            data={
+                "shares_total": pool.shares.shares.get(token, 0),
+                "hashes_total": pool.shares.hashes_credited.get(token, 0),
+            },
+        )
+
+    # -- GET /stats/pool (public) --------------------------------------------------------
+
+    def pool_stats(self) -> ApiResponse:
+        pool = self.service.pool
+        return ApiResponse(
+            True,
+            data={
+                "blocks_found": len(pool.blocks_mined),
+                "total_mined_xmr": self.service.total_mined_atomic() / ATOMIC_PER_XMR,
+                "fee_percent": pool.payouts.pool_fee_percent,
+                "endpoints": len(self.service.endpoints()),
+            },
+        )
+
+    # -- POST /user/withdraw -----------------------------------------------------------
+
+    def withdraw(self, token: str, address: str) -> ApiResponse:
+        error = self._require_user(token)
+        if error:
+            return error
+        if not address:
+            return ApiResponse(False, error="invalid_address")
+        balances = self.service.pool.payouts.balances_atomic
+        amount = balances.get(token, 0)
+        if amount < self.min_payout_atomic:
+            return ApiResponse(
+                False,
+                error="balance_too_low",
+                data={"balance": amount, "minimum": self.min_payout_atomic},
+            )
+        balances[token] = 0
+        self.payouts_issued.append((token, address, amount))
+        return ApiResponse(True, data={"amount": amount, "address": address})
+
+    # -- POST /token/verify (the captcha backend call) ---------------------------------------
+
+    def token_verify(self, captcha_service, verification_token: str, now: float) -> ApiResponse:
+        if captcha_service.verify(verification_token, now):
+            return ApiResponse(True, data={"verified": True})
+        return ApiResponse(False, error="invalid_token", data={"verified": False})

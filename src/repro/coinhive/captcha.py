@@ -1,0 +1,97 @@
+"""Coinhive's proof-of-work captcha service.
+
+Section 1 of the paper lists captchas among Coinhive's API offerings: a
+form gating widget that requires the visitor's browser to compute a
+configured number of hashes before the form can be submitted — spam
+protection that pays the site owner.
+
+The flow mirrors the short-link service: a captcha is created with a hash
+goal and the creator's token; the served widget mines against the pool;
+once the goal is reached the service issues a verification token the site
+backend can check once (single use, expiring)."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CaptchaChallenge:
+    """One outstanding captcha instance."""
+
+    challenge_id: str
+    site_token: str
+    goal_hashes: int
+    created_at: float
+    hashes_done: int = 0
+    verification_token: Optional[str] = None
+
+    @property
+    def solved(self) -> bool:
+        return self.hashes_done >= self.goal_hashes
+
+    def progress(self) -> float:
+        return min(1.0, self.hashes_done / self.goal_hashes)
+
+
+@dataclass
+class CaptchaService:
+    """Creation, hash accounting, and single-use verification."""
+
+    token_ttl: float = 300.0  # verification tokens expire after 5 minutes
+    _challenges: dict = field(default_factory=dict)
+    _verifications: dict = field(default_factory=dict)  # token → (challenge, expiry)
+    _counter: int = 0
+
+    def create(self, site_token: str, goal_hashes: int, now: float) -> CaptchaChallenge:
+        if goal_hashes < 1:
+            raise ValueError("goal must be positive")
+        self._counter += 1
+        challenge_id = hashlib.sha256(
+            f"{site_token}/{self._counter}/{now}".encode()
+        ).hexdigest()[:24]
+        challenge = CaptchaChallenge(
+            challenge_id=challenge_id,
+            site_token=site_token,
+            goal_hashes=goal_hashes,
+            created_at=now,
+        )
+        self._challenges[challenge_id] = challenge
+        return challenge
+
+    def widget_html(self, challenge: CaptchaChallenge) -> str:
+        """The embeddable widget (detectable by the same NoCoin rules)."""
+        return (
+            '<div class="coinhive-captcha" data-hashes="%d" data-key="%s">'
+            '<script src="https://coinhive.com/lib/captcha.min.js" async></script>'
+            "</div>" % (challenge.goal_hashes, challenge.site_token)
+        )
+
+    def submit_hashes(self, challenge_id: str, count: int, now: float) -> Optional[str]:
+        """Credit hashes; returns the verification token when solved."""
+        if count < 0:
+            raise ValueError("hash count must be non-negative")
+        challenge = self._challenges.get(challenge_id)
+        if challenge is None:
+            raise KeyError(f"unknown captcha {challenge_id!r}")
+        if challenge.verification_token is not None:
+            return challenge.verification_token
+        challenge.hashes_done += count
+        if challenge.solved:
+            token = hashlib.sha256(
+                f"verified/{challenge_id}/{challenge.hashes_done}".encode()
+            ).hexdigest()
+            challenge.verification_token = token
+            self._verifications[token] = (challenge_id, now + self.token_ttl)
+            return token
+        return None
+
+    def verify(self, verification_token: str, now: float) -> bool:
+        """Backend-side check; single use and TTL-bounded."""
+        entry = self._verifications.pop(verification_token, None)
+        if entry is None:
+            return False
+        _challenge_id, expiry = entry
+        return now <= expiry

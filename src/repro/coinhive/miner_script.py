@@ -1,0 +1,131 @@
+"""Website-embeddable Coinhive miner assets.
+
+Provides what a site owner got from Coinhive: the ``coinhive.min.js``
+loader, the CryptoNight Wasm, and the snippet
+
+    <script src="https://coinhive.com/lib/coinhive.min.js"></script>
+    <script>new CoinHive.Anonymous('SITE_KEY').start();</script>
+
+plus the *self-hosted* variant (loader copied to the site's own domain),
+which is how many operators evaded URL-based block lists — the mechanism
+behind the paper's NoCoin false negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.coinhive.service import CoinhiveService
+from repro.wasm.builder import ModuleBlueprint, WasmCorpusBuilder
+from repro.web.http import Resource, SyntheticWeb
+from repro.web.scripts import MinerBehavior, ScriptTag
+
+OFFICIAL_JS_URL = "https://coinhive.com/lib/coinhive.min.js"
+OFFICIAL_WASM_URL = "https://coinhive.com/lib/cryptonight.wasm"
+AUTHEDMINE_JS_URL = "https://authedmine.com/lib/authedmine.min.js"
+AUTHEDMINE_WASM_URL = "https://authedmine.com/lib/cryptonight.wasm"
+
+#: A shortened but recognizable loader body (NoCoin text rules match it).
+LOADER_JS = (
+    "var CoinHive=CoinHive||{};CoinHive.CONFIG={LIB_URL:'%(wasm)s',"
+    "WEBSOCKET_SHARDS:%(shards)d};CoinHive.Anonymous=function(k,o){"
+    "return new CoinHive.Miner(k,o)};CoinHive.User=function(k,u,o){"
+    "return new CoinHive.Miner(k,o)};"
+)
+
+
+@dataclass
+class CoinhiveMinerKit:
+    """Registers Coinhive assets on a synthetic web and mints script tags."""
+
+    service: CoinhiveService
+    web: SyntheticWeb
+    corpus: WasmCorpusBuilder = field(default_factory=WasmCorpusBuilder)
+    wasm_variant: int = 0
+    consent_banner: bool = False  # Authedmine asks; Coinhive doesn't
+
+    @property
+    def family(self) -> str:
+        return "authedmine" if self.consent_banner else "coinhive"
+
+    @property
+    def js_url(self) -> str:
+        return AUTHEDMINE_JS_URL if self.consent_banner else OFFICIAL_JS_URL
+
+    @property
+    def wasm_url(self) -> str:
+        return AUTHEDMINE_WASM_URL if self.consent_banner else OFFICIAL_WASM_URL
+
+    def install(self) -> None:
+        """Register the loader, the Wasm, and all 32 pool endpoints."""
+        wasm_bytes = self.corpus.build(ModuleBlueprint(self.family, self.wasm_variant))
+        loader = (LOADER_JS % {"wasm": self.wasm_url, "shards": len(self.service.endpoints())}).encode()
+        self.web.register(self.js_url, Resource(content=loader, content_type="text/javascript"))
+        self.web.register(
+            self.wasm_url, Resource(content=wasm_bytes, content_type="application/wasm")
+        )
+        self.service.register_endpoints(self.web)
+
+    # -- deployment variants -----------------------------------------------------
+
+    def official_tags(self, token: str, endpoint_index: int = 1, throttle: float = 0.0, wasm_variant: Optional[int] = None) -> list:
+        """The documented two-tag embed, loading from coinhive.com."""
+        behavior = self._behavior(token, self.wasm_url, endpoint_index, throttle, wasm_variant)
+        inline = f"var miner=new CoinHive.Anonymous('{token}');miner.start();"
+        if self.consent_banner:
+            inline = f"var miner=new CoinHive.Anonymous('{token}');miner.askAndStart();"
+        return [
+            ScriptTag(src=self.js_url),
+            ScriptTag(inline=inline, behavior=behavior),
+        ]
+
+    def self_hosted_tags(
+        self, token: str, host: str, endpoint_index: int = 1, throttle: float = 0.0, wasm_variant: Optional[int] = None
+    ) -> list:
+        """Loader + Wasm re-hosted under the site's own domain.
+
+        The script URL carries no Coinhive strings, so URL-based lists stay
+        silent; the Wasm (and the pool WebSocket) are unchanged — which is
+        exactly what the paper's fingerprint still catches.
+        """
+        js_url = f"https://{host}/assets/app-support.js"
+        wasm_url = f"https://{host}/assets/runtime.wasm"
+        variant = self.wasm_variant if wasm_variant is None else wasm_variant
+        wasm_bytes = self.corpus.build(ModuleBlueprint(self.family, variant))
+        self.web.register(
+            js_url,
+            Resource(content=b"/*bundle*/(function(){var m;})();", content_type="text/javascript"),
+        )
+        self.web.register(wasm_url, Resource(content=wasm_bytes, content_type="application/wasm"))
+        behavior = self._behavior(token, wasm_url, endpoint_index, throttle, wasm_variant)
+        return [
+            ScriptTag(src=js_url),
+            ScriptTag(inline=f"window.__rt&&__rt.init('{token[:12]}');", behavior=behavior),
+        ]
+
+    def _behavior(
+        self, token: str, wasm_url: str, endpoint_index: int, throttle: float, wasm_variant: Optional[int]
+    ) -> MinerBehavior:
+        if wasm_variant is not None and wasm_variant != self.wasm_variant:
+            # version skew across sites: serve this variant under a
+            # versioned URL so the browser dumps the right bytes
+            versioned = self.wasm_url.replace(".wasm", f"-v{wasm_variant}.wasm")
+            self.web.register(
+                versioned,
+                Resource(
+                    content=self.corpus.build(ModuleBlueprint(self.family, wasm_variant)),
+                    content_type="application/wasm",
+                ),
+            )
+            if wasm_url == self.wasm_url:
+                wasm_url = versioned
+        endpoint = self.service.endpoint_name(endpoint_index)
+        return MinerBehavior(
+            wasm_url=wasm_url,
+            socket_url=endpoint,
+            token=token,
+            throttle=throttle,
+            share_difficulty_hint=self.service.share_difficulty,
+            deobfuscate=self.service.obfuscator.revert,
+        )

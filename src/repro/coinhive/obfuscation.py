@@ -1,0 +1,48 @@
+"""Coinhive's PoW-blob obfuscation.
+
+    "We found that Coinhive alters the block header contained in the PoW
+    inputs before sending them to the users which the web miner reverts
+    deep within its WebAssembly. [...] A simple XOR with a fixed value at a
+    fixed offset." — Section 4.1
+
+The transform is an involution (XOR twice = identity), so the same object
+serves both the pool's outgoing transform and the reverse-engineered
+de-transform the paper's resolver needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blockchain.block import NONCE_OFFSET
+
+
+@dataclass(frozen=True)
+class BlobObfuscator:
+    """XOR ``key`` into the blob at ``offset``.
+
+    The default offset targets the bytes just before the nonce (inside the
+    previous-block id), which breaks naive reuse of the miner against other
+    pools while remaining trivially revertible once discovered.
+    """
+
+    key: bytes = bytes.fromhex("c0 1d ca fe 0b ad f0 0d".replace(" ", ""))
+    offset: int = NONCE_OFFSET - 8
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("key must be non-empty")
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+
+    def apply(self, blob: bytes) -> bytes:
+        """Obfuscate (or revert — the operation is its own inverse)."""
+        end = self.offset + len(self.key)
+        if len(blob) < end:
+            raise ValueError(
+                f"blob too short ({len(blob)} bytes) for XOR at [{self.offset}:{end})"
+            )
+        window = bytes(b ^ k for b, k in zip(blob[self.offset : end], self.key))
+        return blob[: self.offset] + window + blob[end:]
+
+    revert = apply  # reading aid: observer code calls .revert(blob)

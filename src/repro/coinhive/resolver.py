@@ -1,0 +1,152 @@
+"""Non-browser short-link resolver (Section 4.1, "Link Destinations").
+
+    "To efficiently resolve the short links without a web browser, we
+    replicate the working principle of the web miner in a non-web
+    implementation that can resolve multiple short links in parallel
+    making use of the official optimized Monero hash code."
+
+The resolver (a) enumerates the ID space and scrapes creator token and
+required-hash count from each landing page, and (b) resolves selected
+links by actually computing hashes — including reverting Coinhive's XOR
+blob obfuscation, which the paper had to reverse engineer out of the Wasm.
+
+Because the stand-in CryptoNight is still real computation, the resolver
+exposes a ``hash_scale`` knob: ``ceil(required / hash_scale)`` hashes are
+physically computed while the full count is credited to the service. With
+``hash_scale=1`` the resolver does every hash, as the paper's tooling did
+(61.5 M hashes over two days).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.hashing import CryptonightParams, FAST_PARAMS, cryptonight
+from repro.coinhive.obfuscation import BlobObfuscator
+from repro.coinhive.service import CoinhiveService
+from repro.coinhive.shortlink import ShortLinkService
+from repro.web.html import parse_html
+
+_TOKEN_RE = re.compile(r'CoinHive\.User\("([0-9A-F]+)"')
+_GOAL_RE = re.compile(r"goal:\s*(\d+)")
+
+
+@dataclass(frozen=True)
+class ScannedLink:
+    """Metadata scraped from one landing page (no hashing needed)."""
+
+    link_id: str
+    token: str
+    required_hashes: int
+
+
+@dataclass(frozen=True)
+class ResolvedLink:
+    """A fully resolved link."""
+
+    link_id: str
+    token: str
+    required_hashes: int
+    target_url: str
+    hashes_computed: int
+
+
+@dataclass
+class LinkResolver:
+    """Scans and resolves cnhv.co links against a :class:`CoinhiveService`."""
+
+    shortlinks: ShortLinkService
+    coinhive: Optional[CoinhiveService] = None
+    obfuscator: BlobObfuscator = field(default_factory=BlobObfuscator)
+    pow_params: CryptonightParams = FAST_PARAMS
+    hash_scale: int = 1024
+    total_hashes_computed: int = 0
+
+    # -- enumeration ------------------------------------------------------------
+
+    def scan(self, max_chars: int = 4) -> list:
+        """Scrape every assigned ID's landing page for token and hash goal."""
+        scanned: list[ScannedLink] = []
+        for link_id in self.shortlinks.enumerate_ids(max_chars):
+            page = self.shortlinks.landing_page(link_id)
+            if page is None:
+                continue
+            parsed = self.parse_landing_page(link_id, page)
+            if parsed is not None:
+                scanned.append(parsed)
+        return scanned
+
+    @staticmethod
+    def parse_landing_page(link_id: str, html: str) -> Optional[ScannedLink]:
+        """Extract ``(token, goal)`` from a redirection document."""
+        document = parse_html(html)
+        for _src, inline in document.scripts():
+            token_match = _TOKEN_RE.search(inline)
+            goal_match = _GOAL_RE.search(inline)
+            if token_match and goal_match:
+                return ScannedLink(
+                    link_id=link_id,
+                    token=token_match.group(1),
+                    required_hashes=int(goal_match.group(1)),
+                )
+        return None
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(self, link_id: str, now: float = 0.0) -> Optional[ResolvedLink]:
+        """Compute the link's hashes and return its target.
+
+        Returns None for unknown links. The hash loop follows the web
+        miner's working principle: fetch a PoW input from the pool, revert
+        the XOR obfuscation, then iterate nonces through CryptoNight.
+        """
+        link = self.shortlinks.get(link_id)
+        if link is None:
+            return None
+        blob = self._fetch_deobfuscated_blob(now)
+        physical = max(1, -(-link.required_hashes // self.hash_scale))  # ceil
+        physical = min(physical, 4096)  # cap per link: parallel workers chunk
+        for nonce in range(physical):
+            cryptonight(blob + nonce.to_bytes(8, "little"), self.pow_params)
+        self.total_hashes_computed += physical
+        remaining = max(0, link.required_hashes - link.hashes_done)
+        target = self.shortlinks.submit_hashes(link_id, remaining)
+        if target is None:  # pragma: no cover - submit covers the full goal
+            raise RuntimeError("service did not resolve after full hash goal")
+        return ResolvedLink(
+            link_id=link_id,
+            token=link.token,
+            required_hashes=link.required_hashes,
+            target_url=target,
+            hashes_computed=physical,
+        )
+
+    def resolve_many(self, link_ids, now: float = 0.0) -> list:
+        """Resolve a batch (the paper ran many links in parallel)."""
+        out = []
+        for link_id in link_ids:
+            resolved = self.resolve(link_id, now)
+            if resolved is not None:
+                out.append(resolved)
+        return out
+
+    def _fetch_deobfuscated_blob(self, now: float) -> bytes:
+        if self.coinhive is None:
+            # stand-alone mode: hash over a fixed-shape synthetic blob
+            return b"\x07\x07" + b"\x00" * 74
+        endpoint = self.coinhive.endpoints()[0]
+        blob = self.coinhive.pow_input_for_endpoint(endpoint, now)
+        return self.obfuscator.revert(blob)
+
+
+def duration_seconds(required_hashes: int, hash_rate: float = 20.0) -> float:
+    """Time to compute ``required_hashes`` at ``hash_rate`` H/s.
+
+    Figure 4's top axis: a 2013 MacBook Pro does ~20 H/s in Chrome, so
+    1024 hashes ≈ 51 s and 10^19 hashes ≈ 16 billion years.
+    """
+    if hash_rate <= 0:
+        raise ValueError("hash rate must be positive")
+    return required_hashes / hash_rate

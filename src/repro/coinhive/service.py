@@ -1,0 +1,205 @@
+"""The Coinhive service: accounts, pool, and endpoints.
+
+Facts reproduced from the paper:
+
+- users are identified by a token included in API calls (Section 4),
+- the pool keeps 30% of rewards and pays users 70%,
+- 32 WebSocket mining endpoints front 16 backend systems (two endpoints
+  per backend), each backend holding its own block template — hence at
+  most ``16 × 8 = 128`` distinct PoW inputs per block (Section 4.2),
+- outgoing job blobs are XOR-obfuscated (Section 4.1),
+- backends refresh templates periodically as transactions arrive, capped
+  at 8 templates per backend per block.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.chain import Blockchain, Mempool
+from repro.coinhive.obfuscation import BlobObfuscator
+from repro.pool.protocol import (
+    AuthedMessage,
+    BannedMessage,
+    LoginMessage,
+    SubmitMessage,
+    decode_message,
+    encode_message,
+)
+from repro.pool.server import PoolServer
+
+NUM_BACKENDS = 16
+ENDPOINTS_PER_BACKEND = 2
+NUM_ENDPOINTS = NUM_BACKENDS * ENDPOINTS_PER_BACKEND
+TEMPLATE_REFRESH_SECONDS = 15.0  # ≈8 refreshes per 120 s block
+
+
+@dataclass
+class CoinhiveUser:
+    """One Coinhive account (site owner or short-link creator)."""
+
+    token: str
+    label: str = ""
+    kind: str = "website"  # website | shortlink
+
+
+def make_token(seed: str) -> str:
+    """Coinhive-style 32-char site key."""
+    return hashlib.sha256(seed.encode("utf-8")).hexdigest()[:32].upper()
+
+
+@dataclass
+class CoinhiveService:
+    """The service tying users, pool, endpoints, and obfuscation together."""
+
+    chain: Blockchain
+    mempool: Mempool = field(default_factory=Mempool)
+    obfuscator: BlobObfuscator = field(default_factory=BlobObfuscator)
+    num_backends: int = NUM_BACKENDS
+    share_difficulty: int = 16
+    fee_percent: int = 30
+    pool: PoolServer = field(default=None)  # type: ignore[assignment]
+    users: dict = field(default_factory=dict)
+    _endpoint_backend: dict = field(default_factory=dict)
+    _last_refresh: dict = field(default_factory=dict)
+    _connection_counter: int = 0
+    outage_windows: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.pool is None:
+            self.pool = PoolServer(
+                name="coinhive",
+                chain=self.chain,
+                mempool=self.mempool,
+                num_backends=self.num_backends,
+                share_difficulty=self.share_difficulty,
+                fee_percent=self.fee_percent,
+                blob_transform=self.obfuscator.apply,
+            )
+        for backend in range(self.num_backends):
+            for slot in range(ENDPOINTS_PER_BACKEND):
+                endpoint = self.endpoint_name(backend * ENDPOINTS_PER_BACKEND + slot + 1)
+                self._endpoint_backend[endpoint] = backend
+
+    # -- endpoints -------------------------------------------------------------
+
+    @staticmethod
+    def endpoint_name(index: int) -> str:
+        """``wss://ws<N>.coinhive.com/proxy`` for N in 1..32."""
+        return f"wss://ws{index}.coinhive.com/proxy"
+
+    def endpoints(self) -> list:
+        def index_of(endpoint: str) -> int:
+            host = endpoint.split("://", 1)[1]
+            return int(host.split(".")[0].lstrip("ws"))
+
+        return sorted(self._endpoint_backend, key=index_of)
+
+    def backend_for(self, endpoint: str) -> int:
+        try:
+            return self._endpoint_backend[endpoint]
+        except KeyError:
+            raise KeyError(f"unknown endpoint {endpoint!r}") from None
+
+    # -- accounts ----------------------------------------------------------------
+
+    def register_user(self, label: str, kind: str = "website") -> CoinhiveUser:
+        token = make_token(f"{kind}/{label}")
+        user = CoinhiveUser(token=token, label=label, kind=kind)
+        self.users[token] = user
+        return user
+
+    # -- availability (Figure 5's outages) ----------------------------------------
+
+    def add_outage(self, start: float, end: float) -> None:
+        """Service outage window (the paper observed one on 6–7 May 2018)."""
+        if end <= start:
+            raise ValueError("outage window must have positive length")
+        self.outage_windows.append((start, end))
+
+    def is_down(self, now: float) -> bool:
+        return any(start <= now < end for start, end in self.outage_windows)
+
+    # -- job distribution -----------------------------------------------------------
+
+    def _maybe_refresh(self, backend: int, now: float) -> None:
+        last = self._last_refresh.get(backend)
+        if last is None or now - last >= TEMPLATE_REFRESH_SECONDS:
+            self.pool.refresh_backend(backend, now)
+            self._last_refresh[backend] = now
+
+    def pow_input_for_endpoint(self, endpoint: str, now: float) -> bytes:
+        """The (obfuscated) job blob a miner polling ``endpoint`` receives.
+
+        This is the surface the paper's :class:`~repro.core.
+        pool_association.PoolObserver` measures. Raises ``RuntimeError``
+        during outages.
+        """
+        if self.is_down(now):
+            raise RuntimeError("coinhive service unavailable")
+        backend = self.backend_for(endpoint)
+        self._maybe_refresh(backend, now)
+        self._connection_counter += 1
+        connection_id = f"observer-{self._connection_counter}"
+        self.pool.handle_login(connection_id, "anonymous-observer")
+        job = self.pool.get_job(connection_id, backend, now)
+        return job.blob
+
+    def on_new_block(self, now: float) -> None:
+        """Chain advanced: all backends rebuild on next poll."""
+        self.pool.on_new_block(now)
+        for backend in range(self.num_backends):
+            self._last_refresh[backend] = now
+
+    # -- websocket protocol endpoint (for browser-driven miners) ---------------------
+
+    def websocket_handler(self, endpoint: str):
+        """A ``(channel, payload)`` handler speaking the pool protocol.
+
+        Wire this into :meth:`repro.web.http.SyntheticWeb.register_ws` for
+        each endpoint URL so in-browser miners reach the real pool.
+        """
+        backend = self.backend_for(endpoint)
+
+        def handler(channel, payload: str) -> None:
+            now = channel.loop.now
+            if self.is_down(now):
+                channel.close()
+                return
+            try:
+                message = decode_message(payload)
+            except Exception:
+                return
+            connection_id = f"ws-{id(channel)}"
+            if isinstance(message, LoginMessage):
+                if not message.token:
+                    channel.server_send(encode_message(BannedMessage(reason="invalid token")))
+                    # close only after the ban frame has flushed to the client
+                    channel.loop.call_later(channel.latency * 2, channel.close)
+                    return
+                self.pool.handle_login(connection_id, message.token)
+                channel.server_send(
+                    encode_message(AuthedMessage(token=message.token, hashes=0))
+                )
+                self._maybe_refresh(backend, now)
+                job = self.pool.get_job(connection_id, backend, now)
+                channel.server_send(encode_message(self.pool.job_message(job)))
+            elif isinstance(message, SubmitMessage):
+                result = self.pool.handle_submit(
+                    connection_id, message.job_id, message.nonce, now
+                )
+                channel.server_send(encode_message(result))
+
+        return handler
+
+    def register_endpoints(self, web) -> None:
+        """Register all 32 endpoints on a :class:`SyntheticWeb`."""
+        for endpoint in self.endpoints():
+            web.register_ws(endpoint, self.websocket_handler(endpoint))
+
+    # -- economics --------------------------------------------------------------------
+
+    def total_mined_atomic(self) -> int:
+        return sum(block.reward() for block in self.pool.blocks_mined)

@@ -1,0 +1,163 @@
+"""The cnhv.co short-link forwarding service (Section 4.1).
+
+A short link is an alphanumeric ID under ``https://cnhv.co/``. Visiting it
+serves a page that mines until the creator-configured number of hashes has
+been submitted, then redirects to the original target. Properties the
+paper measured and we reproduce:
+
+- IDs are assigned *incrementally* over the ``[a-z0-9]`` alphabet — the
+  enumerability that made the study possible,
+- the redirection page embeds the creator's token and the required hash
+  count (both parseable by a crawler),
+- required hashes range from 2^8 up to absurd 10^19 values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+BASE = len(ALPHABET)
+_CHAR_INDEX = {char: i for i, char in enumerate(ALPHABET)}
+
+
+def index_to_id(index: int) -> str:
+    """Map a 0-based creation index to its short-link ID.
+
+    IDs enumerate all 1-character strings, then all 2-character strings,
+    and so on (``a``…``9``, ``aa``…``99``, ``aaa``…), matching the
+    observed ``https://cnhv.co/[a-z0-9]+`` growth.
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    length = 1
+    span = BASE
+    remaining = index
+    while remaining >= span:
+        remaining -= span
+        length += 1
+        span *= BASE
+    chars = []
+    for _ in range(length):
+        chars.append(ALPHABET[remaining % BASE])
+        remaining //= BASE
+    return "".join(reversed(chars))
+
+
+def id_to_index(link_id: str) -> int:
+    """Inverse of :func:`index_to_id`; raises :class:`ValueError`."""
+    if not link_id:
+        raise ValueError("empty link id")
+    value = 0
+    for char in link_id:
+        if char not in _CHAR_INDEX:
+            raise ValueError(f"invalid character {char!r} in link id")
+        value = value * BASE + _CHAR_INDEX[char]
+    offset = 0
+    span = BASE
+    for _ in range(len(link_id) - 1):
+        offset += span
+        span *= BASE
+    return offset + value
+
+
+@dataclass
+class ShortLink:
+    """One created link."""
+
+    link_id: str
+    token: str               # creator's Coinhive token
+    target_url: str
+    required_hashes: int
+    hashes_done: int = 0
+    visits: int = 0
+
+    @property
+    def resolved(self) -> bool:
+        return self.hashes_done >= self.required_hashes
+
+    @property
+    def url(self) -> str:
+        return f"https://cnhv.co/{self.link_id}"
+
+
+@dataclass
+class ShortLinkService:
+    """Creation, serving, and hash accounting for cnhv.co."""
+
+    links: list = field(default_factory=list)
+    _by_id: dict = field(default_factory=dict)
+
+    def create(self, token: str, target_url: str, required_hashes: int) -> ShortLink:
+        if required_hashes < 1:
+            raise ValueError("required_hashes must be positive")
+        link_id = index_to_id(len(self.links))
+        link = ShortLink(
+            link_id=link_id,
+            token=token,
+            target_url=target_url,
+            required_hashes=required_hashes,
+        )
+        self.links.append(link)
+        self._by_id[link_id] = link
+        return link
+
+    def get(self, link_id: str) -> Optional[ShortLink]:
+        return self._by_id.get(link_id)
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    # -- the visitor-facing flow ---------------------------------------------------
+
+    def landing_page(self, link_id: str) -> Optional[str]:
+        """The redirection HTML document served at ``cnhv.co/<id>``.
+
+        Embeds the creator token and the hash goal — exactly the two fields
+        the paper's enumeration crawler extracted.
+        """
+        link = self._by_id.get(link_id)
+        if link is None:
+            return None
+        return (
+            "<html><head><title>Loading...</title>"
+            '<script src="https://coinhive.com/lib/coinhive.min.js"></script>'
+            "</head><body>"
+            '<div class="progress" id="progress"></div>'
+            "<script>"
+            f'var miner = new CoinHive.User("{link.token}", "cnhv", '
+            f"{{goal: {link.required_hashes}}});miner.start();"
+            "</script>"
+            "</body></html>"
+        )
+
+    def submit_hashes(self, link_id: str, count: int) -> Optional[str]:
+        """Credit ``count`` hashes to ``link_id``.
+
+        Returns the target URL once the goal is reached, else None —
+        mirroring the service returning the original link only when the
+        progress bar fills.
+        """
+        if count < 0:
+            raise ValueError("hash count must be non-negative")
+        link = self._by_id.get(link_id)
+        if link is None:
+            raise KeyError(f"no such short link {link_id!r}")
+        link.hashes_done += count
+        if link.resolved:
+            return link.target_url
+        return None
+
+    def visit(self, link_id: str) -> Optional[ShortLink]:
+        link = self._by_id.get(link_id)
+        if link is not None:
+            link.visits += 1
+        return link
+
+    # -- enumeration surface (what the paper crawled) ---------------------------------
+
+    def enumerate_ids(self, max_chars: int = 4) -> list:
+        """All assigned IDs up to ``max_chars`` characters, in ID order."""
+        limit = sum(BASE**n for n in range(1, max_chars + 1))
+        return [link.link_id for link in self.links[:limit]]

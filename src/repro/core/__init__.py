@@ -1,0 +1,38 @@
+"""The paper's methodological contributions.
+
+- :mod:`repro.core.nocoin` — an Adblock-syntax filter engine plus a bundled
+  NoCoin-style list (the baseline detector of Section 3.1).
+- :mod:`repro.core.signatures` — Wasm fingerprinting: SHA-256 over function
+  bodies combined in strict order, plus the signature database.
+- :mod:`repro.core.features` — instruction-mix feature extraction
+  (XOR/shift/load counts, function-name hints).
+- :mod:`repro.core.classifier` — miner/non-miner classification from
+  signatures, features, and WebSocket backends.
+- :mod:`repro.core.detector` — the combined page-level detection pipeline
+  used in the crawls (NoCoin × Wasm signatures, Table 2).
+- :mod:`repro.core.pool_association` — the blockchain pool-association
+  methodology of Section 4.2.
+"""
+
+from repro.core.nocoin import FilterList, FilterRule, default_nocoin_list
+from repro.core.signatures import SignatureDatabase, wasm_signature
+from repro.core.features import WasmFeatures, extract_features
+from repro.core.classifier import MinerClassifier, Classification
+from repro.core.detector import PageDetector, DetectionReport
+from repro.core.pool_association import PoolObserver, BlockAttributor
+
+__all__ = [
+    "FilterList",
+    "FilterRule",
+    "default_nocoin_list",
+    "SignatureDatabase",
+    "wasm_signature",
+    "WasmFeatures",
+    "extract_features",
+    "MinerClassifier",
+    "Classification",
+    "PageDetector",
+    "DetectionReport",
+    "PoolObserver",
+    "BlockAttributor",
+]

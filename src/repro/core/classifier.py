@@ -1,0 +1,131 @@
+"""Miner classification.
+
+Decision cascade, mirroring the paper's manual workflow made mechanical:
+
+1. **Signature lookup** — a known assembly is classified by its database
+   record (the common case once the catalogue is built).
+2. **Name hints** — unknown modules exporting ``cryptonight``/``keccak``/
+   …-flavoured names are miners of family "unknown" (the paper's
+   "function name hinting at the hash function itself").
+3. **Instruction-mix heuristic** — unknown, stripped modules: high
+   XOR+shift+rotate density with near-zero float use and a scratchpad-sized
+   memory is the CryptoNight profile.
+4. **WebSocket-backend matching** — the paper categorized several
+   assemblies "through their Websocket communication backend"; pages whose
+   Wasm stays unknown but which talk to a known mining backend are
+   classified by that backend (and genuinely unknown backends become the
+   paper's ``UnknownWSS`` class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.features import WasmFeatures, extract_features
+from repro.core.signatures import SignatureDatabase
+from repro.wasm.decoder import WasmDecodeError
+
+#: WebSocket URL substrings → family, the "communication backend" feature.
+KNOWN_BACKENDS: tuple = (
+    ("coinhive.com", "coinhive"),
+    ("authedmine.com", "authedmine"),
+    ("crypto-loot.com", "cryptoloot"),
+    ("skencituer.com", "skencituer"),
+    ("web.stati.bid", "web.stati.bid"),
+    ("freecontent.date", "freecontent.date"),
+    ("webminepool.com", "notgiven688"),
+    ("wp-monero-miner.de", "wp-monero"),
+    ("jsminer.example", "jsminer"),
+)
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of classifying one Wasm dump (plus page context)."""
+
+    is_miner: bool
+    family: str
+    method: str  # signature | name-hint | instruction-mix | backend | none
+    confidence: float
+    features: Optional[WasmFeatures] = None
+
+
+@dataclass
+class MinerClassifier:
+    """The cascade classifier.
+
+    Thresholds follow the CryptoNight workload profile: the real miner
+    kernels are integer-only (float density ≈ 0), bit-operation dense, and
+    need a multi-page scratchpad. ``compression``-style code is the hard
+    negative: non-trivial XOR/shift density but small memory and no rotates.
+    """
+
+    database: SignatureDatabase = field(default_factory=SignatureDatabase)
+    min_bitop_density: float = 0.09
+    max_float_density: float = 0.02
+    min_memory_pages: int = 16
+    min_rotate_count: int = 4
+
+    def classify_wasm(self, wasm_bytes: bytes, websocket_urls: tuple = ()) -> Classification:
+        """Classify one captured module; ``websocket_urls`` give page context."""
+        record = self.database.lookup(wasm_bytes)
+        if record is not None:
+            return Classification(
+                is_miner=record.is_miner,
+                family=record.family,
+                method="signature",
+                confidence=1.0,
+            )
+        try:
+            features = extract_features(wasm_bytes)
+        except WasmDecodeError:
+            return Classification(False, "invalid", "none", 0.0)
+
+        if features.has_hash_names():
+            return Classification(
+                True,
+                self._family_from_backends(websocket_urls) or "unknown-miner",
+                "name-hint",
+                0.9,
+                features,
+            )
+
+        if self._mix_says_miner(features):
+            backend_family = self._family_from_backends(websocket_urls)
+            if backend_family is not None:
+                return Classification(True, backend_family, "backend", 0.85, features)
+            if websocket_urls:
+                return Classification(True, "unknown-wss", "instruction-mix", 0.75, features)
+            return Classification(True, "unknown-miner", "instruction-mix", 0.6, features)
+
+        return Classification(False, "benign", "instruction-mix", 0.7, features)
+
+    def classify_page(self, wasm_dumps, websocket_urls: tuple = ()) -> list:
+        """Classify every Wasm dump of one page visit."""
+        return [self.classify_wasm(dump, websocket_urls) for dump in wasm_dumps]
+
+    def page_is_miner(self, wasm_dumps, websocket_urls: tuple = ()) -> Optional[Classification]:
+        """The first miner classification on a page, or None."""
+        for classification in self.classify_page(wasm_dumps, websocket_urls):
+            if classification.is_miner:
+                return classification
+        return None
+
+    # -- internals -----------------------------------------------------------------
+
+    def _mix_says_miner(self, features: WasmFeatures) -> bool:
+        return (
+            features.bitop_density >= self.min_bitop_density
+            and features.float_density <= self.max_float_density
+            and features.memory_pages >= self.min_memory_pages
+            and features.rotate_count >= self.min_rotate_count
+        )
+
+    @staticmethod
+    def _family_from_backends(websocket_urls) -> Optional[str]:
+        for url in websocket_urls:
+            for needle, family in KNOWN_BACKENDS:
+                if needle in url:
+                    return family
+        return None

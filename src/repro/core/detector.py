@@ -1,0 +1,135 @@
+"""The combined page-level detection pipeline.
+
+Ties the two detectors together the way the paper's evaluation does
+(Table 2): for every visited page, record
+
+- whether the NoCoin list matches the page's script tags (on static zgrab
+  HTML and/or on the browser's post-execution HTML),
+- whether any captured Wasm is classified as a miner (signature/feature
+  cascade),
+
+and expose the cross-tabulation (blocked-by / missed-by) plus per-family
+tallies for Table 1 and Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.classifier import Classification, MinerClassifier
+from repro.core.nocoin import FilterList, default_nocoin_list
+from repro.web.html import extract_scripts
+
+
+@dataclass
+class DetectionReport:
+    """Detection outcome for one page."""
+
+    domain: str
+    nocoin_hit: bool = False
+    nocoin_rule_labels: tuple = ()
+    wasm_present: bool = False
+    miner: Optional[Classification] = None
+    websocket_urls: tuple = ()
+    status: str = "ok"
+
+    @property
+    def is_miner(self) -> bool:
+        return self.miner is not None and self.miner.is_miner
+
+    @property
+    def miner_family(self) -> Optional[str]:
+        return self.miner.family if self.is_miner else None
+
+    @property
+    def nocoin_false_positive(self) -> bool:
+        """NoCoin fired but no mining Wasm ran on the page."""
+        return self.nocoin_hit and not self.is_miner
+
+    @property
+    def nocoin_false_negative(self) -> bool:
+        """A miner ran but NoCoin stayed silent — the paper's headline gap."""
+        return self.is_miner and not self.nocoin_hit
+
+
+@dataclass
+class PageDetector:
+    """Applies both detectors to crawl artifacts."""
+
+    nocoin: FilterList = field(default_factory=default_nocoin_list)
+    classifier: MinerClassifier = field(default_factory=MinerClassifier)
+
+    def detect_static(self, domain: str, html: str) -> DetectionReport:
+        """NoCoin-only detection on zgrab HTML (the Section 3.1 pipeline)."""
+        report = DetectionReport(domain=domain)
+        self._apply_nocoin(report, html)
+        return report
+
+    def detect_page(self, domain: str, page_result) -> DetectionReport:
+        """Full detection on a browser visit (the Section 3.2 pipeline)."""
+        report = DetectionReport(domain=domain, status=page_result.status)
+        if page_result.status == "error":
+            report.status = "error"
+            return report
+        self._apply_nocoin(report, page_result.final_html)
+        report.websocket_urls = tuple(sorted(page_result.websocket_urls()))
+        report.wasm_present = page_result.has_wasm()
+        if report.wasm_present:
+            report.miner = self.classifier.page_is_miner(
+                page_result.wasm_dumps, report.websocket_urls
+            )
+        return report
+
+    def _apply_nocoin(self, report: DetectionReport, html: str) -> None:
+        hits = self.nocoin.match_scripts(extract_scripts(html))
+        if hits:
+            report.nocoin_hit = True
+            report.nocoin_rule_labels = tuple(
+                dict.fromkeys(rule.label or rule.raw for rule in hits)
+            )
+
+
+@dataclass
+class CrossTabulation:
+    """Table 2's numbers for one dataset."""
+
+    nocoin_hits: int = 0
+    nocoin_hits_with_miner_wasm: int = 0
+    wasm_miner_hits: int = 0
+    miners_blocked_by_nocoin: int = 0
+    miners_missed_by_nocoin: int = 0
+
+    @property
+    def missed_fraction(self) -> float:
+        if self.wasm_miner_hits == 0:
+            return 0.0
+        return self.miners_missed_by_nocoin / self.wasm_miner_hits
+
+    @property
+    def detection_factor(self) -> float:
+        """How many × more miners the signature method finds than NoCoin∩Wasm.
+
+        The paper's headline: "up to a factor of 5.7 more miners than
+        publicly available block lists".
+        """
+        if self.miners_blocked_by_nocoin == 0:
+            return float("inf") if self.wasm_miner_hits else 0.0
+        return self.wasm_miner_hits / self.miners_blocked_by_nocoin
+
+
+def cross_tabulate(reports) -> CrossTabulation:
+    """Aggregate per-page reports into Table 2's cross-tabulation."""
+    tab = CrossTabulation()
+    for report in reports:
+        if report.nocoin_hit:
+            tab.nocoin_hits += 1
+            if report.is_miner:
+                tab.nocoin_hits_with_miner_wasm += 1
+        if report.is_miner:
+            tab.wasm_miner_hits += 1
+            if report.nocoin_hit:
+                tab.miners_blocked_by_nocoin += 1
+            else:
+                tab.miners_missed_by_nocoin += 1
+    return tab

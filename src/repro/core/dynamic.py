@@ -1,0 +1,173 @@
+"""Execution-based miner detection (extension of the paper's method).
+
+The paper's instruction-mix features are *static*: they count XOR/shift/
+load instructions in the binary. A miner author can game static counts by
+padding modules with float-heavy dead code — the counts change, the
+executed behaviour does not. This module runs the module in the
+:mod:`repro.wasm.interp` interpreter and counts what actually executes,
+which is robust against dead-code padding (and is how later academic work,
+e.g. MineSweeper's CPU-cache profiling, hardened the idea).
+
+``benchmarks/bench_ext_dynamic_detection.py`` compares static and dynamic
+classification on a dead-code-padded corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.features import WasmFeatures
+from repro.wasm import opcodes
+from repro.wasm.decoder import WasmDecodeError, decode_module
+from repro.wasm.interp import FuelExhausted, Instance, WasmTrap
+from repro.wasm.types import Instr, Module
+
+
+@dataclass
+class _CountingInstance(Instance):
+    """An interpreter instance that tallies executed instruction groups."""
+
+    counts: dict = field(default_factory=lambda: {
+        "total": 0, "xor": 0, "shift": 0, "rotate": 0,
+        "load": 0, "store": 0, "float": 0,
+    })
+
+    def _execute_simple(self, instr: Instr, stack: list, locals_: list) -> None:
+        counts = self.counts
+        counts["total"] += 1
+        name = instr.name
+        if name in opcodes.XOR_OPS:
+            counts["xor"] += 1
+        elif name in opcodes.SHIFT_OPS:
+            counts["shift"] += 1
+        elif name in opcodes.ROTATE_OPS:
+            counts["rotate"] += 1
+        elif name in opcodes.LOAD_OPS:
+            counts["load"] += 1
+        elif name in opcodes.STORE_OPS:
+            counts["store"] += 1
+        elif name in opcodes.FLOAT_OPS:
+            counts["float"] += 1
+        super()._execute_simple(instr, stack, locals_)
+
+
+@dataclass(frozen=True)
+class DynamicProfile:
+    """Executed-instruction profile of one module."""
+
+    executed: int
+    xor_density: float
+    shift_density: float
+    rotate_count: int
+    load_density: float
+    float_density: float
+    memory_pages: int
+    completed: bool  # False when every export trapped/exhausted fuel
+
+
+def profile_execution(
+    module_or_bytes, iterations: int = 64, fuel: int = 400_000
+) -> DynamicProfile:
+    """Run every exported function and profile what executes.
+
+    ``iterations`` seeds the first i32 parameter — our corpus kernels (and
+    real mining kernels) take a work-count-like argument, so this drives
+    the hot loop. Traps and fuel exhaustion are tolerated per export; a
+    fuel-exhausted kernel still contributes its executed counts (an
+    infinite hashing loop is itself a signal).
+    """
+    if isinstance(module_or_bytes, (bytes, bytearray)):
+        module = decode_module(bytes(module_or_bytes))
+    elif isinstance(module_or_bytes, Module):
+        module = module_or_bytes
+    else:
+        raise TypeError(f"expected Module or bytes, got {type(module_or_bytes).__name__}")
+
+    instance = _CountingInstance(module, fuel=fuel)
+    ran_any = False
+    for export in module.exports:
+        if export.kind != 0:
+            continue
+        functype = instance._type_of(export.index)
+        args = []
+        for i, _param in enumerate(functype.params):
+            args.append(iterations if i == 0 else 7 + i)
+        try:
+            instance.invoke_index(export.index, *args)
+            ran_any = True
+        except FuelExhausted:
+            ran_any = True
+        except WasmTrap:
+            continue
+
+    counts = instance.counts
+    total = max(1, counts["total"])
+    memory_pages = module.memories[0].minimum if module.memories else 0
+    return DynamicProfile(
+        executed=counts["total"],
+        xor_density=counts["xor"] / total,
+        shift_density=counts["shift"] / total,
+        rotate_count=counts["rotate"],
+        load_density=counts["load"] / total,
+        float_density=counts["float"] / total,
+        memory_pages=memory_pages,
+        completed=ran_any,
+    )
+
+
+@dataclass
+class DynamicMinerDetector:
+    """Classifies by executed instruction mix.
+
+    Thresholds parallel :class:`~repro.core.classifier.MinerClassifier`'s
+    static ones but apply to the executed stream, where the miner's hot
+    loop dominates regardless of what dead code surrounds it.
+    """
+
+    min_bitop_density: float = 0.08
+    max_float_density: float = 0.05
+    min_memory_pages: int = 16
+    min_rotate_count: int = 4
+    min_executed: int = 200
+
+    def is_miner(self, module_or_bytes) -> bool:
+        try:
+            profile = profile_execution(module_or_bytes)
+        except (WasmDecodeError, WasmTrap):
+            return False
+        if not profile.completed or profile.executed < self.min_executed:
+            return False
+        bitops = profile.xor_density + profile.shift_density
+        return (
+            bitops >= self.min_bitop_density
+            and profile.float_density <= self.max_float_density
+            and profile.memory_pages >= self.min_memory_pages
+            and profile.rotate_count >= self.min_rotate_count
+        )
+
+
+def pad_with_dead_code(wasm_bytes: bytes, float_functions: int = 6) -> bytes:
+    """Adversarial transform: append never-called float-heavy functions.
+
+    Inflates the module's *static* float counts (confusing a static
+    instruction-mix classifier) while executed behaviour is unchanged —
+    the padded functions are not exported and never called.
+    """
+    from repro.wasm.encoder import encode_module
+    from repro.wasm.types import CodeEntry, FuncType, ValType
+
+    module = decode_module(wasm_bytes)
+    type_index = len(module.types)
+    module.types = list(module.types) + [FuncType((), (ValType.F64,))]
+    for i in range(float_functions):
+        body = []
+        for j in range(120):
+            body.append(Instr("f64.const", (float(i + 1),)))
+            body.append(Instr("f64.const", (float(j + 2),)))
+            body.append(Instr("f64.mul"))
+            body.append(Instr("drop"))
+        body.append(Instr("f64.const", (0.0,)))
+        body.append(Instr("end"))
+        module.func_type_indices.append(type_index)
+        module.codes.append(CodeEntry(body=body))
+    return encode_module(module)

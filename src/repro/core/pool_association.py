@@ -1,0 +1,196 @@
+"""Blockchain pool association (Section 4.2 of the paper).
+
+The method: join the pool as a miner and request fresh PoW inputs every
+500 ms from every endpoint. Cluster inputs by their previous-block pointer.
+When the chain advances, compare each clustered input's Merkle root with
+the Merkle root of the block actually mined on that parent: a match proves
+the block was mined from that pool's template, because the first Merkle
+leaf is the pool's own coinbase — "we could never by accident see a Merkle
+tree root of another miner in the PoW input".
+
+Classes:
+
+- :class:`PoolObserver` — the polling client (with optional blob
+  de-transformation for pools that obfuscate, as Coinhive does).
+- :class:`BlockAttributor` — the chain-side matching.
+- :class:`NetworkEstimator` — blocks/day → pool share → hash rate → users,
+  the arithmetic behind Table 6 and the in-text estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.blockchain.chain import Blockchain
+from repro.pool.jobs import parse_blob
+
+
+@dataclass(frozen=True)
+class PowObservation:
+    """One polled PoW input, parsed."""
+
+    endpoint: str
+    seen_at: float
+    prev_id: bytes
+    merkle_root: bytes
+    num_txs: int
+
+
+@dataclass
+class PoolObserver:
+    """Polls pool endpoints for PoW inputs and clusters them.
+
+    Parameters
+    ----------
+    fetch_input:
+        ``fetch_input(endpoint, now) -> bytes`` returning the raw job blob
+        a miner would receive from that endpoint.
+    endpoints:
+        Endpoint identifiers to poll (Coinhive: 32).
+    poll_interval:
+        Seconds between polls per endpoint (paper: 0.5).
+    detransform:
+        Optional blob de-obfuscation (the reverse-engineered XOR).
+    """
+
+    fetch_input: Callable[[str, float], bytes]
+    endpoints: list
+    poll_interval: float = 0.5
+    detransform: Optional[Callable[[bytes], bytes]] = None
+    observations: list = field(default_factory=list)
+    #: prev_id → {merkle_root, ...}
+    clusters: dict = field(default_factory=dict)
+    #: (prev_id, endpoint) → {merkle_root, ...}
+    per_endpoint_clusters: dict = field(default_factory=dict)
+    polls: int = 0
+    failures: int = 0
+
+    def poll_once(self, now: float) -> list:
+        """Poll every endpoint once; returns new observations."""
+        new: list[PowObservation] = []
+        for endpoint in self.endpoints:
+            self.polls += 1
+            try:
+                blob = self.fetch_input(endpoint, now)
+            except Exception:
+                self.failures += 1
+                continue
+            if self.detransform is not None:
+                blob = self.detransform(blob)
+            try:
+                _header, prev_id, _nonce, merkle_root, num_txs = parse_blob(blob)
+            except Exception:
+                self.failures += 1
+                continue
+            observation = PowObservation(
+                endpoint=endpoint,
+                seen_at=now,
+                prev_id=prev_id,
+                merkle_root=merkle_root,
+                num_txs=num_txs,
+            )
+            new.append(observation)
+            self.observations.append(observation)
+            self.clusters.setdefault(prev_id, set()).add(merkle_root)
+            self.per_endpoint_clusters.setdefault((prev_id, endpoint), set()).add(merkle_root)
+        return new
+
+    def run(self, loop, duration: float) -> None:
+        """Poll on the event loop for ``duration`` simulated seconds."""
+        end = loop.now + duration
+
+        def tick() -> None:
+            self.poll_once(loop.now)
+            if loop.now + self.poll_interval <= end:
+                loop.call_later(self.poll_interval, tick)
+
+        tick()
+        loop.run_until(end)
+
+    # -- the paper's endpoint-count observations ---------------------------------
+
+    def max_inputs_per_endpoint(self) -> int:
+        """Paper: "we never obtain more than 8 different PoW inputs"."""
+        return max((len(roots) for roots in self.per_endpoint_clusters.values()), default=0)
+
+    def max_inputs_per_block(self) -> int:
+        """Paper: "at most 128 different PoW inputs per block" (32 endpoints)."""
+        return max((len(roots) for roots in self.clusters.values()), default=0)
+
+
+@dataclass(frozen=True)
+class AttributedBlock:
+    """A block proven to originate from the observed pool."""
+
+    height: int
+    timestamp: int
+    reward_atomic: int
+    merkle_root: bytes
+
+
+@dataclass
+class BlockAttributor:
+    """Matches observed PoW inputs against blocks on the chain."""
+
+    chain: Blockchain
+
+    def attribute(self, clusters: dict) -> list:
+        """All chain blocks whose Merkle root appears in ``clusters``.
+
+        ``clusters`` maps prev-block id → set of observed Merkle roots (as
+        built by :class:`PoolObserver`). For each cluster we look up the
+        block that extended that parent and compare roots.
+        """
+        attributed: list[AttributedBlock] = []
+        for prev_id, merkle_roots in clusters.items():
+            block = self.chain.block_after(prev_id)
+            if block is None:
+                continue  # parent never got extended on our chain view
+            if block.merkle_root() in merkle_roots:
+                height = self.chain.height_of(block)
+                attributed.append(
+                    AttributedBlock(
+                        height=height,
+                        timestamp=block.header.timestamp,
+                        reward_atomic=block.reward(),
+                        merkle_root=block.merkle_root(),
+                    )
+                )
+        attributed.sort(key=lambda blk: blk.height)
+        return attributed
+
+
+@dataclass
+class NetworkEstimator:
+    """Derives the paper's Section 4.2 quantities.
+
+    All methods are pure arithmetic over attributed-block counts and chain
+    difficulty, so they can be unit-tested against the paper's numbers
+    (8.5 blocks/day of 720 ⇒ 1.18%; 55.4 G difficulty ⇒ 462 MH/s; ×1.18%
+    ⇒ 5.5 MH/s; at 20–100 H/s per client ⇒ 292 K–58 K users).
+    """
+
+    block_target_seconds: int = 120
+
+    def blocks_per_day_network(self) -> float:
+        return 86400 / self.block_target_seconds
+
+    def pool_share(self, pool_blocks_per_day: float) -> float:
+        return pool_blocks_per_day / self.blocks_per_day_network()
+
+    def network_hashrate(self, difficulty: float) -> float:
+        return difficulty / self.block_target_seconds
+
+    def pool_hashrate(self, pool_blocks_per_day: float, difficulty: float) -> float:
+        return self.pool_share(pool_blocks_per_day) * self.network_hashrate(difficulty)
+
+    def users_required(self, pool_hashrate: float, per_user_rate: float) -> float:
+        if per_user_rate <= 0:
+            raise ValueError("per-user hash rate must be positive")
+        return pool_hashrate / per_user_rate
+
+    def monthly_revenue_usd(
+        self, xmr_mined: float, usd_per_xmr: float = 120.0
+    ) -> float:
+        return xmr_mined * usd_per_xmr

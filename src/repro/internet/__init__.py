@@ -1,0 +1,31 @@
+"""Synthetic internet populations.
+
+The paper crawls 138M real domains; we generate seeded populations whose
+*distributions* are calibrated to the paper's reported numbers while the
+sea of non-mining domains is scaled down (it contributes crawl time, not
+signal). See DESIGN.md §2 for the substitution argument and
+EXPERIMENTS.md for the calibration targets.
+
+- :mod:`repro.internet.distributions` — power laws, hash-requirement
+  mixtures, diurnal/holiday activity models.
+- :mod:`repro.internet.domains` — domain-name and zone generation.
+- :mod:`repro.internet.population` — website populations per dataset
+  (Alexa/.com/.net/.org) with miner deployments wired into a
+  :class:`~repro.web.http.SyntheticWeb`.
+- :mod:`repro.internet.shortlinks` — the cnhv.co link population
+  (creators, hash requirements, destinations).
+"""
+
+from repro.internet.domains import DomainGenerator
+from repro.internet.population import DatasetSpec, WebPopulation, build_population, DATASETS
+from repro.internet.shortlinks import ShortLinkPopulation, build_shortlink_population
+
+__all__ = [
+    "DomainGenerator",
+    "DatasetSpec",
+    "WebPopulation",
+    "build_population",
+    "DATASETS",
+    "ShortLinkPopulation",
+    "build_shortlink_population",
+]

@@ -1,0 +1,192 @@
+"""Miner deployment kits for all families.
+
+Coinhive/Authedmine deployments ride on the full
+:class:`~repro.coinhive.service.CoinhiveService`; the clone families
+(Cryptoloot, skencituer, web.stati.bid, …) get a lighter kit: their Wasm
+from the corpus, a family WebSocket endpoint speaking the same stratum-like
+protocol with canned jobs, and script tags in official or self-hosted
+flavour. The crawler cannot tell the difference — which is the point: the
+paper classified these families from exactly these observables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.block import BlockHeader, hashing_blob
+from repro.pool.protocol import (
+    JobMessage,
+    LoginMessage,
+    SubmitMessage,
+    SubmitResult,
+    decode_message,
+    encode_message,
+    target_hex_for_difficulty,
+)
+from repro.sim.rng import RngStream
+from repro.wasm.builder import FAMILY_PROFILES, ModuleBlueprint, WasmCorpusBuilder
+from repro.web.http import Resource, SyntheticWeb
+from repro.web.scripts import MinerBehavior, ScriptTag
+
+
+def _canned_blob(rng: RngStream) -> bytes:
+    """A structurally valid hashing blob for canned jobs."""
+    header = BlockHeader(
+        major=7,
+        minor=7,
+        timestamp=1526000000 + rng.randint(0, 10**6),
+        prev_id=rng.randbytes(32),
+        nonce=0,
+    )
+    return hashing_blob(header, rng.randbytes(32), rng.randint(1, 12))
+
+
+def make_canned_pool_handler(rng: RngStream, share_difficulty: int = 16):
+    """A WebSocket handler that speaks the pool protocol with canned jobs.
+
+    Stateless per frame: auth → job, submit → accepted. Enough for the
+    crawler-side observables (frames, backends); these pools' blocks are
+    not part of the chain experiments.
+    """
+
+    def handler(channel, payload: str) -> None:
+        try:
+            message = decode_message(payload)
+        except Exception:
+            return
+        if isinstance(message, LoginMessage):
+            blob = _canned_blob(rng)
+            job = JobMessage(
+                job_id=blob[:8].hex(),
+                blob_hex=blob.hex(),
+                target_hex=target_hex_for_difficulty(share_difficulty),
+            )
+            channel.server_send(encode_message(job))
+        elif isinstance(message, SubmitMessage):
+            channel.server_send(encode_message(SubmitResult(True)))
+
+    return handler
+
+
+@dataclass
+class FamilyMinerKit:
+    """Deployable assets for one non-Coinhive miner family."""
+
+    family: str
+    web: SyntheticWeb
+    rng: RngStream
+    corpus: WasmCorpusBuilder = field(default_factory=WasmCorpusBuilder)
+    num_endpoints: int = 4
+    _installed: bool = False
+    _wasm_urls: dict = field(default_factory=dict)
+
+    def profile(self):
+        return FAMILY_PROFILES[self.family]
+
+    def endpoint_url(self, index: int) -> str:
+        template = self.profile().backend
+        if template is None:
+            raise ValueError(f"family {self.family} has no backend")
+        return template % (index % self.num_endpoints + 1)
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        for i in range(self.num_endpoints):
+            self.web.register_ws(
+                self.endpoint_url(i), make_canned_pool_handler(self.rng.substream(f"pool{i}"))
+            )
+        self._installed = True
+
+    def _wasm_url_for(self, variant: int, host: Optional[str]) -> str:
+        if host is not None:
+            url = f"https://{host}/static/engine.wasm"
+        else:
+            base_host = self.endpoint_url(0).split("://", 1)[1].split("/")[0]
+            url = f"https://{base_host}/lib/proc-v{variant}.wasm"
+        if url not in self._wasm_urls:
+            self.web.register(
+                url,
+                Resource(
+                    content=self.corpus.build(ModuleBlueprint(self.family, variant)),
+                    content_type="application/wasm",
+                ),
+            )
+            self._wasm_urls[url] = variant
+        return url
+
+    def tags(
+        self,
+        token: str,
+        variant: int = 0,
+        self_host: Optional[str] = None,
+        endpoint_index: int = 0,
+        official_js: bool = False,
+    ) -> list:
+        """Script tags deploying this family on a site.
+
+        ``official_js=True`` uses a recognizable third-party script URL
+        (NoCoin-matchable when the family is listed); otherwise the loader
+        is first-party and only the Wasm/WebSocket give it away.
+        """
+        self.install()
+        wasm_url = self._wasm_url_for(variant, self_host)
+        behavior = MinerBehavior(
+            wasm_url=wasm_url,
+            socket_url=self.endpoint_url(endpoint_index),
+            token=token,
+        )
+        if official_js:
+            base_host = self.endpoint_url(0).split("://", 1)[1].split("/")[0]
+            js_url = f"https://{base_host}/lib/{self.family.replace('.', '-')}.min.js"
+            if js_url not in self._wasm_urls:
+                self.web.register(
+                    js_url, Resource(content=b"/*loader*/", content_type="text/javascript")
+                )
+                self._wasm_urls[js_url] = -1
+            return [
+                ScriptTag(src=js_url),
+                ScriptTag(inline=f"startMiner('{token}');", behavior=behavior),
+            ]
+        host = self_host or "cdn.site-assets.net"
+        js_url = f"https://{host}/js/app-{token[:6].lower()}.js"
+        self.web.register(js_url, Resource(content=b"/*app*/", content_type="text/javascript"))
+        return [
+            ScriptTag(src=js_url),
+            ScriptTag(inline=f"(function(){{init('{token}');}})();", behavior=behavior),
+        ]
+
+
+@dataclass
+class BenignWasmKit:
+    """Deploys non-mining Wasm (games, codecs, math) on sites."""
+
+    web: SyntheticWeb
+    corpus: WasmCorpusBuilder = field(default_factory=WasmCorpusBuilder)
+    _urls: dict = field(default_factory=dict)
+
+    def tags(self, family: str, variant: int, host: str) -> list:
+        from repro.web.scripts import BenignWasmBehavior
+
+        wasm_url = f"https://{host}/static/{family}-v{variant}.wasm"
+        if wasm_url not in self._urls:
+            self.web.register(
+                wasm_url,
+                Resource(
+                    content=self.corpus.build(ModuleBlueprint(family, variant)),
+                    content_type="application/wasm",
+                ),
+            )
+            self._urls[wasm_url] = variant
+        js_url = f"https://{host}/static/{family}-loader.js"
+        if js_url not in self._urls:
+            self.web.register(js_url, Resource(content=b"/*loader*/", content_type="text/javascript"))
+            self._urls[js_url] = -1
+        return [
+            ScriptTag(src=js_url),
+            ScriptTag(
+                inline=f"loadRuntime('{family}-v{variant}@{host}');",
+                behavior=BenignWasmBehavior(wasm_url=wasm_url),
+            ),
+        ]

@@ -1,0 +1,141 @@
+"""Distribution models used by the populations.
+
+Three families of distributions recur in the paper:
+
+- **power laws** — short links per token (Figure 3: one user owns 1/3 of
+  all links, ten users own 85%),
+- **hash-requirement mixtures** — mostly powers of two around 512–1024
+  with a far tail up to 10^19 (Figure 4),
+- **temporal activity** — block finds spread over the day with holiday
+  bumps and outage gaps (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sim.rng import RngStream
+
+
+def zipf_counts(total: int, num_users: int, alpha: float, rng: RngStream) -> list:
+    """Split ``total`` items over ``num_users`` with a Zipf rank law.
+
+    Returns per-rank counts (descending); remainder items land on rank 1.
+    """
+    if num_users < 1 or total < num_users:
+        raise ValueError("need total >= num_users >= 1")
+    weights = rng.zipf_rank_weights(num_users, alpha)
+    # everyone gets 1; the surplus spreads proportionally, remainder to rank 1
+    counts = [1] * num_users
+    surplus = total - num_users
+    allocated = 0
+    for i, weight in enumerate(weights):
+        extra = int(surplus * weight)
+        counts[i] += extra
+        allocated += extra
+    counts[0] += surplus - allocated
+    return counts
+
+
+def heavy_user_counts(
+    total: int,
+    rng: RngStream,
+    top1_share: float = 1 / 3,
+    top10_share: float = 0.85,
+    tail_users: int = 3000,
+    tail_alpha: float = 1.25,
+) -> list:
+    """Link counts per user matching Figure 3's concentration.
+
+    Rank 1 gets ``top1_share`` of all links; ranks 2–10 split
+    ``top10_share − top1_share``; the remaining links spread over
+    ``tail_users`` with a Zipf tail.
+    """
+    top1 = int(total * top1_share)
+    next9_total = int(total * (top10_share - top1_share))
+    next9_weights = rng.zipf_rank_weights(9, 1.1)
+    next9 = [max(1, int(next9_total * w)) for w in next9_weights]
+    tail_total = total - top1 - sum(next9)
+    tail_users = min(tail_users, max(1, tail_total))
+    tail = zipf_counts(tail_total, tail_users, tail_alpha, rng) if tail_total >= tail_users else [1] * tail_total
+    counts = [top1] + next9 + tail
+    # guard: exact total preserved
+    counts[0] += total - sum(counts)
+    return counts
+
+
+#: Hash-requirement values and their mixture weights for *typical* users.
+#: Powers of two dominate (UI presets); 1024 is the default preset.
+TYPICAL_HASH_CHOICES: tuple = (256, 512, 1024, 2048, 4096, 10240, 65536)
+TYPICAL_HASH_WEIGHTS: tuple = (0.08, 0.22, 0.38, 0.12, 0.08, 0.07, 0.05)
+
+#: The absurd maximum the paper found on hundreds of links: 10^19 hashes,
+#: "several billion years" at browser speed.
+MAX_HASHES = 10**19
+
+#: Mid-tail values (misconfigurations, millions of hashes).
+MISCONFIG_CHOICES: tuple = (10**6, 10**7, 10**9, 10**12, MAX_HASHES)
+MISCONFIG_WEIGHTS: tuple = (0.25, 0.2, 0.15, 0.1, 0.3)
+
+
+def draw_hash_requirement(rng: RngStream, misconfig_prob: float = 0.035) -> int:
+    """One link's required-hash count (typical preset or misconfiguration)."""
+    if rng.random() < misconfig_prob:
+        return rng.choices(MISCONFIG_CHOICES, MISCONFIG_WEIGHTS)[0]
+    return rng.choices(TYPICAL_HASH_CHOICES, TYPICAL_HASH_WEIGHTS)[0]
+
+
+@dataclass
+class DiurnalModel:
+    """Hour-of-day activity multipliers plus holiday/outage modulation.
+
+    ``hourly`` has 24 multipliers averaging 1.0. The paper found blocks
+    "throughout the whole day" — consistent with a *global* user base, so
+    the default profile is nearly flat with a mild evening bump.
+    """
+
+    hourly: Sequence[float] = field(
+        default_factory=lambda: tuple(
+            1.0 + 0.12 * math.sin((h - 14) / 24 * 2 * math.pi) for h in range(24)
+        )
+    )
+    #: UTC dates (year, month, day) with elevated activity and their factor.
+    holidays: dict = field(default_factory=dict)
+    #: (start_unix, end_unix) windows where activity is zero (outages).
+    outages: list = field(default_factory=list)
+
+    def factor(self, unix_time: float) -> float:
+        """Activity multiplier at ``unix_time`` (UTC)."""
+        for start, end in self.outages:
+            if start <= unix_time < end:
+                return 0.0
+        seconds_of_day = unix_time % 86400
+        hour = int(seconds_of_day // 3600) % 24
+        factor = self.hourly[hour]
+        day_key = _utc_date(unix_time)
+        factor *= self.holidays.get(day_key, 1.0)
+        return factor
+
+
+def _utc_date(unix_time: float) -> tuple:
+    import datetime as _dt
+
+    dt = _dt.datetime.fromtimestamp(unix_time, tz=_dt.timezone.utc)
+    return (dt.year, dt.month, dt.day)
+
+
+def paper_holiday_calendar() -> dict:
+    """The activity bumps the paper explains (Section 4.2, Figure 5).
+
+    30 Apr 2018 (pre-Labor-Day), 10 May (Ascension Day), 21–22 May
+    (Pentecost Monday / day after Pentecost) show more mined blocks.
+    """
+    return {
+        (2018, 4, 30): 1.5,
+        (2018, 5, 1): 1.3,
+        (2018, 5, 10): 1.5,
+        (2018, 5, 21): 1.4,
+        (2018, 5, 22): 1.4,
+    }

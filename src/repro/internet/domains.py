@@ -1,0 +1,75 @@
+"""Domain-name and zone generation.
+
+Names are built from category-flavoured fragments (so the RuleSpace
+stand-in can classify a calibrated fraction of them) plus opaque
+fragments (the unclassifiable remainder). Generation is seeded and
+collision-free within a generator instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rulespace.categories import CATEGORIES, BY_NAME
+from repro.sim.rng import RngStream
+
+_OPAQUE_SYLLABLES = (
+    "zor", "vex", "qua", "lyn", "dra", "pix", "nok", "thu", "bel", "ryn",
+    "kav", "mox", "jil", "wez", "fyr", "gos", "hap", "cid", "ulm", "eno",
+)
+
+_GENERIC_SUFFIXES = ("hub", "zone", "spot", "base", "site", "page", "now", "pro", "one", "go")
+
+
+@dataclass
+class DomainGenerator:
+    """Seeded generator of unique domain names."""
+
+    rng: RngStream
+    _used: set = field(default_factory=set)
+
+    def _unique(self, base: str, tld: str) -> str:
+        candidate = f"{base}.{tld}"
+        serial = 1
+        while candidate in self._used:
+            serial += 1
+            candidate = f"{base}{serial}.{tld}"
+        self._used.add(candidate)
+        return candidate
+
+    def opaque(self, tld: str) -> str:
+        """A name with no category signal (RuleSpace gets nothing)."""
+        parts = [self.rng.choice(_OPAQUE_SYLLABLES) for _ in range(self.rng.randint(2, 3))]
+        return self._unique("".join(parts), tld)
+
+    def categorized(self, category_name: str, tld: str) -> str:
+        """A name carrying one of the category's domain fragments."""
+        category = BY_NAME[category_name]
+        fragment = self.rng.choice(category.domain_fragments)
+        filler = self.rng.choice(_OPAQUE_SYLLABLES)
+        suffix = self.rng.choice(_GENERIC_SUFFIXES)
+        shapes = (
+            f"{fragment}{suffix}",
+            f"{filler}{fragment}",
+            f"{fragment}{filler}",
+            f"my{fragment}{suffix}",
+        )
+        return self._unique(self.rng.choice(shapes), tld)
+
+    def draw(self, tld: str, category_weights: Optional[dict] = None, classified_fraction: float = 0.7) -> tuple:
+        """Draw ``(domain, category_or_None)``.
+
+        With probability ``classified_fraction`` the name carries a category
+        fragment (drawn from ``category_weights`` or uniformly); otherwise
+        it is opaque.
+        """
+        if self.rng.random() >= classified_fraction:
+            return self.opaque(tld), None
+        if category_weights:
+            names = list(category_weights)
+            weights = [category_weights[n] for n in names]
+            category_name = self.rng.choices(names, weights)[0]
+        else:
+            category_name = self.rng.choice([c.name for c in CATEGORIES])
+        return self.categorized(category_name, tld), category_name

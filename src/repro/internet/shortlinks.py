@@ -1,0 +1,169 @@
+"""The cnhv.co short-link population (Section 4.1).
+
+Calibration targets from the paper:
+
+- 1,709,203 active links as of February 2018 (we default to 1/100 scale),
+- one heavy user owns 1/3 of all links; ten users own ~85% (Figure 3),
+- most links require ≤1024 hashes (<51 s at 20 H/s); a misconfigured tail
+  reaches 10^19 hashes (Figure 4),
+- the top-10 creators' links overwhelmingly target streaming/filesharing
+  hosts (Table 4: ~89% of their sampled URLs hit just ten domains),
+- the remaining users' destinations are categorically diverse, with ~1/3
+  unclassifiable (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.coinhive.service import CoinhiveService, make_token
+from repro.coinhive.shortlink import ShortLinkService
+from repro.internet.distributions import draw_hash_requirement, heavy_user_counts, MISCONFIG_CHOICES, MISCONFIG_WEIGHTS
+from repro.internet.domains import DomainGenerator
+from repro.rulespace.categories import CATEGORIES
+from repro.sim.rng import RngStream
+
+PAPER_TOTAL_LINKS = 1_709_203
+
+#: Destination hosts of the paper's Table 4 with their observed shares
+#: within the top-10 creators' samples.
+TOP_USER_DESTINATIONS: tuple = (
+    ("youtu.be", 0.20),
+    ("zippyshare.com", 0.10),
+    ("icerbox.com", 0.10),
+    ("hq-mirror.de", 0.10),
+    ("andyspeedracing.com", 0.10),
+    ("ftbucket.info", 0.099),
+    ("getcoinfree.com", 0.092),
+    ("ul.to", 0.042),
+    ("share-online.biz", 0.029),
+    ("oboom.com", 0.028),
+)
+_TOP_DEST_OTHER = 1.0 - sum(w for _, w in TOP_USER_DESTINATIONS)  # ≈11% long tail
+
+
+@dataclass
+class CreatorProfile:
+    """One short-link creator (token) with their habits."""
+
+    token: str
+    rank: int
+    num_links: int
+    is_heavy: bool
+    #: heavy users pick one preset for nearly all links (the 512-hash spike)
+    preferred_hashes: int = 1024
+
+
+@dataclass
+class ShortLinkPopulation:
+    """The built population: service plus ground truth."""
+
+    service: ShortLinkService
+    creators: list = field(default_factory=list)
+    scale: float = 0.01
+    seed: int = 2018
+
+    def links_per_token(self) -> dict:
+        counts: dict = {}
+        for link in self.service.links:
+            counts[link.token] = counts.get(link.token, 0) + 1
+        return counts
+
+    def top_tokens(self, n: int = 10) -> list:
+        counts = self.links_per_token()
+        return sorted(counts, key=counts.get, reverse=True)[:n]
+
+
+def build_shortlink_population(
+    seed: int = 2018,
+    scale: float = 0.01,
+    coinhive: Optional[CoinhiveService] = None,
+    service: Optional[ShortLinkService] = None,
+) -> ShortLinkPopulation:
+    """Generate the calibrated link population.
+
+    ``scale`` multiplies the paper's 1.7M link count. Creators are
+    registered as Coinhive users when a service is supplied.
+    """
+    rng = RngStream(seed, "shortlinks")
+    total_links = max(20, int(PAPER_TOTAL_LINKS * scale))
+    service = service if service is not None else ShortLinkService()
+    namer = DomainGenerator(rng.substream("destnames"))
+
+    counts = heavy_user_counts(
+        total_links, rng.substream("counts"), tail_users=max(10, int(3000 * (scale * 100) ** 0.5))
+    )
+    creators: list[CreatorProfile] = []
+    for rank, num_links in enumerate(counts, start=1):
+        token = make_token(f"shortlink-user-{rank}")
+        is_heavy = rank <= 10
+        profile = CreatorProfile(
+            token=token,
+            rank=rank,
+            num_links=num_links,
+            is_heavy=is_heavy,
+            preferred_hashes=rng.choices((512, 1024, 2048), (0.5, 0.35, 0.15))[0],
+        )
+        creators.append(profile)
+    if coinhive is not None:
+        from repro.coinhive.service import CoinhiveUser
+
+        for profile in creators:
+            coinhive.users[profile.token] = CoinhiveUser(
+                token=profile.token, label=f"shortlink-{profile.rank}", kind="shortlink"
+            )
+
+    dest_rng = rng.substream("destinations")
+    hash_rng = rng.substream("hashes")
+
+    # pre-built diverse destination pool for non-heavy users (Table 5 mix)
+    diverse_pool: list[str] = []
+    category_cycle = [c.name for c in CATEGORIES]
+    for i in range(max(50, total_links // 20)):
+        if dest_rng.random() < 0.34:
+            domain = namer.opaque("info")  # unclassifiable third
+        else:
+            domain, _ = namer.draw(
+                dest_rng.choice(("com", "net", "org", "to", "biz")),
+                {name: 1.0 for name in category_cycle},
+                classified_fraction=1.0,
+            )
+        diverse_pool.append(f"https://{domain}/page{i}")
+
+    creation_order: list[CreatorProfile] = []
+    for profile in creators:
+        creation_order.extend([profile] * profile.num_links)
+    rng.substream("order").shuffle(creation_order)
+
+    for profile in creation_order:
+        if profile.is_heavy:
+            target = _heavy_destination(dest_rng)
+            # heavy users: one preset for ~90% of links, occasional others
+            if hash_rng.random() < 0.9:
+                required = profile.preferred_hashes
+            else:
+                required = draw_hash_requirement(hash_rng)
+        else:
+            target = dest_rng.choice(diverse_pool)
+            required = draw_hash_requirement(hash_rng)
+            # the 1e19 links come from many different users (paper):
+            if hash_rng.random() < 0.004:
+                required = MISCONFIG_CHOICES[
+                    hash_rng.choices(range(len(MISCONFIG_CHOICES)), MISCONFIG_WEIGHTS)[0]
+                ]
+        service.create(profile.token, target, required)
+
+    return ShortLinkPopulation(service=service, creators=creators, scale=scale, seed=seed)
+
+
+def _heavy_destination(rng: RngStream) -> str:
+    """Draw a top-creator destination URL (Table 4 distribution)."""
+    roll = rng.random()
+    acc = 0.0
+    for host, share in TOP_USER_DESTINATIONS:
+        acc += share
+        if roll < acc:
+            return f"https://{host}/item{rng.randint(1, 99999)}"
+    # long tail: assorted other mirrors/boards
+    return f"https://mirror{rng.randint(1, 400)}.example.net/file{rng.randint(1, 99999)}"

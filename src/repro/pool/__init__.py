@@ -1,0 +1,45 @@
+"""Mining-pool substrate.
+
+A pool hands *jobs* (PoW inputs derived from its own block template) to
+miners, accepts *shares* (nonces meeting a lowered difficulty), and submits
+a block to the chain when a share happens to meet the network difficulty
+(Section 2 of the paper). Components:
+
+- :mod:`repro.pool.jobs` — block templates and jobs.
+- :mod:`repro.pool.protocol` — the stratum-like JSON message layer carried
+  over WebSockets.
+- :mod:`repro.pool.shares` — share validation and per-token accounting.
+- :mod:`repro.pool.server` — the pool server tying it together.
+- :mod:`repro.pool.payout` — proportional reward distribution with a pool
+  fee (Coinhive keeps 30%).
+"""
+
+from repro.pool.jobs import BlockTemplate, Job
+from repro.pool.protocol import (
+    JobMessage,
+    LoginMessage,
+    ProtocolError,
+    SubmitMessage,
+    SubmitResult,
+    decode_message,
+    encode_message,
+)
+from repro.pool.server import PoolServer
+from repro.pool.shares import ShareLedger, ShareValidator
+from repro.pool.payout import PayoutLedger
+
+__all__ = [
+    "BlockTemplate",
+    "Job",
+    "JobMessage",
+    "LoginMessage",
+    "ProtocolError",
+    "SubmitMessage",
+    "SubmitResult",
+    "decode_message",
+    "encode_message",
+    "PoolServer",
+    "ShareLedger",
+    "ShareValidator",
+    "PayoutLedger",
+]

@@ -1,0 +1,55 @@
+"""Reward distribution.
+
+Coinhive's model (Section 4 of the paper): the pool keeps 30% of each block
+reward and distributes 70% to users proportionally to the hashes they
+contributed. The ledger keeps atomic-unit integer arithmetic; rounding dust
+stays with the pool (as real pools do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PayoutLedger:
+    """Tracks balances for the pool operator and its users (tokens)."""
+
+    pool_fee_percent: int = 30
+    balances_atomic: dict = field(default_factory=dict)
+    pool_balance_atomic: int = 0
+    blocks_paid: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pool_fee_percent <= 100:
+            raise ValueError("pool fee must be a percentage")
+
+    def distribute_block(self, reward_atomic: int, hash_credits: dict) -> dict:
+        """Split one block reward over ``hash_credits`` (token → hashes).
+
+        Returns the per-token payout. With no credited hashes the entire
+        reward stays with the pool (idle pool still mines its own blocks).
+        """
+        if reward_atomic < 0:
+            raise ValueError("negative reward")
+        self.blocks_paid += 1
+        fee = reward_atomic * self.pool_fee_percent // 100
+        distributable = reward_atomic - fee
+        total_hashes = sum(hash_credits.values())
+        payouts: dict = {}
+        paid = 0
+        if total_hashes > 0:
+            for token, hashes in hash_credits.items():
+                amount = distributable * hashes // total_hashes
+                if amount:
+                    payouts[token] = amount
+                    self.balances_atomic[token] = self.balances_atomic.get(token, 0) + amount
+                    paid += amount
+        self.pool_balance_atomic += reward_atomic - paid
+        return payouts
+
+    def user_total_atomic(self) -> int:
+        return sum(self.balances_atomic.values())
+
+    def grand_total_atomic(self) -> int:
+        return self.pool_balance_atomic + self.user_total_atomic()

@@ -1,0 +1,202 @@
+"""Stratum-like pool protocol messages.
+
+Coinhive's web miner speaks a JSON protocol over WebSockets: ``auth`` with
+the site token, ``job`` notifications carrying the hex blob and target, and
+``submit`` with the found nonce. We reproduce that message layer so the
+instrumented browser's WebSocket capture contains realistic frames — the
+frames are one of the signals the detection pipeline (and the paper's
+"UnknownWSS" class) keys on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ProtocolError(ValueError):
+    """Raised for malformed or out-of-sequence protocol messages."""
+
+
+@dataclass(frozen=True)
+class LoginMessage:
+    """Miner → pool: authenticate with a site/user token."""
+
+    token: str
+    user_agent: str = "repro-miner/1.0"
+
+    TYPE = "auth"
+
+    def to_dict(self) -> dict:
+        return {"type": self.TYPE, "params": {"site_key": self.token, "user": self.user_agent}}
+
+
+@dataclass(frozen=True)
+class JobMessage:
+    """Pool → miner: a new job (hex blob + share target)."""
+
+    job_id: str
+    blob_hex: str
+    target_hex: str
+
+    TYPE = "job"
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.TYPE,
+            "params": {"job_id": self.job_id, "blob": self.blob_hex, "target": self.target_hex},
+        }
+
+
+@dataclass(frozen=True)
+class SubmitMessage:
+    """Miner → pool: a share (nonce + resulting hash) for a job."""
+
+    job_id: str
+    nonce: int
+    result_hex: str
+
+    TYPE = "submit"
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.TYPE,
+            "params": {
+                "job_id": self.job_id,
+                "nonce": f"{self.nonce:08x}",
+                "result": self.result_hex,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Pool → miner: share verdict."""
+
+    accepted: bool
+    reason: Optional[str] = None
+
+    TYPE = "submit_result"
+
+    def to_dict(self) -> dict:
+        out: dict = {"type": self.TYPE, "params": {"accepted": self.accepted}}
+        if self.reason is not None:
+            out["params"]["reason"] = self.reason
+        return out
+
+
+@dataclass(frozen=True)
+class AuthedMessage:
+    """Pool → miner: authentication acknowledged (Coinhive sent the
+    session's accumulated hash count here)."""
+
+    token: str
+    hashes: int = 0
+
+    TYPE = "authed"
+
+    def to_dict(self) -> dict:
+        return {"type": self.TYPE, "params": {"token": self.token, "hashes": self.hashes}}
+
+
+@dataclass(frozen=True)
+class BannedMessage:
+    """Pool → miner: connection rejected (invalid token, abuse)."""
+
+    reason: str = "banned"
+
+    TYPE = "banned"
+
+    def to_dict(self) -> dict:
+        return {"type": self.TYPE, "params": {"banned": self.reason}}
+
+
+@dataclass(frozen=True)
+class ErrorMessage:
+    """Pool → miner: protocol-level error."""
+
+    error: str
+
+    TYPE = "error"
+
+    def to_dict(self) -> dict:
+        return {"type": self.TYPE, "params": {"error": self.error}}
+
+
+_MESSAGE_TYPES = {
+    LoginMessage.TYPE: LoginMessage,
+    JobMessage.TYPE: JobMessage,
+    SubmitMessage.TYPE: SubmitMessage,
+    SubmitResult.TYPE: SubmitResult,
+    AuthedMessage.TYPE: AuthedMessage,
+    BannedMessage.TYPE: BannedMessage,
+    ErrorMessage.TYPE: ErrorMessage,
+}
+
+
+def encode_message(message) -> str:
+    """Serialize a protocol message to its JSON wire form."""
+    return json.dumps(message.to_dict(), separators=(",", ":"), sort_keys=True)
+
+
+def decode_message(raw: str):
+    """Parse a JSON frame back into a typed message.
+
+    Raises :class:`ProtocolError` on unknown types or missing fields —
+    crawled WebSocket traffic contains plenty of non-mining frames.
+    """
+    try:
+        data = json.loads(raw)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "type" not in data:
+        raise ProtocolError("frame has no message type")
+    msg_type = data["type"]
+    params = data.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("params must be an object")
+    try:
+        if msg_type == LoginMessage.TYPE:
+            return LoginMessage(token=params["site_key"], user_agent=params.get("user", ""))
+        if msg_type == JobMessage.TYPE:
+            return JobMessage(
+                job_id=params["job_id"], blob_hex=params["blob"], target_hex=params["target"]
+            )
+        if msg_type == SubmitMessage.TYPE:
+            return SubmitMessage(
+                job_id=params["job_id"],
+                nonce=int(params["nonce"], 16),
+                result_hex=params["result"],
+            )
+        if msg_type == SubmitResult.TYPE:
+            return SubmitResult(accepted=bool(params["accepted"]), reason=params.get("reason"))
+        if msg_type == AuthedMessage.TYPE:
+            return AuthedMessage(token=params["token"], hashes=int(params.get("hashes", 0)))
+        if msg_type == BannedMessage.TYPE:
+            return BannedMessage(reason=params.get("banned", "banned"))
+        if msg_type == ErrorMessage.TYPE:
+            return ErrorMessage(error=params["error"])
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed {msg_type} message: {exc}") from exc
+    raise ProtocolError(f"unknown message type {msg_type!r}")
+
+
+def target_hex_for_difficulty(difficulty: int) -> str:
+    """Compact 4-byte share target, as Coinhive-era pools sent it.
+
+    The miner compares the last 4 little-endian bytes of its hash against
+    this target: ``target = floor(2^32 / difficulty)``.
+    """
+    if difficulty < 1:
+        raise ValueError("difficulty must be >= 1")
+    target = min(0xFFFFFFFF, (1 << 32) // difficulty)
+    return target.to_bytes(4, "little").hex()
+
+
+def difficulty_for_target_hex(target_hex: str) -> int:
+    """Inverse of :func:`target_hex_for_difficulty` (rounded)."""
+    target = int.from_bytes(bytes.fromhex(target_hex), "little")
+    if target == 0:
+        raise ValueError("zero target")
+    return max(1, (1 << 32) // target)

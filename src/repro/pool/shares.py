@@ -1,0 +1,82 @@
+"""Share validation and per-token accounting.
+
+A *share* is a nonce whose PoW hash meets the pool's (lowered) share
+difficulty. The ledger records accepted shares per token — the basis for
+the 70/30 payout split — and flags shares that also meet the network
+difficulty, i.e. found an actual block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.block import set_blob_nonce
+from repro.blockchain.hashing import CryptonightParams, DEFAULT_PARAMS, cryptonight, hash_meets_difficulty
+from repro.pool.jobs import Job
+
+
+@dataclass(frozen=True)
+class ShareVerdict:
+    """Outcome of validating one submitted share."""
+
+    accepted: bool
+    is_block: bool = False
+    reason: Optional[str] = None
+
+
+@dataclass
+class ShareValidator:
+    """Recomputes and checks submitted shares (the pool's hot path)."""
+
+    pow_params: CryptonightParams = DEFAULT_PARAMS
+
+    def validate(self, job: Job, nonce: int, claimed_hash: Optional[bytes] = None) -> ShareVerdict:
+        """Check ``nonce`` against ``job``.
+
+        The pool recomputes the hash itself (miners lie); ``claimed_hash``
+        when provided must match or the share is rejected outright.
+        """
+        if not 0 <= nonce < 2**32:
+            return ShareVerdict(False, reason="nonce out of range")
+        blob = set_blob_nonce(job.blob, job.template.header, nonce)
+        pow_hash = cryptonight(blob, self.pow_params)
+        if claimed_hash is not None and claimed_hash != pow_hash:
+            return ShareVerdict(False, reason="hash mismatch")
+        if not hash_meets_difficulty(pow_hash, job.share_difficulty):
+            return ShareVerdict(False, reason="low difficulty share")
+        is_block = hash_meets_difficulty(pow_hash, job.template.network_difficulty)
+        return ShareVerdict(True, is_block=is_block)
+
+
+@dataclass
+class ShareLedger:
+    """Accepted-share counts per token, with share-difficulty weighting.
+
+    ``hashes_credited`` approximates work: each accepted share at share
+    difficulty *d* represents *d* expected hashes — the quantity Coinhive
+    pays out on and the short-link service counts toward link resolution.
+    """
+
+    shares: dict = field(default_factory=dict)
+    hashes_credited: dict = field(default_factory=dict)
+    blocks_found: int = 0
+
+    def record(self, token: str, share_difficulty: int, is_block: bool = False) -> None:
+        self.shares[token] = self.shares.get(token, 0) + 1
+        self.hashes_credited[token] = self.hashes_credited.get(token, 0) + share_difficulty
+        if is_block:
+            self.blocks_found += 1
+
+    def total_shares(self) -> int:
+        return sum(self.shares.values())
+
+    def total_hashes(self) -> int:
+        return sum(self.hashes_credited.values())
+
+    def snapshot_and_reset(self) -> dict:
+        """Return per-token hash credits and clear them (per-round payout)."""
+        snap = dict(self.hashes_credited)
+        self.shares.clear()
+        self.hashes_credited.clear()
+        return snap

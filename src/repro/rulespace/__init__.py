@@ -1,0 +1,14 @@
+"""RuleSpace-like website categorization engine.
+
+The paper classifies mining sites and short-link destinations with
+Symantec's proprietary RuleSpace engine. Our stand-in is a deterministic
+keyword/domain-rule engine over the paper's category vocabulary, with the
+same operationally relevant property: *partial coverage* (RuleSpace could
+categorize 79% of Alexa but only 54% of .org NoCoin hits; about 1/3 of
+short-link URLs had no classification).
+"""
+
+from repro.rulespace.categories import CATEGORIES, Category
+from repro.rulespace.engine import RuleSpaceEngine
+
+__all__ = ["CATEGORIES", "Category", "RuleSpaceEngine"]

@@ -1,0 +1,101 @@
+"""Category vocabulary and keyword rules.
+
+Categories are the ones appearing in the paper's Tables 3, 4, and 5. Each
+category carries domain-name fragments and content keywords; the synthetic
+domain generator uses the same fragments, closing the loop between
+population and classifier the way real-world naming conventions do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Category:
+    """One RuleSpace-style category with its matching vocabulary."""
+
+    name: str
+    domain_fragments: tuple
+    content_keywords: tuple
+
+
+CATEGORIES: tuple = (
+    Category(
+        "Gaming",
+        ("game", "play", "arcade", "clan", "guild", "mmo", "quest"),
+        ("game", "player", "level", "multiplayer", "leaderboard"),
+    ),
+    Category(
+        "Educational Site",
+        ("edu", "learn", "school", "academy", "tutorial", "course"),
+        ("course", "lesson", "student", "tutorial", "learning"),
+    ),
+    Category(
+        "Shopping",
+        ("shop", "store", "buy", "deal", "market", "outlet"),
+        ("cart", "checkout", "price", "discount", "shipping"),
+    ),
+    Category(
+        "Pornography",
+        ("xxx", "porn", "adult", "cam4", "nsfw", "sexy"),
+        ("adult", "explicit", "18+", "webcam"),
+    ),
+    Category(
+        "Technology & Telecommunication",
+        ("tech", "soft", "cloud", "mobile", "dev", "code", "telecom"),
+        ("software", "download", "developer", "android", "api"),
+    ),
+    Category(
+        "Entertainment & Music",
+        ("music", "tube", "video", "stream", "movie", "tv", "radio", "mirror"),
+        ("watch", "listen", "episode", "playlist", "stream"),
+    ),
+    Category(
+        "Filesharing",
+        ("share", "file", "upload", "torrent", "zippy", "mirrorbox", "icer", "oboom", "ul-"),
+        ("download", "upload", "mirror", "premium", "filehost"),
+    ),
+    Category(
+        "Business",
+        ("corp", "biz", "consult", "agency", "group", "solutions"),
+        ("services", "clients", "company", "contact us"),
+    ),
+    Category(
+        "Religion",
+        ("church", "faith", "parish", "gospel", "temple", "mosque"),
+        ("prayer", "worship", "scripture", "congregation"),
+    ),
+    Category(
+        "Health Site",
+        ("health", "clinic", "med", "pharma", "dental", "wellness"),
+        ("patient", "treatment", "symptoms", "therapy"),
+    ),
+    Category(
+        "Dynamic Site",
+        ("app", "portal", "dash", "panel"),
+        ("loading", "please wait", "single page"),
+    ),
+    Category(
+        "Finance and Investing",
+        ("coin", "invest", "finance", "bank", "trade", "money", "getcoin"),
+        ("exchange", "wallet", "interest", "portfolio", "faucet"),
+    ),
+    Category(
+        "Hosting",
+        ("host", "server", "vps", "dns", "cdn"),
+        ("uptime", "bandwidth", "datacenter", "domains"),
+    ),
+    Category(
+        "Message Board",
+        ("forum", "board", "chan", "bucket", "bbs"),
+        ("thread", "reply", "post", "moderator"),
+    ),
+    Category(
+        "Automotive",
+        ("auto", "car", "racing", "motor", "speed"),
+        ("engine", "wheels", "tuning", "horsepower"),
+    ),
+)
+
+BY_NAME: dict = {category.name: category for category in CATEGORIES}

@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation kernel.
+
+All time-dependent subsystems (the headless browser, mining pools, the
+four-week network observation) run on this kernel rather than on wall-clock
+time, which makes every experiment in the reproduction deterministic and fast.
+
+Public API:
+
+- :class:`SimClock` — a monotonically advancing simulated clock.
+- :class:`EventLoop` — a priority-queue discrete-event scheduler.
+- :class:`RngStream` — named, independently seeded random streams derived
+  from a single experiment seed.
+- :func:`derive_seed` — stable seed derivation for sub-streams.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventLoop
+from repro.sim.rng import RngStream, derive_seed
+
+__all__ = ["SimClock", "Event", "EventLoop", "RngStream", "derive_seed"]

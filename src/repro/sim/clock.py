@@ -1,0 +1,71 @@
+"""Simulated clock.
+
+The clock measures seconds as floats. Experiments that model calendar time
+(e.g. the four-week Coinhive observation of Figure 5) anchor the clock to a
+UNIX epoch offset so that simulated timestamps convert to real dates.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Parameters
+    ----------
+    epoch:
+        UNIX timestamp (seconds) that simulated time zero corresponds to.
+        Defaults to 0.0.
+    """
+
+    __slots__ = ("_now", "epoch")
+
+    def __init__(self, epoch: float = 0.0) -> None:
+        self._now = 0.0
+        self.epoch = float(epoch)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since simulation start."""
+        return self._now
+
+    @property
+    def unix(self) -> float:
+        """Current simulated time as a UNIX timestamp."""
+        return self.epoch + self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance the clock by ``delta`` seconds and return the new time.
+
+        Raises :class:`ValueError` for negative deltas — simulated time never
+        runs backwards.
+        """
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Advance the clock to absolute simulated time ``when``.
+
+        Raises :class:`ValueError` if ``when`` is in the past.
+        """
+        if when < self._now:
+            raise ValueError(f"cannot move clock backwards: {when} < {self._now}")
+        self._now = when
+        return self._now
+
+    def datetime(self) -> _dt.datetime:
+        """Current simulated time as a timezone-aware UTC datetime."""
+        return _dt.datetime.fromtimestamp(self.unix, tz=_dt.timezone.utc)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f}, epoch={self.epoch:.0f})"
+
+
+def utc_timestamp(year: int, month: int, day: int, hour: int = 0, minute: int = 0) -> float:
+    """UNIX timestamp for a UTC calendar instant (helper for experiment setup)."""
+    dt = _dt.datetime(year, month, day, hour, minute, tzinfo=_dt.timezone.utc)
+    return dt.timestamp()

@@ -1,0 +1,117 @@
+"""Discrete-event scheduler.
+
+A tiny, deterministic alternative to real-time event loops. Events are
+ordered by (time, sequence number) so that ties break in scheduling order,
+making runs reproducible regardless of callback contents.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap pops them in deterministic
+    order. The callback and payload are excluded from comparison.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Priority-queue discrete-event loop bound to a :class:`SimClock`.
+
+    Usage::
+
+        loop = EventLoop()
+        loop.call_at(10.0, handler, arg)
+        loop.call_later(0.5, other_handler)
+        loop.run_until(3600.0)
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self.clock.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.clock.now}")
+        event = Event(time=when, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.call_at(self.clock.now + delay, callback, *args)
+
+    def pending(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until(self, deadline: float, max_events: Optional[int] = None) -> int:
+        """Run events with ``time <= deadline``; advance the clock to the deadline.
+
+        Returns the number of events executed. ``max_events`` guards against
+        runaway self-rescheduling loops.
+        """
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        if self.clock.now < deadline:
+            self.clock.advance_to(deadline)
+        return executed
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = 0
+        while executed < max_events and self.step():
+            executed += 1
+        return executed

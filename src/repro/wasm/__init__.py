@@ -1,0 +1,62 @@
+"""WebAssembly binary-format substrate.
+
+The paper's fingerprinting method operates on raw ``.wasm`` binaries dumped
+by an instrumented browser: it splits a module into its function bodies,
+hashes them in strict order, and extracts distinguishing features such as the
+number of XOR, shift, and load instructions or tell-tale exported function
+names (Section 3.2 of the paper).
+
+To exercise that method end-to-end we implement a real (subset) WebAssembly
+binary toolchain:
+
+- :mod:`repro.wasm.leb128` — variable-length integer coding.
+- :mod:`repro.wasm.opcodes` — the opcode table with immediate kinds.
+- :mod:`repro.wasm.types` — module/section data model.
+- :mod:`repro.wasm.encoder` — module → ``bytes`` (spec section layout,
+  including the ``name`` custom section).
+- :mod:`repro.wasm.decoder` — ``bytes`` → module.
+- :mod:`repro.wasm.validator` — structural validation.
+- :mod:`repro.wasm.builder` — generator of synthetic miner and benign
+  modules (the ~160-variant corpus standing in for the dead 2018 miners).
+"""
+
+from repro.wasm.types import (
+    CodeEntry,
+    Export,
+    FuncType,
+    Global,
+    Import,
+    Instr,
+    Limits,
+    Module,
+    ValType,
+)
+from repro.wasm.encoder import encode_module
+from repro.wasm.decoder import decode_module, WasmDecodeError
+from repro.wasm.validator import validate_module, WasmValidationError
+from repro.wasm.builder import ModuleBlueprint, WasmCorpusBuilder
+from repro.wasm.interp import Instance, WasmTrap, execute_exported
+from repro.wasm.wat import disassemble
+
+__all__ = [
+    "Instance",
+    "WasmTrap",
+    "execute_exported",
+    "disassemble",
+    "CodeEntry",
+    "Export",
+    "FuncType",
+    "Global",
+    "Import",
+    "Instr",
+    "Limits",
+    "Module",
+    "ValType",
+    "encode_module",
+    "decode_module",
+    "WasmDecodeError",
+    "validate_module",
+    "WasmValidationError",
+    "ModuleBlueprint",
+    "WasmCorpusBuilder",
+]

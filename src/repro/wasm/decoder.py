@@ -1,0 +1,315 @@
+"""WebAssembly module decoder (binary format, MVP subset).
+
+The decoder is the foundation of the paper's fingerprinting method: the
+instrumented browser dumps raw ``.wasm`` bytes, and the analysis pipeline
+needs the ordered function bodies (for the SHA-256 signature), the
+instruction streams (for the XOR/shift/load feature counts), and the
+function names (for the name-based hints).
+
+The decoder is deliberately defensive: crawled binaries may be truncated or
+adversarial, so every read is bounds-checked and all failures surface as
+:class:`WasmDecodeError` rather than raw exceptions.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wasm import leb128, opcodes
+from repro.wasm.encoder import MAGIC, VERSION
+from repro.wasm.types import (
+    CodeEntry,
+    Export,
+    FuncType,
+    Global,
+    Import,
+    Instr,
+    Limits,
+    Module,
+    ValType,
+)
+
+
+class WasmDecodeError(ValueError):
+    """Raised when the input is not a well-formed module (for our subset)."""
+
+
+class _Reader:
+    """Bounds-checked cursor over the module bytes."""
+
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data: bytes, pos: int = 0, end: int | None = None) -> None:
+        self.data = data
+        self.pos = pos
+        self.end = len(data) if end is None else end
+
+    def remaining(self) -> int:
+        return self.end - self.pos
+
+    def byte(self) -> int:
+        if self.pos >= self.end:
+            raise WasmDecodeError("unexpected end of module")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def bytes_(self, n: int) -> bytes:
+        if self.pos + n > self.end:
+            raise WasmDecodeError("unexpected end of module")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u32(self) -> int:
+        try:
+            value, self.pos = leb128.decode_u(self.data, self.pos, max_bits=32)
+        except leb128.LEBError as exc:
+            raise WasmDecodeError(str(exc)) from exc
+        if self.pos > self.end:
+            raise WasmDecodeError("LEB128 ran past section end")
+        return value
+
+    def s32(self) -> int:
+        try:
+            value, self.pos = leb128.decode_s(self.data, self.pos, max_bits=32)
+        except leb128.LEBError as exc:
+            raise WasmDecodeError(str(exc)) from exc
+        return value
+
+    def s64(self) -> int:
+        try:
+            value, self.pos = leb128.decode_s(self.data, self.pos, max_bits=64)
+        except leb128.LEBError as exc:
+            raise WasmDecodeError(str(exc)) from exc
+        return value
+
+    def name(self) -> str:
+        length = self.u32()
+        raw = self.bytes_(length)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WasmDecodeError("invalid UTF-8 in name") from exc
+
+    def valtype(self) -> ValType:
+        byte = self.byte()
+        try:
+            return ValType.from_byte(byte)
+        except ValueError as exc:
+            raise WasmDecodeError(str(exc)) from exc
+
+    def limits(self) -> Limits:
+        flag = self.byte()
+        if flag == 0x00:
+            return Limits(self.u32())
+        if flag == 0x01:
+            return Limits(self.u32(), self.u32())
+        raise WasmDecodeError(f"invalid limits flag 0x{flag:02X}")
+
+
+def decode_instr(reader: _Reader) -> Instr:
+    """Decode one instruction at the reader cursor."""
+    code = reader.byte()
+    try:
+        spec = opcodes.spec_for(code)
+    except KeyError as exc:
+        raise WasmDecodeError(str(exc)) from exc
+    kind = spec.immediate
+    if kind == "none":
+        return Instr(spec.name)
+    if kind == "blocktype":
+        byte = reader.byte()
+        blocktype = None if byte == 0x40 else ValType.from_byte(byte)
+        return Instr(spec.name, (blocktype,))
+    if kind == "u32":
+        return Instr(spec.name, (reader.u32(),))
+    if kind == "u32x2":
+        return Instr(spec.name, (reader.u32(), reader.u32()))
+    if kind == "memarg":
+        return Instr(spec.name, (reader.u32(), reader.u32()))
+    if kind == "i32":
+        return Instr(spec.name, (reader.s32(),))
+    if kind == "i64":
+        return Instr(spec.name, (reader.s64(),))
+    if kind == "f32":
+        return Instr(spec.name, (struct.unpack("<f", reader.bytes_(4))[0],))
+    if kind == "f64":
+        return Instr(spec.name, (struct.unpack("<d", reader.bytes_(8))[0],))
+    if kind == "br_table":
+        count = reader.u32()
+        labels = tuple(reader.u32() for _ in range(count))
+        return Instr(spec.name, (labels, reader.u32()))
+    raise AssertionError(f"unhandled immediate kind {kind}")  # pragma: no cover
+
+
+def decode_expr(reader: _Reader) -> list:
+    """Decode instructions until the matching top-level ``end``."""
+    depth = 0
+    body: list[Instr] = []
+    while True:
+        instr = decode_instr(reader)
+        body.append(instr)
+        if instr.name in ("block", "loop", "if"):
+            depth += 1
+        elif instr.name == "end":
+            if depth == 0:
+                return body
+            depth -= 1
+
+
+def _decode_functype(reader: _Reader) -> FuncType:
+    tag = reader.byte()
+    if tag != 0x60:
+        raise WasmDecodeError(f"functype must start with 0x60, got 0x{tag:02X}")
+    params = tuple(reader.valtype() for _ in range(reader.u32()))
+    results = tuple(reader.valtype() for _ in range(reader.u32()))
+    return FuncType(params, results)
+
+
+def _decode_import(reader: _Reader) -> Import:
+    module = reader.name()
+    name = reader.name()
+    kind = reader.byte()
+    if kind == 0:
+        desc: object = reader.u32()
+    elif kind == 2:
+        desc = reader.limits()
+    elif kind == 3:
+        desc = (reader.valtype(), bool(reader.byte()))
+    else:
+        raise WasmDecodeError(f"unsupported import kind {kind}")
+    return Import(module, name, kind, desc)
+
+
+def _decode_global(reader: _Reader) -> Global:
+    valtype = reader.valtype()
+    mutable = bool(reader.byte())
+    expr = decode_expr(reader)
+    if len(expr) != 2:
+        raise WasmDecodeError("global initializer must be a single const + end")
+    return Global(valtype, mutable, expr[0])
+
+
+def _decode_code(reader: _Reader) -> CodeEntry:
+    size = reader.u32()
+    body_end = reader.pos + size
+    if body_end > reader.end:
+        raise WasmDecodeError("code entry runs past section end")
+    sub = _Reader(reader.data, reader.pos, body_end)
+    locals_: list[tuple[int, ValType]] = []
+    for _ in range(sub.u32()):
+        count = sub.u32()
+        locals_.append((count, sub.valtype()))
+    body = decode_expr(sub)
+    if sub.pos != body_end:
+        raise WasmDecodeError("trailing bytes after function body")
+    reader.pos = body_end
+    return CodeEntry(locals_=locals_, body=body)
+
+
+def _decode_name_section(reader: _Reader, module: Module) -> None:
+    """Parse module-name (id 0) and function-name (id 1) subsections."""
+    while reader.remaining() > 0:
+        sub_id = reader.byte()
+        size = reader.u32()
+        sub_end = reader.pos + size
+        if sub_end > reader.end:
+            raise WasmDecodeError("name subsection runs past section end")
+        sub = _Reader(reader.data, reader.pos, sub_end)
+        if sub_id == 0:
+            module.module_name = sub.name()
+        elif sub_id == 1:
+            for _ in range(sub.u32()):
+                index = sub.u32()
+                module.func_names[index] = sub.name()
+        # other subsections (locals etc.) are skipped
+        reader.pos = sub_end
+
+
+def decode_module(data: bytes) -> Module:
+    """Decode WebAssembly binary ``data`` into a :class:`Module`.
+
+    Raises :class:`WasmDecodeError` for anything malformed, truncated, or
+    outside the supported MVP subset.
+    """
+    if len(data) < 8:
+        raise WasmDecodeError("module shorter than header")
+    if data[:4] != MAGIC:
+        raise WasmDecodeError("bad magic: not a wasm module")
+    if data[4:8] != VERSION:
+        raise WasmDecodeError(f"unsupported wasm version {data[4:8]!r}")
+
+    module = Module()
+    reader = _Reader(data, 8)
+    last_id = 0
+    while reader.remaining() > 0:
+        section_id = reader.byte()
+        size = reader.u32()
+        section_end = reader.pos + size
+        if section_end > reader.end:
+            raise WasmDecodeError("section runs past end of module")
+        if section_id != 0:
+            if section_id <= last_id:
+                raise WasmDecodeError(
+                    f"section id {section_id} out of order (after {last_id})"
+                )
+            last_id = section_id
+        sub = _Reader(reader.data, reader.pos, section_end)
+        if section_id == 0:
+            custom_name = sub.name()
+            if custom_name == "name":
+                _decode_name_section(sub, module)
+        elif section_id == 1:
+            module.types = [_decode_functype(sub) for _ in range(sub.u32())]
+        elif section_id == 2:
+            module.imports = [_decode_import(sub) for _ in range(sub.u32())]
+        elif section_id == 3:
+            module.func_type_indices = [sub.u32() for _ in range(sub.u32())]
+        elif section_id == 5:
+            module.memories = [sub.limits() for _ in range(sub.u32())]
+        elif section_id == 6:
+            module.globals_ = [_decode_global(sub) for _ in range(sub.u32())]
+        elif section_id == 7:
+            module.exports = [
+                Export(sub.name(), sub.byte(), sub.u32()) for _ in range(sub.u32())
+            ]
+        elif section_id == 10:
+            module.codes = [_decode_code(sub) for _ in range(sub.u32())]
+        else:
+            # tolerated-but-ignored sections (table/start/element/data)
+            pass
+        reader.pos = section_end
+
+    if len(module.codes) != len(module.func_type_indices):
+        raise WasmDecodeError(
+            f"function section declares {len(module.func_type_indices)} functions "
+            f"but code section has {len(module.codes)} bodies"
+        )
+    return module
+
+
+def function_body_bytes(data: bytes) -> list:
+    """Return the raw encoded bytes of each function body, in module order.
+
+    This is what the paper's signature method hashes: the function bodies
+    "combined in a strict order". Re-encoding decoded bodies would lose
+    byte-level quirks, so we slice the original binary instead.
+    """
+    if len(data) < 8 or data[:4] != MAGIC:
+        raise WasmDecodeError("not a wasm module")
+    reader = _Reader(data, 8)
+    bodies: list[bytes] = []
+    while reader.remaining() > 0:
+        section_id = reader.byte()
+        size = reader.u32()
+        section_end = reader.pos + size
+        if section_end > reader.end:
+            raise WasmDecodeError("section runs past end of module")
+        if section_id == 10:
+            sub = _Reader(reader.data, reader.pos, section_end)
+            for _ in range(sub.u32()):
+                body_size = sub.u32()
+                bodies.append(sub.bytes_(body_size))
+        reader.pos = section_end
+    return bodies

@@ -1,0 +1,189 @@
+"""WebAssembly module encoder (binary format, MVP subset).
+
+Produces spec-conformant binaries: magic/version header, sections in
+ascending ID order, LEB128-sized contents, and a trailing ``name`` custom
+section carrying module and function names when present.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wasm import leb128, opcodes
+from repro.wasm.types import CodeEntry, Export, FuncType, Global, Import, Instr, Limits, Module, ValType
+
+MAGIC = b"\x00asm"
+VERSION = b"\x01\x00\x00\x00"
+
+# Section IDs (spec 5.5.2)
+SEC_CUSTOM = 0
+SEC_TYPE = 1
+SEC_IMPORT = 2
+SEC_FUNCTION = 3
+SEC_MEMORY = 5
+SEC_GLOBAL = 6
+SEC_EXPORT = 7
+SEC_CODE = 10
+
+
+def _name(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return leb128.encode_u(len(raw)) + raw
+
+
+def _vec(items: list) -> bytes:
+    return leb128.encode_u(len(items)) + b"".join(items)
+
+
+def _limits(limits: Limits) -> bytes:
+    if limits.maximum is None:
+        return b"\x00" + leb128.encode_u(limits.minimum)
+    return b"\x01" + leb128.encode_u(limits.minimum) + leb128.encode_u(limits.maximum)
+
+
+def encode_instr(instr: Instr) -> bytes:
+    """Encode a single instruction (opcode byte plus immediates)."""
+    spec = opcodes.BY_NAME.get(instr.name)
+    if spec is None:
+        raise ValueError(f"unknown instruction {instr.name!r}")
+    out = bytearray([spec.code])
+    kind = spec.immediate
+    ops = instr.operands
+    if kind == "none":
+        pass
+    elif kind == "blocktype":
+        blocktype = ops[0]
+        out.append(0x40 if blocktype is None else int(blocktype))
+    elif kind == "u32":
+        out += leb128.encode_u(ops[0])
+    elif kind == "u32x2":
+        out += leb128.encode_u(ops[0]) + leb128.encode_u(ops[1])
+    elif kind == "memarg":
+        out += leb128.encode_u(ops[0]) + leb128.encode_u(ops[1])
+    elif kind == "i32":
+        out += leb128.encode_s(_wrap_signed(ops[0], 32))
+    elif kind == "i64":
+        out += leb128.encode_s(_wrap_signed(ops[0], 64))
+    elif kind == "f32":
+        out += struct.pack("<f", ops[0])
+    elif kind == "f64":
+        out += struct.pack("<d", ops[0])
+    elif kind == "br_table":
+        labels, default = ops
+        out += leb128.encode_u(len(labels))
+        for label in labels:
+            out += leb128.encode_u(label)
+        out += leb128.encode_u(default)
+    else:  # pragma: no cover - table is closed
+        raise AssertionError(f"unhandled immediate kind {kind}")
+    return bytes(out)
+
+
+def _wrap_signed(value: int, bits: int) -> int:
+    """Wrap an arbitrary int into the signed range of ``bits`` width."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def encode_expr(body: list) -> bytes:
+    """Encode an instruction sequence; appends ``end`` if missing."""
+    out = bytearray()
+    for instr in body:
+        out += encode_instr(instr)
+    if not body or body[-1].name != "end":
+        out += encode_instr(Instr("end"))
+    return bytes(out)
+
+
+def _functype(functype: FuncType) -> bytes:
+    out = bytearray([0x60])
+    out += leb128.encode_u(len(functype.params))
+    out += bytes(int(t) for t in functype.params)
+    out += leb128.encode_u(len(functype.results))
+    out += bytes(int(t) for t in functype.results)
+    return bytes(out)
+
+
+def _import(imp: Import) -> bytes:
+    out = bytearray()
+    out += _name(imp.module)
+    out += _name(imp.name)
+    out.append(imp.kind)
+    if imp.kind == 0:  # function: type index
+        out += leb128.encode_u(imp.desc)
+    elif imp.kind == 2:  # memory: limits
+        out += _limits(imp.desc)
+    elif imp.kind == 3:  # global: valtype + mutability
+        valtype, mutable = imp.desc
+        out.append(int(valtype))
+        out.append(1 if mutable else 0)
+    else:
+        raise ValueError(f"unsupported import kind {imp.kind}")
+    return bytes(out)
+
+
+def _global(glob: Global) -> bytes:
+    out = bytearray([int(glob.valtype), 1 if glob.mutable else 0])
+    out += encode_expr([glob.init])
+    return bytes(out)
+
+
+def _export(export: Export) -> bytes:
+    return _name(export.name) + bytes([export.kind]) + leb128.encode_u(export.index)
+
+
+def _code(code: CodeEntry) -> bytes:
+    body = bytearray()
+    body += leb128.encode_u(len(code.locals_))
+    for count, valtype in code.locals_:
+        body += leb128.encode_u(count)
+        body.append(int(valtype))
+    body += encode_expr(code.body)
+    return leb128.encode_u(len(body)) + bytes(body)
+
+
+def _section(section_id: int, payload: bytes) -> bytes:
+    return bytes([section_id]) + leb128.encode_u(len(payload)) + payload
+
+
+def _name_section(module: Module) -> bytes:
+    """Build the ``name`` custom section (module + function name subsections)."""
+    payload = bytearray(_name("name"))
+    if module.module_name is not None:
+        sub = _name(module.module_name)
+        payload += bytes([0]) + leb128.encode_u(len(sub)) + sub
+    if module.func_names:
+        entries = []
+        for index in sorted(module.func_names):
+            entries.append(leb128.encode_u(index) + _name(module.func_names[index]))
+        sub = _vec(entries)
+        payload += bytes([1]) + leb128.encode_u(len(sub)) + sub
+    return _section(SEC_CUSTOM, bytes(payload))
+
+
+def encode_module(module: Module) -> bytes:
+    """Serialize a :class:`Module` to WebAssembly binary format."""
+    out = bytearray(MAGIC + VERSION)
+    if module.types:
+        out += _section(SEC_TYPE, _vec([_functype(t) for t in module.types]))
+    if module.imports:
+        out += _section(SEC_IMPORT, _vec([_import(i) for i in module.imports]))
+    if module.func_type_indices:
+        out += _section(
+            SEC_FUNCTION,
+            _vec([leb128.encode_u(i) for i in module.func_type_indices]),
+        )
+    if module.memories:
+        out += _section(SEC_MEMORY, _vec([_limits(m) for m in module.memories]))
+    if module.globals_:
+        out += _section(SEC_GLOBAL, _vec([_global(g) for g in module.globals_]))
+    if module.exports:
+        out += _section(SEC_EXPORT, _vec([_export(e) for e in module.exports]))
+    if module.codes:
+        out += _section(SEC_CODE, _vec([_code(c) for c in module.codes]))
+    if module.func_names or module.module_name is not None:
+        out += _name_section(module)
+    return bytes(out)

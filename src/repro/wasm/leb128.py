@@ -1,0 +1,78 @@
+"""LEB128 variable-length integer coding (WebAssembly spec, section 5.2.2).
+
+WebAssembly uses unsigned LEB128 for sizes and indices and signed LEB128 for
+integer constants. Both directions are implemented against a byte buffer with
+an explicit offset so the decoder can stream through a module.
+"""
+
+from __future__ import annotations
+
+
+class LEBError(ValueError):
+    """Raised on malformed or truncated LEB128 data."""
+
+
+def encode_u(value: int) -> bytes:
+    """Encode a non-negative integer as unsigned LEB128."""
+    if value < 0:
+        raise LEBError(f"unsigned LEB128 cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_s(value: int) -> bytes:
+    """Encode a signed integer as signed LEB128."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7  # arithmetic shift: Python preserves the sign
+        sign_bit = byte & 0x40
+        if (value == 0 and not sign_bit) or (value == -1 and sign_bit):
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+def decode_u(data: bytes, offset: int, max_bits: int = 64) -> tuple[int, int]:
+    """Decode unsigned LEB128 at ``offset``; returns ``(value, new_offset)``.
+
+    ``max_bits`` bounds the encoding length as the spec does (ceil(N/7)
+    bytes), protecting the decoder from non-terminating inputs.
+    """
+    result = 0
+    shift = 0
+    max_bytes = (max_bits + 6) // 7
+    for i in range(max_bytes):
+        if offset + i >= len(data):
+            raise LEBError("truncated unsigned LEB128")
+        byte = data[offset + i]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset + i + 1
+        shift += 7
+    raise LEBError(f"unsigned LEB128 exceeds {max_bits} bits")
+
+
+def decode_s(data: bytes, offset: int, max_bits: int = 64) -> tuple[int, int]:
+    """Decode signed LEB128 at ``offset``; returns ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    max_bytes = (max_bits + 6) // 7
+    for i in range(max_bytes):
+        if offset + i >= len(data):
+            raise LEBError("truncated signed LEB128")
+        byte = data[offset + i]
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if byte & 0x40 and shift < max_bits + 7:
+                result -= 1 << shift
+            return result, offset + i + 1
+    raise LEBError(f"signed LEB128 exceeds {max_bits} bits")

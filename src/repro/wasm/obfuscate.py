@@ -1,0 +1,124 @@
+"""Module transforms modelling miner-evasion techniques.
+
+The paper's signature method had to survive a moving target: operators
+stripped metadata, rebuilt, and re-hosted their miners to dodge lists and
+signatures. This module collects the transforms the benchmarks and tests
+use to probe each detector's robustness:
+
+- :func:`strip_names` — remove the name section and anonymize exports
+  (defeats name-hint detection, not signatures or mixes),
+- :func:`reorder_functions` — permute function bodies (defeats the
+  ordered signature, not the unordered ablation or mixes),
+- :func:`pad_dead_code` — append never-called float-heavy functions
+  (defeats static mixes, not dynamic profiling),
+- :func:`rewrite_constants` — perturb immediate constants (defeats all
+  byte-level signatures while preserving the instruction mix).
+
+Every transform returns a decodable, valid, executable module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.rng import RngStream
+from repro.wasm.decoder import decode_module
+from repro.wasm.encoder import encode_module
+from repro.wasm.types import CodeEntry, Export, FuncType, Instr, Module, ValType
+
+
+def _roundtrip(module: Module) -> bytes:
+    return encode_module(module)
+
+
+def strip_names(wasm_bytes: bytes) -> bytes:
+    """Remove the name section and replace export names with opaque ones."""
+    module = decode_module(wasm_bytes)
+    module.func_names = {}
+    module.module_name = None
+    module.exports = [
+        Export(f"e{i}" if export.kind == 0 else export.name, export.kind, export.index)
+        for i, export in enumerate(module.exports)
+    ]
+    return _roundtrip(module)
+
+
+def reorder_functions(wasm_bytes: bytes, rng: Optional[RngStream] = None) -> bytes:
+    """Permute the function bodies (and their type indices) coherently.
+
+    Call sites are remapped so the module still executes identically up to
+    function identity. The name section is dropped (indices shift).
+    """
+    module = decode_module(wasm_bytes)
+    count = len(module.codes)
+    if count < 2:
+        return wasm_bytes
+    order = list(range(count))
+    if rng is None:
+        order = list(reversed(order))
+    else:
+        rng.shuffle(order)
+        if order == list(range(count)):
+            order = list(reversed(order))
+    num_imported = module.num_imported_funcs()
+    # old local index → new local index
+    new_position = {old: new for new, old in enumerate(order)}
+    module.codes = [module.codes[old] for old in order]
+    module.func_type_indices = [module.func_type_indices[old] for old in order]
+
+    def remap(index: int) -> int:
+        if index < num_imported:
+            return index
+        return num_imported + new_position[index - num_imported]
+
+    for code in module.codes:
+        code.body = [
+            Instr("call", (remap(instr.operands[0]),)) if instr.name == "call" else instr
+            for instr in code.body
+        ]
+    module.exports = [
+        Export(e.name, e.kind, remap(e.index) if e.kind == 0 else e.index)
+        for e in module.exports
+    ]
+    module.func_names = {}
+    module.module_name = None
+    return _roundtrip(module)
+
+
+def pad_dead_code(wasm_bytes: bytes, float_functions: int = 6, ops_per_function: int = 120) -> bytes:
+    """Append never-exported, never-called float-heavy functions."""
+    module = decode_module(wasm_bytes)
+    type_index = len(module.types)
+    module.types = list(module.types) + [FuncType((), (ValType.F64,))]
+    for i in range(float_functions):
+        body: list[Instr] = []
+        for j in range(ops_per_function):
+            body.append(Instr("f64.const", (float(i + 1),)))
+            body.append(Instr("f64.const", (float(j + 2),)))
+            body.append(Instr("f64.mul"))
+            body.append(Instr("drop"))
+        body.append(Instr("f64.const", (0.0,)))
+        body.append(Instr("end"))
+        module.func_type_indices.append(type_index)
+        module.codes.append(CodeEntry(body=body))
+    return _roundtrip(module)
+
+
+def rewrite_constants(wasm_bytes: bytes, rng: RngStream) -> bytes:
+    """Perturb i32 immediates (new build ⇒ new signature, same mix).
+
+    Only ``i32.const`` values not used as memory bounds/shift counts are
+    safe to change blindly; we perturb constants above a threshold, which
+    skips the small shift counts and loop increments.
+    """
+    module = decode_module(wasm_bytes)
+    for code in module.codes:
+        new_body = []
+        for instr in code.body:
+            if instr.name == "i32.const" and abs(instr.operands[0]) > 4096:
+                delta = rng.randint(1, 255)
+                new_body.append(Instr("i32.const", ((instr.operands[0] + delta) & 0x7FFFFFFF,)))
+            else:
+                new_body.append(instr)
+        code.body = new_body
+    return _roundtrip(module)

@@ -1,0 +1,210 @@
+"""WebAssembly MVP opcode table.
+
+Each opcode carries the *kind* of immediate it takes, which is all the
+decoder needs to walk an instruction stream. The subset covers everything the
+2018-era miner binaries used heavily (integer arithmetic, bit operations,
+memory traffic, and structured control flow) plus the common rest of the MVP
+integer/float instruction set.
+
+Immediate kinds:
+
+``none``       no immediate
+``blocktype``  one byte (0x40 empty or a valtype)
+``u32``        one unsigned LEB128 index (locals, globals, functions, labels)
+``u32x2``      two unsigned LEB128 values (call_indirect, memory.size/grow)
+``memarg``     align + offset, both unsigned LEB128
+``i32``        one signed LEB128 (32-bit constant)
+``i64``        one signed LEB128 (64-bit constant)
+``f32``        4 little-endian bytes
+``f64``        8 little-endian bytes
+``br_table``   vector of labels + default label
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    code: int
+    name: str
+    immediate: str  # one of the immediate kinds documented above
+
+
+_OPS: list[OpSpec] = [
+    # Control instructions
+    OpSpec(0x00, "unreachable", "none"),
+    OpSpec(0x01, "nop", "none"),
+    OpSpec(0x02, "block", "blocktype"),
+    OpSpec(0x03, "loop", "blocktype"),
+    OpSpec(0x04, "if", "blocktype"),
+    OpSpec(0x05, "else", "none"),
+    OpSpec(0x0B, "end", "none"),
+    OpSpec(0x0C, "br", "u32"),
+    OpSpec(0x0D, "br_if", "u32"),
+    OpSpec(0x0E, "br_table", "br_table"),
+    OpSpec(0x0F, "return", "none"),
+    OpSpec(0x10, "call", "u32"),
+    OpSpec(0x11, "call_indirect", "u32x2"),
+    # Parametric
+    OpSpec(0x1A, "drop", "none"),
+    OpSpec(0x1B, "select", "none"),
+    # Variable
+    OpSpec(0x20, "local.get", "u32"),
+    OpSpec(0x21, "local.set", "u32"),
+    OpSpec(0x22, "local.tee", "u32"),
+    OpSpec(0x23, "global.get", "u32"),
+    OpSpec(0x24, "global.set", "u32"),
+    # Memory
+    OpSpec(0x28, "i32.load", "memarg"),
+    OpSpec(0x29, "i64.load", "memarg"),
+    OpSpec(0x2A, "f32.load", "memarg"),
+    OpSpec(0x2B, "f64.load", "memarg"),
+    OpSpec(0x2C, "i32.load8_s", "memarg"),
+    OpSpec(0x2D, "i32.load8_u", "memarg"),
+    OpSpec(0x2E, "i32.load16_s", "memarg"),
+    OpSpec(0x2F, "i32.load16_u", "memarg"),
+    OpSpec(0x30, "i64.load8_s", "memarg"),
+    OpSpec(0x31, "i64.load8_u", "memarg"),
+    OpSpec(0x32, "i64.load16_s", "memarg"),
+    OpSpec(0x33, "i64.load16_u", "memarg"),
+    OpSpec(0x34, "i64.load32_s", "memarg"),
+    OpSpec(0x35, "i64.load32_u", "memarg"),
+    OpSpec(0x36, "i32.store", "memarg"),
+    OpSpec(0x37, "i64.store", "memarg"),
+    OpSpec(0x38, "f32.store", "memarg"),
+    OpSpec(0x39, "f64.store", "memarg"),
+    OpSpec(0x3A, "i32.store8", "memarg"),
+    OpSpec(0x3B, "i32.store16", "memarg"),
+    OpSpec(0x3C, "i64.store8", "memarg"),
+    OpSpec(0x3D, "i64.store16", "memarg"),
+    OpSpec(0x3E, "i64.store32", "memarg"),
+    OpSpec(0x3F, "memory.size", "u32"),
+    OpSpec(0x40, "memory.grow", "u32"),
+    # Constants
+    OpSpec(0x41, "i32.const", "i32"),
+    OpSpec(0x42, "i64.const", "i64"),
+    OpSpec(0x43, "f32.const", "f32"),
+    OpSpec(0x44, "f64.const", "f64"),
+    # i32 comparison
+    OpSpec(0x45, "i32.eqz", "none"),
+    OpSpec(0x46, "i32.eq", "none"),
+    OpSpec(0x47, "i32.ne", "none"),
+    OpSpec(0x48, "i32.lt_s", "none"),
+    OpSpec(0x49, "i32.lt_u", "none"),
+    OpSpec(0x4A, "i32.gt_s", "none"),
+    OpSpec(0x4B, "i32.gt_u", "none"),
+    OpSpec(0x4C, "i32.le_s", "none"),
+    OpSpec(0x4D, "i32.le_u", "none"),
+    OpSpec(0x4E, "i32.ge_s", "none"),
+    OpSpec(0x4F, "i32.ge_u", "none"),
+    # i64 comparison
+    OpSpec(0x50, "i64.eqz", "none"),
+    OpSpec(0x51, "i64.eq", "none"),
+    OpSpec(0x52, "i64.ne", "none"),
+    OpSpec(0x53, "i64.lt_s", "none"),
+    OpSpec(0x54, "i64.lt_u", "none"),
+    OpSpec(0x55, "i64.gt_s", "none"),
+    OpSpec(0x56, "i64.gt_u", "none"),
+    OpSpec(0x57, "i64.le_s", "none"),
+    OpSpec(0x58, "i64.le_u", "none"),
+    OpSpec(0x59, "i64.ge_s", "none"),
+    OpSpec(0x5A, "i64.ge_u", "none"),
+    # f32/f64 comparison (subset used by codec-style benign modules)
+    OpSpec(0x5B, "f32.eq", "none"),
+    OpSpec(0x5C, "f32.ne", "none"),
+    OpSpec(0x5D, "f32.lt", "none"),
+    OpSpec(0x5E, "f32.gt", "none"),
+    OpSpec(0x61, "f64.eq", "none"),
+    OpSpec(0x62, "f64.ne", "none"),
+    OpSpec(0x63, "f64.lt", "none"),
+    OpSpec(0x64, "f64.gt", "none"),
+    # i32 arithmetic / bitwise
+    OpSpec(0x67, "i32.clz", "none"),
+    OpSpec(0x68, "i32.ctz", "none"),
+    OpSpec(0x69, "i32.popcnt", "none"),
+    OpSpec(0x6A, "i32.add", "none"),
+    OpSpec(0x6B, "i32.sub", "none"),
+    OpSpec(0x6C, "i32.mul", "none"),
+    OpSpec(0x6D, "i32.div_s", "none"),
+    OpSpec(0x6E, "i32.div_u", "none"),
+    OpSpec(0x6F, "i32.rem_s", "none"),
+    OpSpec(0x70, "i32.rem_u", "none"),
+    OpSpec(0x71, "i32.and", "none"),
+    OpSpec(0x72, "i32.or", "none"),
+    OpSpec(0x73, "i32.xor", "none"),
+    OpSpec(0x74, "i32.shl", "none"),
+    OpSpec(0x75, "i32.shr_s", "none"),
+    OpSpec(0x76, "i32.shr_u", "none"),
+    OpSpec(0x77, "i32.rotl", "none"),
+    OpSpec(0x78, "i32.rotr", "none"),
+    # i64 arithmetic / bitwise
+    OpSpec(0x79, "i64.clz", "none"),
+    OpSpec(0x7A, "i64.ctz", "none"),
+    OpSpec(0x7B, "i64.popcnt", "none"),
+    OpSpec(0x7C, "i64.add", "none"),
+    OpSpec(0x7D, "i64.sub", "none"),
+    OpSpec(0x7E, "i64.mul", "none"),
+    OpSpec(0x7F, "i64.div_s", "none"),
+    OpSpec(0x80, "i64.div_u", "none"),
+    OpSpec(0x81, "i64.rem_s", "none"),
+    OpSpec(0x82, "i64.rem_u", "none"),
+    OpSpec(0x83, "i64.and", "none"),
+    OpSpec(0x84, "i64.or", "none"),
+    OpSpec(0x85, "i64.xor", "none"),
+    OpSpec(0x86, "i64.shl", "none"),
+    OpSpec(0x87, "i64.shr_s", "none"),
+    OpSpec(0x88, "i64.shr_u", "none"),
+    OpSpec(0x89, "i64.rotl", "none"),
+    OpSpec(0x8A, "i64.rotr", "none"),
+    # float arithmetic (subset)
+    OpSpec(0x8B, "f32.abs", "none"),
+    OpSpec(0x8C, "f32.neg", "none"),
+    OpSpec(0x91, "f32.sqrt", "none"),
+    OpSpec(0x92, "f32.add", "none"),
+    OpSpec(0x93, "f32.sub", "none"),
+    OpSpec(0x94, "f32.mul", "none"),
+    OpSpec(0x95, "f32.div", "none"),
+    OpSpec(0x99, "f64.abs", "none"),
+    OpSpec(0x9A, "f64.neg", "none"),
+    OpSpec(0x9F, "f64.sqrt", "none"),
+    OpSpec(0xA0, "f64.add", "none"),
+    OpSpec(0xA1, "f64.sub", "none"),
+    OpSpec(0xA2, "f64.mul", "none"),
+    OpSpec(0xA3, "f64.div", "none"),
+    # conversions (subset)
+    OpSpec(0xA7, "i32.wrap_i64", "none"),
+    OpSpec(0xAC, "i64.extend_i32_s", "none"),
+    OpSpec(0xAD, "i64.extend_i32_u", "none"),
+    OpSpec(0xB6, "f32.demote_f64", "none"),
+    OpSpec(0xBB, "f64.promote_f32", "none"),
+    OpSpec(0xBC, "i32.reinterpret_f32", "none"),
+    OpSpec(0xBD, "i64.reinterpret_f64", "none"),
+]
+
+#: opcode byte -> OpSpec
+BY_CODE: dict[int, OpSpec] = {spec.code: spec for spec in _OPS}
+#: mnemonic -> OpSpec
+BY_NAME: dict[str, OpSpec] = {spec.name: spec for spec in _OPS}
+
+#: Instruction-name groups used by the fingerprint feature extractor.
+XOR_OPS = frozenset({"i32.xor", "i64.xor"})
+SHIFT_OPS = frozenset(
+    {"i32.shl", "i32.shr_s", "i32.shr_u", "i64.shl", "i64.shr_s", "i64.shr_u"}
+)
+ROTATE_OPS = frozenset({"i32.rotl", "i32.rotr", "i64.rotl", "i64.rotr"})
+LOAD_OPS = frozenset(name for name in BY_NAME if ".load" in name)
+STORE_OPS = frozenset(name for name in BY_NAME if ".store" in name)
+MUL_OPS = frozenset({"i32.mul", "i64.mul"})
+FLOAT_OPS = frozenset(name for name in BY_NAME if name.startswith(("f32.", "f64.")))
+
+
+def spec_for(code: int) -> OpSpec:
+    """Look up the :class:`OpSpec` for an opcode byte."""
+    try:
+        return BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown or unsupported opcode 0x{code:02X}") from None

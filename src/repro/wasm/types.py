@@ -1,0 +1,177 @@
+"""Data model for WebAssembly modules (MVP subset).
+
+The model mirrors the binary section layout: a :class:`Module` owns type,
+import, function, memory, global, export, and code sections, plus the
+``name`` custom section carrying function names (the decoder exposes those
+because the paper's classifier uses function names as a feature).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class ValType(enum.IntEnum):
+    """WebAssembly value types with their binary encodings."""
+
+    I32 = 0x7F
+    I64 = 0x7E
+    F32 = 0x7D
+    F64 = 0x7C
+
+    @classmethod
+    def from_byte(cls, byte: int) -> "ValType":
+        try:
+            return cls(byte)
+        except ValueError:
+            raise ValueError(f"invalid valtype byte 0x{byte:02X}") from None
+
+
+#: Block type: ``None`` encodes the empty type (0x40), otherwise a ValType.
+BlockType = Optional[ValType]
+
+#: Immediate operand values an instruction may carry.
+Operand = Union[int, float, ValType, None, tuple]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction: mnemonic plus immediate operands.
+
+    ``operands`` layout per immediate kind (see :mod:`repro.wasm.opcodes`):
+
+    - ``none``: ``()``
+    - ``blocktype``: ``(BlockType,)``
+    - ``u32``: ``(index,)``
+    - ``u32x2``: ``(a, b)``
+    - ``memarg``: ``(align, offset)``
+    - ``i32``/``i64``: ``(value,)``
+    - ``f32``/``f64``: ``(value,)``
+    - ``br_table``: ``(labels_tuple, default_label)``
+    """
+
+    name: str
+    operands: tuple = ()
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.name
+        return f"{self.name} {' '.join(map(str, self.operands))}"
+
+
+@dataclass(frozen=True)
+class FuncType:
+    """A function signature: parameter and result value types."""
+
+    params: tuple = ()
+    results: tuple = ()
+
+    def __str__(self) -> str:
+        ps = ", ".join(t.name.lower() for t in self.params)
+        rs = ", ".join(t.name.lower() for t in self.results)
+        return f"({ps}) -> ({rs})"
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Memory/table limits (min pages, optional max pages)."""
+
+    minimum: int
+    maximum: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Import:
+    """An imported function/memory/global.
+
+    ``kind`` is the binary external kind: 0 function, 2 memory, 3 global.
+    For functions ``desc`` is a type index; for memories a :class:`Limits`;
+    for globals a ``(ValType, mutable)`` pair.
+    """
+
+    module: str
+    name: str
+    kind: int
+    desc: object
+
+
+@dataclass(frozen=True)
+class Export:
+    """An exported item; ``kind``: 0 function, 2 memory, 3 global."""
+
+    name: str
+    kind: int
+    index: int
+
+
+@dataclass(frozen=True)
+class Global:
+    """A module-level global with a constant initializer."""
+
+    valtype: ValType
+    mutable: bool
+    init: Instr
+
+
+@dataclass
+class CodeEntry:
+    """One function body: local declarations plus the instruction stream.
+
+    ``locals_`` is the compressed form used in the binary: a list of
+    ``(count, ValType)`` runs. The final ``end`` instruction is represented
+    explicitly as the last element of ``body``.
+    """
+
+    locals_: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+
+    def expanded_locals(self) -> list:
+        """Flatten ``(count, type)`` runs into one ValType per local."""
+        out = []
+        for count, valtype in self.locals_:
+            out.extend([valtype] * count)
+        return out
+
+
+@dataclass
+class Module:
+    """A decoded (or to-be-encoded) WebAssembly module.
+
+    ``func_type_indices[i]`` gives the type index for the i-th *local*
+    function, whose body is ``codes[i]``. Function index space = imported
+    functions first, then local functions (spec behaviour). ``func_names``
+    maps *function-space* indices to names from the ``name`` custom section.
+    """
+
+    types: list = field(default_factory=list)
+    imports: list = field(default_factory=list)
+    func_type_indices: list = field(default_factory=list)
+    memories: list = field(default_factory=list)
+    globals_: list = field(default_factory=list)
+    exports: list = field(default_factory=list)
+    codes: list = field(default_factory=list)
+    func_names: dict = field(default_factory=dict)
+    module_name: Optional[str] = None
+
+    def num_imported_funcs(self) -> int:
+        return sum(1 for imp in self.imports if imp.kind == 0)
+
+    def num_funcs(self) -> int:
+        """Total size of the function index space."""
+        return self.num_imported_funcs() + len(self.func_type_indices)
+
+    def exported_func_names(self) -> list:
+        return [e.name for e in self.exports if e.kind == 0]
+
+    def all_function_names(self) -> list:
+        """Names from the name section plus exported function names."""
+        names = list(self.func_names.values())
+        names.extend(self.exported_func_names())
+        return names
+
+    def iter_instructions(self):
+        """Yield every instruction of every local function, in order."""
+        for code in self.codes:
+            yield from code.body

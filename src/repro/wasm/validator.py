@@ -1,0 +1,109 @@
+"""Structural validation for decoded modules.
+
+Full type-checking of WebAssembly is out of scope; what the crawling
+pipeline needs is a fast plausibility check that separates well-formed
+modules from garbage bytes that happen to start with the magic number.
+The validator checks index-space consistency, export targets, control-flow
+nesting, and local/global references.
+"""
+
+from __future__ import annotations
+
+from repro.wasm.types import Module
+
+
+class WasmValidationError(ValueError):
+    """Raised when a decoded module is structurally inconsistent."""
+
+
+def validate_module(module: Module) -> None:
+    """Validate structural invariants; raises :class:`WasmValidationError`."""
+    num_types = len(module.types)
+    for i, type_index in enumerate(module.func_type_indices):
+        if type_index >= num_types:
+            raise WasmValidationError(
+                f"function {i} references type {type_index} of {num_types}"
+            )
+    for imp in module.imports:
+        if imp.kind == 0 and imp.desc >= num_types:
+            raise WasmValidationError(
+                f"import {imp.module}.{imp.name} references type {imp.desc}"
+            )
+
+    num_funcs = module.num_funcs()
+    num_globals = len(module.globals_) + sum(
+        1 for imp in module.imports if imp.kind == 3
+    )
+    num_memories = len(module.memories) + sum(
+        1 for imp in module.imports if imp.kind == 2
+    )
+    if num_memories > 1:
+        raise WasmValidationError("MVP allows at most one memory")
+
+    for export in module.exports:
+        if export.kind == 0 and export.index >= num_funcs:
+            raise WasmValidationError(f"export {export.name!r} references function {export.index}")
+        if export.kind == 2 and export.index >= num_memories:
+            raise WasmValidationError(f"export {export.name!r} references memory {export.index}")
+        if export.kind == 3 and export.index >= num_globals:
+            raise WasmValidationError(f"export {export.name!r} references global {export.index}")
+
+    num_imported = module.num_imported_funcs()
+    for func_index, code in enumerate(module.codes):
+        num_locals = len(module.types[module.func_type_indices[func_index]].params) + sum(
+            count for count, _ in code.locals_
+        )
+        _validate_body(code, func_index, num_locals, num_funcs, num_globals)
+    # name-section indices must lie in the function index space
+    for index in module.func_names:
+        if index >= num_funcs:
+            raise WasmValidationError(f"name section references function {index}")
+    del num_imported  # index-space arithmetic documented above
+
+
+def _validate_body(code, func_index: int, num_locals: int, num_funcs: int, num_globals: int) -> None:
+    depth = 0
+    saw_final_end = False
+    for instr in code.body:
+        if saw_final_end:
+            raise WasmValidationError(f"function {func_index}: code after final end")
+        name = instr.name
+        if name in ("block", "loop", "if"):
+            depth += 1
+        elif name == "end":
+            if depth == 0:
+                saw_final_end = True
+            else:
+                depth -= 1
+        elif name == "else":
+            if depth == 0:
+                raise WasmValidationError(f"function {func_index}: else outside if")
+        elif name in ("br", "br_if"):
+            if instr.operands[0] > depth:
+                raise WasmValidationError(
+                    f"function {func_index}: branch depth {instr.operands[0]} exceeds nesting {depth}"
+                )
+        elif name == "br_table":
+            labels, default = instr.operands
+            for label in (*labels, default):
+                if label > depth:
+                    raise WasmValidationError(
+                        f"function {func_index}: br_table label {label} exceeds nesting {depth}"
+                    )
+        elif name in ("local.get", "local.set", "local.tee"):
+            if instr.operands[0] >= num_locals:
+                raise WasmValidationError(
+                    f"function {func_index}: local {instr.operands[0]} of {num_locals}"
+                )
+        elif name in ("global.get", "global.set"):
+            if instr.operands[0] >= num_globals:
+                raise WasmValidationError(
+                    f"function {func_index}: global {instr.operands[0]} of {num_globals}"
+                )
+        elif name == "call":
+            if instr.operands[0] >= num_funcs:
+                raise WasmValidationError(
+                    f"function {func_index}: call target {instr.operands[0]} of {num_funcs}"
+                )
+    if not saw_final_end:
+        raise WasmValidationError(f"function {func_index}: missing final end")

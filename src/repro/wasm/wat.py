@@ -1,0 +1,99 @@
+"""WebAssembly text-format (WAT-style) printing.
+
+The paper built its signature database "through manual inspection of the
+Wasm"; inspecting binaries needs a disassembler. This prints decoded
+modules in a readable, WAT-flavoured form (folded types, indented bodies)
+— not guaranteed to round-trip through an external ``wat2wasm``, but exact
+about instructions and immediates.
+"""
+
+from __future__ import annotations
+
+from repro.wasm.types import CodeEntry, FuncType, Instr, Module, ValType
+
+_VALNAMES = {ValType.I32: "i32", ValType.I64: "i64", ValType.F32: "f32", ValType.F64: "f64"}
+
+
+def _format_type(functype: FuncType) -> str:
+    parts = []
+    if functype.params:
+        parts.append("(param " + " ".join(_VALNAMES[t] for t in functype.params) + ")")
+    if functype.results:
+        parts.append("(result " + " ".join(_VALNAMES[t] for t in functype.results) + ")")
+    return " ".join(parts)
+
+
+def _format_instr(instr: Instr) -> str:
+    name = instr.name
+    ops = instr.operands
+    if not ops:
+        return name
+    if name in ("block", "loop", "if"):
+        blocktype = ops[0]
+        return name if blocktype is None else f"{name} (result {_VALNAMES[blocktype]})"
+    if name == "br_table":
+        labels, default = ops
+        return f"br_table {' '.join(map(str, labels))} {default}"
+    if name.endswith((".load", ".store")) or ".load" in name or ".store" in name:
+        align, offset = ops
+        suffix = []
+        if offset:
+            suffix.append(f"offset={offset}")
+        if align:
+            suffix.append(f"align={1 << align}")
+        return f"{name} {' '.join(suffix)}".rstrip()
+    return f"{name} {' '.join(map(str, ops))}"
+
+
+def print_function(module: Module, index: int) -> str:
+    """WAT text of one local function (0-based local index)."""
+    code: CodeEntry = module.codes[index]
+    functype = module.types[module.func_type_indices[index]]
+    func_space_index = module.num_imported_funcs() + index
+    name = module.func_names.get(func_space_index)
+    header = f"(func ${name}" if name else f"(func (;{func_space_index};)"
+    header += f" {_format_type(functype)}".rstrip()
+    lines = [header]
+    locals_ = code.expanded_locals()
+    if locals_:
+        lines.append("  (local " + " ".join(_VALNAMES[t] for t in locals_) + ")")
+    depth = 1
+    for instr in code.body[:-1]:  # final end closes the func
+        if instr.name in ("end", "else"):
+            depth = max(1, depth - 1)
+        lines.append("  " * depth + _format_instr(instr))
+        if instr.name in ("block", "loop", "if", "else"):
+            depth += 1
+    lines.append(")")
+    return "\n".join(lines)
+
+
+def print_module(module: Module, max_functions: int = None) -> str:
+    """WAT text of a whole module."""
+    lines = ["(module" + (f" ${module.module_name}" if module.module_name else "")]
+    for i, functype in enumerate(module.types):
+        lines.append(f"  (type (;{i};) (func {_format_type(functype)}))".replace("  )", ")"))
+    for imp in module.imports:
+        kind = {0: "func", 2: "memory", 3: "global"}.get(imp.kind, "?")
+        lines.append(f'  (import "{imp.module}" "{imp.name}" ({kind}))')
+    for limits in module.memories:
+        maximum = f" {limits.maximum}" if limits.maximum is not None else ""
+        lines.append(f"  (memory {limits.minimum}{maximum})")
+    count = len(module.codes) if max_functions is None else min(max_functions, len(module.codes))
+    for i in range(count):
+        body = print_function(module, i)
+        lines.extend("  " + line for line in body.splitlines())
+    if max_functions is not None and count < len(module.codes):
+        lines.append(f"  ;; … {len(module.codes) - count} more functions")
+    for export in module.exports:
+        kind = {0: "func", 2: "memory", 3: "global"}.get(export.kind, "?")
+        lines.append(f'  (export "{export.name}" ({kind} {export.index}))')
+    lines.append(")")
+    return "\n".join(lines)
+
+
+def disassemble(wasm_bytes: bytes, max_functions: int = None) -> str:
+    """Decode and print in one call."""
+    from repro.wasm.decoder import decode_module
+
+    return print_module(decode_module(wasm_bytes), max_functions=max_functions)

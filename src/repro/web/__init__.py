@@ -1,0 +1,47 @@
+"""Web substrate.
+
+Everything between a domain name and the data the paper's detectors
+consume: a synthetic web of sites, an HTML parser, a zgrab-style
+landing-page fetcher (Section 3.1), WebSocket channels, and an instrumented
+headless browser with DevTools-like capture of WebSocket frames and dumped
+WebAssembly modules (Section 3.2).
+
+- :mod:`repro.web.html` — HTML tokenizer/parser/serializer.
+- :mod:`repro.web.http` — simulated HTTP/TLS transfers and the
+  :class:`~repro.web.http.SyntheticWeb` origin registry.
+- :mod:`repro.web.websocket` — WebSocket channels with frame capture.
+- :mod:`repro.web.scripts` — declarative script behaviours (miners, ads,
+  analytics, DOM builders) executed by the browser.
+- :mod:`repro.web.zgrab` — the light-weight TLS landing-page fetcher.
+- :mod:`repro.web.browser` — the headless browser with the paper's
+  page-load heuristic (load event, 2 s DOM-quiet timer, +5 s cap, 15 s
+  timeout) and capture hooks.
+"""
+
+from repro.web.html import HtmlElement, HtmlParser, parse_html
+from repro.web.http import (
+    FetchError,
+    HttpResponse,
+    Resource,
+    SyntheticWeb,
+)
+from repro.web.websocket import WebSocketChannel, WebSocketClosed
+from repro.web.zgrab import ZgrabFetcher, ZgrabResult
+from repro.web.browser import BrowserConfig, HeadlessBrowser, PageResult
+
+__all__ = [
+    "HtmlElement",
+    "HtmlParser",
+    "parse_html",
+    "FetchError",
+    "HttpResponse",
+    "Resource",
+    "SyntheticWeb",
+    "WebSocketChannel",
+    "WebSocketClosed",
+    "ZgrabFetcher",
+    "ZgrabResult",
+    "BrowserConfig",
+    "HeadlessBrowser",
+    "PageResult",
+]

@@ -1,0 +1,292 @@
+"""HTML tokenizer, parser, and serializer.
+
+The paper extracts ``<script>`` tags with lxml before applying the NoCoin
+list and saves rendered HTML for re-matching. We implement a small
+fault-tolerant HTML parser (crawled pages are truncated at 256 kB and often
+malformed) sufficient for:
+
+- extracting script tags (``src`` attribute and inline text),
+- walking elements and text for categorization,
+- serializing a (mutated) DOM back to HTML.
+
+It is intentionally not a full HTML5 tree builder: no implied-tag
+inference, no entity decoding beyond the common five — crawl analysis needs
+robustness, not spec completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+VOID_ELEMENTS = frozenset(
+    {"area", "base", "br", "col", "embed", "hr", "img", "input",
+     "link", "meta", "param", "source", "track", "wbr"}
+)
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+_ENTITIES = {"&amp;": "&", "&lt;": "<", "&gt;": ">", "&quot;": '"', "&#39;": "'"}
+
+
+def unescape(text: str) -> str:
+    """Decode the five common HTML entities."""
+    for entity, char in _ENTITIES.items():
+        if entity in text:
+            text = text.replace(entity, char)
+    return text
+
+
+def escape(text: str) -> str:
+    """Encode text for safe HTML embedding."""
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass
+class HtmlElement:
+    """One element node; children are elements or plain strings (text)."""
+
+    tag: str
+    attrs: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attrs.get(name.lower(), default)
+
+    def append(self, child) -> None:
+        self.children.append(child)
+
+    def text(self) -> str:
+        """Concatenated text content of the subtree."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.text())
+        return "".join(parts)
+
+    def iter(self) -> Iterator["HtmlElement"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, HtmlElement):
+                yield from child.iter()
+
+    def find_all(self, tag: str) -> list:
+        tag = tag.lower()
+        return [el for el in self.iter() if el.tag == tag]
+
+    def serialize(self) -> str:
+        attrs = "".join(
+            f' {name}="{escape(value)}"' if value is not None else f" {name}"
+            for name, value in self.attrs.items()
+        )
+        if self.tag in VOID_ELEMENTS:
+            return f"<{self.tag}{attrs}>"
+        inner = []
+        for child in self.children:
+            if isinstance(child, str):
+                # script/style bodies must not be entity-escaped
+                inner.append(child if self.tag in RAW_TEXT_ELEMENTS else escape(child))
+            else:
+                inner.append(child.serialize())
+        return f"<{self.tag}{attrs}>{''.join(inner)}</{self.tag}>"
+
+
+@dataclass
+class HtmlDocument:
+    """Parse result: a root element (synthetic ``#document``)."""
+
+    root: HtmlElement
+
+    def find_all(self, tag: str) -> list:
+        return self.root.find_all(tag)
+
+    def scripts(self) -> list:
+        """All script tags as ``(src, inline_text)`` pairs."""
+        out = []
+        for el in self.root.find_all("script"):
+            out.append((el.get("src"), el.text()))
+        return out
+
+    def title(self) -> str:
+        titles = self.root.find_all("title")
+        return titles[0].text().strip() if titles else ""
+
+    def body_text(self) -> str:
+        bodies = self.root.find_all("body")
+        return bodies[0].text() if bodies else self.root.text()
+
+    def serialize(self) -> str:
+        return "".join(
+            child if isinstance(child, str) else child.serialize()
+            for child in self.root.children
+        )
+
+
+class HtmlParser:
+    """Fault-tolerant, single-pass HTML parser.
+
+    Unknown constructs degrade to text; unclosed tags close implicitly at
+    EOF (truncated crawls!); mismatched end tags pop to the nearest matching
+    open element, or are dropped if none matches.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def parse(self) -> HtmlDocument:
+        root = HtmlElement("#document")
+        stack = [root]
+        while self.pos < self.length:
+            if self.text.startswith("<!--", self.pos):
+                self._skip_comment()
+            elif self.text.startswith("<!", self.pos) or self.text.startswith("<?", self.pos):
+                self._skip_declaration()
+            elif self.text.startswith("</", self.pos):
+                self._handle_end_tag(stack)
+            elif self.text.startswith("<", self.pos) and self._looks_like_tag():
+                self._handle_start_tag(stack)
+            else:
+                self._handle_text(stack)
+        return HtmlDocument(root)
+
+    # -- token handlers --------------------------------------------------------
+
+    def _looks_like_tag(self) -> bool:
+        nxt = self.pos + 1
+        return nxt < self.length and (self.text[nxt].isalpha())
+
+    def _skip_comment(self) -> None:
+        end = self.text.find("-->", self.pos + 4)
+        self.pos = self.length if end == -1 else end + 3
+
+    def _skip_declaration(self) -> None:
+        end = self.text.find(">", self.pos)
+        self.pos = self.length if end == -1 else end + 1
+
+    def _handle_text(self, stack: list) -> None:
+        next_tag = self.text.find("<", self.pos + 1)
+        end = self.length if next_tag == -1 else next_tag
+        chunk = self.text[self.pos : end]
+        if chunk.strip():
+            stack[-1].append(unescape(chunk))
+        self.pos = end
+
+    def _handle_end_tag(self, stack: list) -> None:
+        end = self.text.find(">", self.pos)
+        if end == -1:
+            self.pos = self.length
+            return
+        tag = self.text[self.pos + 2 : end].strip().split()[0].lower() if self.text[self.pos + 2 : end].strip() else ""
+        self.pos = end + 1
+        for i in range(len(stack) - 1, 0, -1):
+            if stack[i].tag == tag:
+                del stack[i:]
+                return
+        # no matching open element: drop the stray end tag
+
+    def _handle_start_tag(self, stack: list) -> None:
+        end = self._find_tag_end(self.pos)
+        if end == -1:
+            # truncated mid-tag: swallow the rest
+            self.pos = self.length
+            return
+        raw = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        self_closing = raw.rstrip().endswith("/")
+        if self_closing:
+            raw = raw.rstrip()[:-1]
+        tag, attrs = self._parse_tag_contents(raw)
+        if not tag:
+            return
+        element = HtmlElement(tag, attrs)
+        stack[-1].append(element)
+        if tag in RAW_TEXT_ELEMENTS and not self_closing:
+            self._consume_raw_text(element, tag)
+        elif tag not in VOID_ELEMENTS and not self_closing:
+            stack.append(element)
+
+    def _find_tag_end(self, start: int) -> int:
+        """Find the closing ``>`` of a tag, respecting quoted attributes."""
+        i = start + 1
+        quote: Optional[str] = None
+        while i < self.length:
+            char = self.text[i]
+            if quote is not None:
+                if char == quote:
+                    quote = None
+            elif char in "\"'":
+                quote = char
+            elif char == ">":
+                return i
+            i += 1
+        return -1
+
+    def _parse_tag_contents(self, raw: str) -> tuple:
+        i = 0
+        n = len(raw)
+        while i < n and not raw[i].isspace():
+            i += 1
+        tag = raw[:i].lower()
+        attrs: dict = {}
+        while i < n:
+            while i < n and raw[i].isspace():
+                i += 1
+            if i >= n:
+                break
+            name_start = i
+            while i < n and raw[i] not in "=\t\n\r " :
+                i += 1
+            name = raw[name_start:i].lower()
+            if not name:
+                break
+            while i < n and raw[i].isspace():
+                i += 1
+            if i < n and raw[i] == "=":
+                i += 1
+                while i < n and raw[i].isspace():
+                    i += 1
+                if i < n and raw[i] in "\"'":
+                    quote = raw[i]
+                    i += 1
+                    value_start = i
+                    while i < n and raw[i] != quote:
+                        i += 1
+                    attrs[name] = unescape(raw[value_start:i])
+                    i += 1
+                else:
+                    value_start = i
+                    while i < n and not raw[i].isspace():
+                        i += 1
+                    attrs[name] = unescape(raw[value_start:i])
+            else:
+                attrs[name] = None
+        return tag, attrs
+
+    def _consume_raw_text(self, element: HtmlElement, tag: str) -> None:
+        """Script/style bodies: raw text until the matching end tag."""
+        close = f"</{tag}"
+        lower = self.text.lower()
+        idx = lower.find(close, self.pos)
+        if idx == -1:
+            element.append(self.text[self.pos :])
+            self.pos = self.length
+            return
+        element.append(self.text[self.pos : idx])
+        end = self.text.find(">", idx)
+        self.pos = self.length if end == -1 else end + 1
+
+
+def parse_html(text: str) -> HtmlDocument:
+    """Parse ``text`` into an :class:`HtmlDocument` (never raises)."""
+    return HtmlParser(text).parse()
+
+
+def extract_scripts(html: str) -> list:
+    """Convenience: ``(src, inline_text)`` for every script tag in ``html``."""
+    return parse_html(html).scripts()

@@ -1,0 +1,177 @@
+"""Simulated HTTP/TLS transfers and the synthetic web.
+
+:class:`SyntheticWeb` is the origin registry the crawlers talk to. Each
+registered :class:`Resource` serves bytes for a URL, optionally redirects,
+and carries a latency model. Fidelity points that matter to the paper's
+measurements:
+
+- TLS-only fetches fail on plain-HTTP-only sites (the zgrab dataset is
+  TLS-only; the Chrome crawl also covers non-HTTPS sites — Table 2's
+  populations differ for exactly this reason),
+- redirects (``http://www.example.org`` → ``https://…``),
+- truncation is the *client's* job (zgrab stops at 256 kB),
+- unresponsive origins hang until the client's timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+ContentProvider = Union[bytes, Callable[[], bytes]]
+
+
+class FetchError(Exception):
+    """A failed transfer (DNS, refused, TLS mismatch, timeout)."""
+
+    def __init__(self, url: str, reason: str) -> None:
+        super().__init__(f"{url}: {reason}")
+        self.url = url
+        self.reason = reason
+
+
+@dataclass
+class Resource:
+    """One servable URL.
+
+    ``content`` may be bytes or a zero-argument callable (for dynamic
+    pages). ``redirect_to`` wins over content. ``latency`` is the simulated
+    transfer time in seconds; ``hang`` marks an origin that accepts the
+    connection but never responds (the paper's 15 s browser timeout exists
+    because such sites are common).
+    """
+
+    content: ContentProvider = b""
+    content_type: str = "text/html"
+    redirect_to: Optional[str] = None
+    latency: float = 0.05
+    hang: bool = False
+    status: int = 200
+
+    def body(self) -> bytes:
+        if callable(self.content):
+            return self.content()
+        return self.content
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A completed transfer."""
+
+    url: str
+    status: int
+    body: bytes
+    content_type: str
+    elapsed: float
+    redirects: tuple = ()
+
+
+def split_url(url: str) -> tuple:
+    """``(scheme, host, path)`` from a URL; raises :class:`ValueError`."""
+    if "://" not in url:
+        raise ValueError(f"URL without scheme: {url!r}")
+    scheme, rest = url.split("://", 1)
+    if scheme not in ("http", "https", "ws", "wss"):
+        raise ValueError(f"unsupported scheme {scheme!r}")
+    host, _, path = rest.partition("/")
+    if not host:
+        raise ValueError(f"URL without host: {url!r}")
+    return scheme, host.lower(), "/" + path
+
+
+@dataclass
+class SyntheticWeb:
+    """The registry of everything fetchable in a simulation.
+
+    URLs are stored normalized as ``scheme://host/path``. Hosts absent from
+    the registry raise DNS-style failures; ``https`` URLs for hosts marked
+    HTTP-only raise TLS failures.
+    """
+
+    resources: dict = field(default_factory=dict)
+    https_hosts: set = field(default_factory=set)
+    ws_handlers: dict = field(default_factory=dict)
+    max_redirects: int = 5
+
+    def register_ws(self, url: str, handler: Callable) -> None:
+        """Register a WebSocket endpoint handler ``(channel, payload) -> None``."""
+        scheme, host, path = split_url(url)
+        if scheme not in ("ws", "wss"):
+            raise ValueError(f"WebSocket URL must be ws:// or wss://, got {url!r}")
+        self.ws_handlers[f"{scheme}://{host}{path}"] = handler
+
+    def lookup_ws(self, url: str) -> Callable:
+        scheme, host, path = split_url(url)
+        handler = self.ws_handlers.get(f"{scheme}://{host}{path}")
+        if handler is None:
+            raise FetchError(url, "no WebSocket endpoint")
+        return handler
+
+    def register(self, url: str, resource: Resource) -> None:
+        scheme, host, path = split_url(url)
+        if scheme == "https":
+            self.https_hosts.add(host)
+        self.resources[f"{scheme}://{host}{path}"] = resource
+
+    def register_page(
+        self,
+        url: str,
+        html: ContentProvider,
+        latency: float = 0.05,
+        hang: bool = False,
+    ) -> None:
+        self.register(url, Resource(content=html, latency=latency, hang=hang))
+
+    def has_host(self, host: str) -> bool:
+        host = host.lower()
+        prefix_variants = (f"http://{host}/", f"https://{host}/")
+        return any(key.startswith(prefix_variants) for key in self.resources)
+
+    def lookup(self, url: str) -> Resource:
+        scheme, host, path = split_url(url)
+        key = f"{scheme}://{host}{path}"
+        resource = self.resources.get(key)
+        if resource is not None:
+            return resource
+        if not self.has_host(host):
+            raise FetchError(url, "name not resolved")
+        if scheme == "https" and host not in self.https_hosts:
+            raise FetchError(url, "TLS handshake failed (no HTTPS endpoint)")
+        raise FetchError(url, "404 not found")
+
+    def fetch(
+        self,
+        url: str,
+        max_bytes: Optional[int] = None,
+        timeout: float = 10.0,
+        follow_redirects: bool = True,
+    ) -> HttpResponse:
+        """Perform a blocking simulated transfer.
+
+        ``max_bytes`` truncates the body client-side (zgrab's 256 kB cut).
+        ``timeout`` converts hanging origins into :class:`FetchError`.
+        """
+        redirects: list[str] = []
+        current = url
+        elapsed = 0.0
+        for _ in range(self.max_redirects + 1):
+            resource = self.lookup(current)
+            elapsed += resource.latency
+            if resource.hang or elapsed > timeout:
+                raise FetchError(current, "timed out")
+            if resource.redirect_to is not None and follow_redirects:
+                redirects.append(current)
+                current = resource.redirect_to
+                continue
+            body = resource.body()
+            if max_bytes is not None:
+                body = body[:max_bytes]
+            return HttpResponse(
+                url=current,
+                status=resource.status,
+                body=body,
+                content_type=resource.content_type,
+                elapsed=elapsed,
+                redirects=tuple(redirects),
+            )
+        raise FetchError(url, "too many redirects")

@@ -1,0 +1,92 @@
+"""Simulated WebSocket channels.
+
+The browser's DevTools capture (Section 3.2 of the paper) records every
+frame sent or received on every WebSocket a page opens. We model a channel
+as a pair of in-process endpoints bridged by the event loop, with an
+optional capture callback seeing ``(direction, url, payload, time)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class WebSocketClosed(RuntimeError):
+    """Raised when sending on a closed channel."""
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One frame as the DevTools instrumentation records it."""
+
+    url: str
+    direction: str  # "sent" (page → server) or "received"
+    payload: str
+    time: float
+
+
+@dataclass
+class WebSocketChannel:
+    """A client-side WebSocket bound to a server handler.
+
+    ``server_handler(channel, payload)`` is invoked (via the event loop,
+    after ``latency``) for every client frame; the handler replies with
+    :meth:`server_send`. Frames pass through ``capture`` when installed.
+    """
+
+    url: str
+    loop: object  # EventLoop
+    server_handler: Callable[["WebSocketChannel", str], None]
+    latency: float = 0.03
+    capture: Optional[Callable[[CapturedFrame], None]] = None
+    on_message: Optional[Callable[[str], None]] = None
+    closed: bool = False
+    frames_sent: int = 0
+    frames_received: int = 0
+    _pending_events: list = field(default_factory=list)
+
+    def send(self, payload: str) -> None:
+        """Page → server."""
+        if self.closed:
+            raise WebSocketClosed(self.url)
+        self.frames_sent += 1
+        self._capture("sent", payload)
+        event = self.loop.call_later(self.latency, self._deliver_to_server, payload)
+        self._pending_events.append(event)
+
+    def _deliver_to_server(self, payload: str) -> None:
+        if not self.closed:
+            self.server_handler(self, payload)
+
+    def server_send(self, payload: str) -> None:
+        """Server → page (called from the server handler)."""
+        if self.closed:
+            return
+        event = self.loop.call_later(self.latency, self._deliver_to_client, payload)
+        self._pending_events.append(event)
+
+    def _deliver_to_client(self, payload: str) -> None:
+        if self.closed:
+            return
+        self.frames_received += 1
+        self._capture("received", payload)
+        if self.on_message is not None:
+            self.on_message(payload)
+
+    def close(self) -> None:
+        self.closed = True
+        for event in self._pending_events:
+            event.cancel()
+        self._pending_events.clear()
+
+    def _capture(self, direction: str, payload: str) -> None:
+        if self.capture is not None:
+            self.capture(
+                CapturedFrame(
+                    url=self.url,
+                    direction=direction,
+                    payload=payload,
+                    time=self.loop.now,
+                )
+            )

@@ -1,0 +1,56 @@
+"""The light-weight landing-page fetcher (Section 3.1).
+
+The paper's first pass visits every domain prefixed with ``www.`` over TLS
+and downloads the first 256 kB of the landing page with zgrab; the HTML is
+then matched against the NoCoin list. This module reproduces that client:
+TLS-only, fixed byte budget, no script execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.web.http import FetchError, SyntheticWeb
+
+DEFAULT_MAX_BYTES = 256 * 1024
+
+
+@dataclass(frozen=True)
+class ZgrabResult:
+    """Outcome of one zgrab-style fetch."""
+
+    domain: str
+    url: str
+    ok: bool
+    body: str = ""
+    error: Optional[str] = None
+    truncated: bool = False
+
+
+@dataclass
+class ZgrabFetcher:
+    """Downloads ``https://www.<domain>/`` bodies, truncated at 256 kB."""
+
+    web: SyntheticWeb
+    max_bytes: int = DEFAULT_MAX_BYTES
+    timeout: float = 10.0
+
+    def fetch_domain(self, domain: str) -> ZgrabResult:
+        url = f"https://www.{domain}/"
+        try:
+            response = self.web.fetch(url, max_bytes=self.max_bytes, timeout=self.timeout)
+        except (FetchError, ValueError) as exc:
+            return ZgrabResult(domain=domain, url=url, ok=False, error=str(exc))
+        body = response.body.decode("utf-8", errors="replace")
+        return ZgrabResult(
+            domain=domain,
+            url=response.url,
+            ok=True,
+            body=body,
+            truncated=len(response.body) >= self.max_bytes,
+        )
+
+    def fetch_many(self, domains) -> list:
+        """Fetch a batch of domains (order preserved)."""
+        return [self.fetch_domain(domain) for domain in domains]

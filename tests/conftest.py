@@ -1,0 +1,67 @@
+"""Shared fixtures.
+
+Expensive artifacts (signature database, populations, Coinhive service)
+are session-scoped: they are deterministic, read-only in the tests that
+share them, and dominate collection time otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.difficulty import DifficultyAdjuster
+from repro.blockchain.hashing import FAST_PARAMS
+from repro.coinhive.service import CoinhiveService
+from repro.core.signatures import build_reference_database
+from repro.wasm.builder import ModuleBlueprint, WasmCorpusBuilder
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return WasmCorpusBuilder()
+
+
+@pytest.fixture(scope="session")
+def signature_db(corpus):
+    return build_reference_database(corpus)
+
+
+@pytest.fixture(scope="session")
+def coinhive_wasm(corpus):
+    return corpus.build(ModuleBlueprint("coinhive", 0))
+
+
+@pytest.fixture(scope="session")
+def benign_wasm(corpus):
+    return corpus.build(ModuleBlueprint("math-lib", 0))
+
+
+@pytest.fixture()
+def small_chain():
+    """A fresh fast-PoW chain with quick retargeting."""
+    return Blockchain(
+        pow_params=FAST_PARAMS,
+        adjuster=DifficultyAdjuster(window=20, cut=2, initial_difficulty=64),
+        genesis_timestamp=1_525_000_000,
+    )
+
+
+@pytest.fixture()
+def coinhive_service(small_chain):
+    return CoinhiveService(chain=small_chain)
+
+
+@pytest.fixture(scope="session")
+def alexa_population():
+    """A small but fully wired Alexa population (scale 0.08)."""
+    from repro.internet.population import build_population
+
+    return build_population("alexa", seed=77, scale=0.08)
+
+
+@pytest.fixture(scope="session")
+def shortlink_population():
+    from repro.internet.shortlinks import build_shortlink_population
+
+    return build_shortlink_population(seed=77, scale=0.002)

@@ -1,0 +1,91 @@
+"""Tests for the visitor-impact extension (the paper's future work)."""
+
+import pytest
+
+from repro.analysis.impact import (
+    DESKTOP_2013,
+    DESKTOP_2018,
+    PHONE_2018,
+    XMR_PER_HASH,
+    ad_revenue_equivalent_minutes,
+    battery_lifetime_hours,
+    visit_impact,
+)
+
+
+class TestXmrPerHash:
+    def test_consistent_with_paper_numbers(self):
+        # the pool at 5.5 MH/s should earn ≈40 XMR/day (1271 per 4 weeks)
+        per_day = 5.5e6 * 86400 * XMR_PER_HASH
+        assert per_day == pytest.approx(1271 / 28, rel=0.15)
+
+
+class TestVisitImpact:
+    def test_five_minute_visit_earns_almost_nothing(self):
+        impact = visit_impact(DESKTOP_2013, duration_s=300)
+        # 20 H/s × 300 s = 6000 hashes: a fraction of a US cent
+        assert impact.operator_revenue_usd < 0.001
+        assert impact.hashes == 6000
+
+    def test_transfer_efficiency_below_one(self):
+        """The visitor pays more in electricity than the operator earns —
+        the quantified 'huge hurdle'."""
+        for device in (DESKTOP_2013, DESKTOP_2018):
+            impact = visit_impact(device, duration_s=3600)
+            assert impact.transfer_efficiency < 1.0, device.name
+
+    def test_throttle_scales_both_sides(self):
+        full = visit_impact(DESKTOP_2018, duration_s=600, throttle=0.0)
+        half = visit_impact(DESKTOP_2018, duration_s=600, throttle=0.5)
+        assert half.hashes == pytest.approx(full.hashes / 2)
+        assert half.energy_wh == pytest.approx(full.energy_wh / 2)
+
+    def test_full_throttle_is_free(self):
+        impact = visit_impact(PHONE_2018, duration_s=600, throttle=1.0)
+        assert impact.hashes == 0
+        assert impact.energy_wh == 0
+        assert impact.visitor_cost_usd == 0
+
+    def test_phone_battery_fraction(self):
+        impact = visit_impact(PHONE_2018, duration_s=3600)
+        assert 0.1 < impact.battery_fraction < 0.6
+
+    def test_mains_device_has_no_battery_fraction(self):
+        assert visit_impact(DESKTOP_2018, duration_s=3600).battery_fraction == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            visit_impact(PHONE_2018, duration_s=-1)
+        with pytest.raises(ValueError):
+            visit_impact(PHONE_2018, duration_s=10, throttle=1.5)
+
+
+class TestBatteryLifetime:
+    def test_mining_shortens_lifetime(self):
+        mining = battery_lifetime_hours(PHONE_2018, throttle=0.0)
+        idle = PHONE_2018.battery_wh / PHONE_2018.idle_power_watts
+        assert mining < idle / 2
+
+    def test_throttle_extends_lifetime(self):
+        assert battery_lifetime_hours(PHONE_2018, 0.7) > battery_lifetime_hours(PHONE_2018, 0.0)
+
+    def test_mains_device_rejected(self):
+        with pytest.raises(ValueError):
+            battery_lifetime_hours(DESKTOP_2018)
+
+
+class TestAdComparison:
+    def test_minutes_to_match_one_ad(self):
+        # at 2 USD CPM and 90 H/s, matching one impression takes minutes,
+        # not seconds — mining loses against ads for normal dwell times
+        minutes = ad_revenue_equivalent_minutes(DESKTOP_2018, cpm_usd=2.0)
+        assert 1.0 < minutes < 120.0
+
+    def test_slow_device_needs_longer(self):
+        assert ad_revenue_equivalent_minutes(DESKTOP_2013) > ad_revenue_equivalent_minutes(
+            DESKTOP_2018
+        )
+
+    def test_invalid_cpm(self):
+        with pytest.raises(ValueError):
+            ad_revenue_equivalent_minutes(DESKTOP_2018, cpm_usd=0)

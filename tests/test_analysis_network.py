@@ -1,0 +1,73 @@
+"""Tests for the month-scale network simulation (Figure 5, Table 6)."""
+
+import pytest
+
+from repro.analysis.economics import EconomicsReport
+from repro.analysis.network import NetworkSimConfig, simulate_network
+from repro.sim.clock import utc_timestamp
+
+
+@pytest.fixture(scope="module")
+def week_observation():
+    """One simulated week spanning the Coinhive outage of 6–7 May."""
+    config = NetworkSimConfig(
+        start=utc_timestamp(2018, 5, 3),
+        end=utc_timestamp(2018, 5, 10),
+        seed=11,
+    )
+    return simulate_network(config)
+
+
+class TestSimulation:
+    def test_block_rate_near_target(self, week_observation):
+        blocks = week_observation.chain.height
+        expected = 7 * 720
+        assert abs(blocks - expected) < expected * 0.05
+
+    def test_difficulty_stays_near_initial(self, week_observation):
+        chain = week_observation.chain
+        median = chain.median_difficulty(last=1000)
+        assert median == pytest.approx(week_observation.config.initial_difficulty, rel=0.15)
+
+    def test_attribution_high_recall(self, week_observation):
+        assert week_observation.attribution_recall() > 0.9
+
+    def test_attribution_no_false_positives(self, week_observation):
+        attributed_heights = {b.height for b in week_observation.attributed}
+        assert attributed_heights <= week_observation.coinhive_truth_heights
+
+    def test_outage_day_has_few_blocks(self, week_observation):
+        per_day = week_observation.blocks_per_day()
+        outage_day = per_day.get("2018-05-06", 0)
+        normal_day = per_day.get("2018-05-04", 0)
+        assert outage_day < normal_day
+
+    def test_blocks_found_throughout_day(self, week_observation):
+        hourly = week_observation.hourly_totals()
+        assert sum(1 for count in hourly if count > 0) >= 20  # global user base
+
+    def test_deterministic(self):
+        config = NetworkSimConfig(
+            start=utc_timestamp(2018, 5, 3), end=utc_timestamp(2018, 5, 4), seed=3
+        )
+        a = simulate_network(config)
+        b = simulate_network(config)
+        assert len(a.attributed) == len(b.attributed)
+        assert a.chain.height == b.chain.height
+
+    def test_day_hour_matrix_shape(self, week_observation):
+        matrix = week_observation.day_hour_matrix()
+        for (date, hour), count in matrix.items():
+            assert 0 <= hour < 24
+            assert count > 0
+            assert date.startswith("2018-05")
+
+    def test_share_near_configured(self, week_observation):
+        share = week_observation.overall_share()
+        # configured 1.18% × May factor 1.04, minus outage losses
+        assert 0.006 < share < 0.018
+
+    def test_economics_from_attribution(self, week_observation):
+        report = EconomicsReport.from_attributed(week_observation.attributed)
+        per_block = report.xmr_mined / max(1, len(week_observation.attributed))
+        assert 4.0 < per_block < 5.0  # ≈4.55 XMR reward level

@@ -1,0 +1,107 @@
+"""Tests for the CryptoNight stand-in and the difficulty test."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockchain.hashing import (
+    CryptonightParams,
+    DEFAULT_PARAMS,
+    FAST_PARAMS,
+    cryptonight,
+    expected_hashes,
+    hash_meets_difficulty,
+)
+
+
+class TestParams:
+    def test_default_valid(self):
+        assert DEFAULT_PARAMS.scratchpad_bytes == 4096
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CryptonightParams(scratchpad_bytes=3000)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CryptonightParams(scratchpad_bytes=64)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            CryptonightParams(iterations=0)
+
+
+class TestCryptonight:
+    def test_deterministic(self):
+        assert cryptonight(b"abc") == cryptonight(b"abc")
+
+    def test_32_bytes(self):
+        assert len(cryptonight(b"abc")) == 32
+
+    def test_input_sensitivity(self):
+        assert cryptonight(b"abc") != cryptonight(b"abd")
+
+    def test_param_sensitivity(self):
+        assert cryptonight(b"abc", FAST_PARAMS) != cryptonight(b"abc", DEFAULT_PARAMS)
+
+    def test_empty_input_ok(self):
+        assert len(cryptonight(b"")) == 32
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=50, deadline=None)
+    def test_never_crashes_and_stays_32_bytes(self, data):
+        assert len(cryptonight(data, FAST_PARAMS)) == 32
+
+    def test_avalanche(self):
+        """Single-bit input flip changes roughly half the output bits."""
+        a = cryptonight(b"\x00" * 32, FAST_PARAMS)
+        b = cryptonight(b"\x01" + b"\x00" * 31, FAST_PARAMS)
+        differing = bin(int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).count("1")
+        assert 70 <= differing <= 190
+
+
+class TestDifficultyCheck:
+    def test_difficulty_one_accepts_everything(self):
+        assert hash_meets_difficulty(b"\xff" * 32, 1)
+
+    def test_zero_hash_meets_anything(self):
+        assert hash_meets_difficulty(b"\x00" * 32, 10**30)
+
+    def test_rejects_high_hash_at_high_difficulty(self):
+        assert not hash_meets_difficulty(b"\xff" * 32, 2)
+
+    def test_little_endian_interpretation(self):
+        # high trailing bytes dominate under little-endian
+        low_le = b"\xff" + b"\x00" * 31   # small as little-endian int
+        high_le = b"\x00" * 31 + b"\xff"  # huge as little-endian int
+        difficulty = 2**10
+        assert hash_meets_difficulty(low_le, difficulty)
+        assert not hash_meets_difficulty(high_le, difficulty)
+
+    def test_exact_boundary(self):
+        # hash value v passes iff v * d < 2^256
+        d = 2**128
+        boundary = (2**128).to_bytes(32, "little")
+        just_below = (2**128 - 1).to_bytes(32, "little")
+        assert not hash_meets_difficulty(boundary, d)
+        assert hash_meets_difficulty(just_below, d)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            hash_meets_difficulty(b"\x00" * 16, 10)
+
+    def test_nonpositive_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            hash_meets_difficulty(b"\x00" * 32, 0)
+
+    def test_acceptance_rate_matches_difficulty(self):
+        """Empirical acceptance ≈ 1/difficulty (the PoW's core property)."""
+        difficulty = 16
+        accepted = sum(
+            1
+            for i in range(2000)
+            if hash_meets_difficulty(cryptonight(i.to_bytes(4, "little"), FAST_PARAMS), difficulty)
+        )
+        assert 80 <= accepted <= 180  # E=125, generous bounds
+
+    def test_expected_hashes(self):
+        assert expected_hashes(1000) == 1000.0

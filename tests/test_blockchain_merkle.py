@@ -1,0 +1,85 @@
+"""Tests for Monero's tree-hash algorithm."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockchain.merkle import tree_branch_covers, tree_hash, tree_hash_cnt
+
+
+def leaves(n: int) -> list:
+    return [hashlib.sha3_256(bytes([i])).digest() for i in range(n)]
+
+
+class TestTreeHashCnt:
+    def test_values(self):
+        # pow < count <= 2*pow
+        assert tree_hash_cnt(3) == 2
+        assert tree_hash_cnt(4) == 2
+        assert tree_hash_cnt(5) == 4
+        assert tree_hash_cnt(8) == 4
+        assert tree_hash_cnt(9) == 8
+        assert tree_hash_cnt(16) == 8
+        assert tree_hash_cnt(17) == 16
+
+    def test_small_counts_rejected(self):
+        with pytest.raises(ValueError):
+            tree_hash_cnt(2)
+
+
+class TestTreeHash:
+    def test_single_leaf_is_identity(self):
+        h = leaves(1)[0]
+        assert tree_hash([h]) == h
+
+    def test_two_leaves(self):
+        a, b = leaves(2)
+        assert tree_hash([a, b]) == hashlib.sha3_256(a + b).digest()
+
+    def test_three_leaves_keeps_first_verbatim(self):
+        a, b, c = leaves(3)
+        # cnt=2; 2*cnt-n=1 leaf kept; (b,c) hashed; root = H(a || H(b||c))
+        inner = hashlib.sha3_256(b + c).digest()
+        assert tree_hash([a, b, c]) == hashlib.sha3_256(a + inner).digest()
+
+    def test_power_of_two_full_reduction(self):
+        a, b, c, d = leaves(4)
+        left = hashlib.sha3_256(a + b).digest()
+        right = hashlib.sha3_256(c + d).digest()
+        assert tree_hash([a, b, c, d]) == hashlib.sha3_256(left + right).digest()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_hash([])
+
+    def test_non_32_byte_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            tree_hash([b"short"])
+
+    def test_order_sensitivity(self):
+        a, b, c = leaves(3)
+        assert tree_hash([a, b, c]) != tree_hash([c, b, a])
+
+    def test_first_leaf_commits_uniquely(self):
+        """The coinbase (first leaf) changes ⇒ the root changes — the
+        property the pool-association method rests on."""
+        base = leaves(5)
+        other = [hashlib.sha3_256(b"other-coinbase").digest()] + base[1:]
+        assert tree_hash(base) != tree_hash(other)
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_for_any_count(self, n):
+        data = leaves(n)
+        assert tree_hash(data) == tree_hash(list(data))
+        assert len(tree_hash(data)) == 32
+
+    def test_branch_covers(self):
+        data = leaves(7)
+        root = tree_hash(data)
+        assert tree_branch_covers(root, data)
+        assert not tree_branch_covers(root, data[:-1])
+
+    def test_branch_covers_handles_invalid_input(self):
+        assert not tree_branch_covers(b"\x00" * 32, [])

@@ -1,0 +1,157 @@
+"""Tests for the simulated Monero privacy layer."""
+
+import pytest
+
+from repro.blockchain.privacy import (
+    DoubleSpendError,
+    KeyImageRegistry,
+    PrivateTransferFactory,
+    Wallet,
+    key_image_for,
+    make_stealth_output,
+    output_belongs_to,
+    sign_spend,
+    verify_spend,
+)
+from repro.sim.rng import RngStream
+
+
+@pytest.fixture()
+def rng():
+    return RngStream(42, "privacy")
+
+
+@pytest.fixture()
+def alice(rng):
+    return Wallet.create("alice", rng.substream("alice"))
+
+
+@pytest.fixture()
+def bob(rng):
+    return Wallet.create("bob", rng.substream("bob"))
+
+
+class TestStealthOutputs:
+    def test_recipient_recognizes_own_output(self, alice, rng):
+        output = make_stealth_output(alice, 1000, rng)
+        assert output_belongs_to(output, alice)
+
+    def test_others_do_not(self, alice, bob, rng):
+        output = make_stealth_output(alice, 1000, rng)
+        assert not output_belongs_to(output, bob)
+
+    def test_outputs_unlinkable(self, alice, rng):
+        """Two payments to the same address share no visible key material."""
+        a = make_stealth_output(alice, 1000, rng)
+        b = make_stealth_output(alice, 1000, rng)
+        assert a.one_time_key != b.one_time_key
+
+    def test_address_derivation_stable(self, alice):
+        assert alice.address == alice.address
+        assert alice.address.startswith("4")  # Monero mainnet prefix
+
+
+class TestRingSignatures:
+    def test_sign_and_verify(self, alice, bob, rng):
+        real = make_stealth_output(alice, 500, rng)
+        decoys = [make_stealth_output(bob, 500, rng) for _ in range(10)]
+        signature = sign_spend(real, alice, decoys, b"message", rng)
+        assert verify_spend(signature, b"message")
+        assert signature.ring_size() == 11
+
+    def test_message_binding(self, alice, bob, rng):
+        real = make_stealth_output(alice, 500, rng)
+        decoys = [make_stealth_output(bob, 500, rng) for _ in range(4)]
+        signature = sign_spend(real, alice, decoys, b"message", rng)
+        assert not verify_spend(signature, b"other message")
+
+    def test_real_member_position_hidden(self, alice, bob, rng):
+        """The real output appears somewhere in the ring, position shuffled."""
+        real = make_stealth_output(alice, 500, rng)
+        decoys = [make_stealth_output(bob, 500, rng) for _ in range(6)]
+        positions = set()
+        for i in range(20):
+            signature = sign_spend(real, alice, decoys, b"m", rng.substream(str(i)))
+            positions.add(signature.ring.index(real.one_time_key))
+        assert len(positions) > 1  # not always first
+
+    def test_trivial_ring_rejected(self, alice, rng):
+        real = make_stealth_output(alice, 500, rng)
+        signature = sign_spend(real, alice, [], b"m", rng)
+        assert not verify_spend(signature, b"m")
+
+
+class TestKeyImages:
+    def test_deterministic_per_output(self, alice, rng):
+        output = make_stealth_output(alice, 500, rng)
+        assert key_image_for(output, alice) == key_image_for(output, alice)
+
+    def test_distinct_outputs_distinct_images(self, alice, rng):
+        a = make_stealth_output(alice, 500, rng)
+        b = make_stealth_output(alice, 500, rng)
+        assert key_image_for(a, alice) != key_image_for(b, alice)
+
+    def test_registry_catches_double_spend(self):
+        registry = KeyImageRegistry()
+        registry.register(b"\x01" * 32)
+        assert registry.is_spent(b"\x01" * 32)
+        with pytest.raises(DoubleSpendError):
+            registry.register(b"\x01" * 32)
+
+
+class TestPrivateTransfers:
+    def test_transfer_produces_valid_transaction(self, alice, bob, rng):
+        factory = PrivateTransferFactory(rng=rng)
+        for _ in range(12):  # decoy pool
+            factory.fund_wallet(bob, 100)
+        funding = factory.fund_wallet(alice, 1000)
+        tx = factory.transfer(alice, funding, bob)
+        assert tx.inputs[0][0] == "key"
+        assert tx.total_output() == 1000
+        assert len(tx.hash()) == 32
+
+    def test_double_spend_rejected(self, alice, bob, rng):
+        factory = PrivateTransferFactory(rng=rng)
+        for _ in range(12):
+            factory.fund_wallet(bob, 100)
+        funding = factory.fund_wallet(alice, 1000)
+        factory.transfer(alice, funding, bob)
+        with pytest.raises(DoubleSpendError):
+            factory.transfer(alice, funding, bob)
+
+    def test_observer_cannot_link_sender(self, alice, bob, rng):
+        """The transaction reveals neither address: inputs are key images,
+        outputs are one-time keys."""
+        factory = PrivateTransferFactory(rng=rng)
+        for _ in range(12):
+            factory.fund_wallet(bob, 100)
+        funding = factory.fund_wallet(alice, 1000)
+        tx = factory.transfer(alice, funding, bob)
+        serialized = tx.serialize()
+        assert alice.address.encode() not in serialized
+        assert bob.address.encode() not in serialized
+
+    def test_private_txs_flow_through_chain_and_attribution(self, small_chain, rng):
+        """Pool association works on a chain of private transactions —
+        the method never needs to de-anonymize anyone."""
+        from repro.blockchain.chain import Mempool
+        from repro.core.pool_association import BlockAttributor
+        from repro.pool.jobs import build_template
+
+        factory = PrivateTransferFactory(rng=rng)
+        wallets = [Wallet.create(f"w{i}", rng.substream(f"w{i}")) for i in range(4)]
+        for wallet in wallets:
+            for _ in range(4):
+                factory.fund_wallet(wallet, 500)
+        mempool = Mempool()
+        outputs = [factory.fund_wallet(w, 1000) for w in wallets]
+        for wallet, funding in zip(wallets, outputs):
+            mempool.add(factory.transfer(wallet, funding, wallets[0]))
+
+        template = build_template(
+            small_chain, "coinhive", b"be0", timestamp=1_525_000_100, mempool=mempool
+        )
+        clusters = {template.header.prev_id: {template.merkle_root()}}
+        small_chain.force_append(template.to_block(nonce=5))
+        attributed = BlockAttributor(chain=small_chain).attribute(clusters)
+        assert len(attributed) == 1

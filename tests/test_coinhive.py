@@ -1,0 +1,227 @@
+"""Tests for the Coinhive service simulator."""
+
+import pytest
+
+from repro.blockchain.block import NONCE_OFFSET
+from repro.coinhive.obfuscation import BlobObfuscator
+from repro.coinhive.service import (
+    CoinhiveService,
+    ENDPOINTS_PER_BACKEND,
+    NUM_ENDPOINTS,
+    make_token,
+)
+from repro.coinhive.shortlink import ShortLinkService, id_to_index, index_to_id
+from repro.pool.jobs import parse_blob
+
+
+class TestObfuscator:
+    def test_involution(self):
+        obf = BlobObfuscator()
+        blob = bytes(range(80))
+        assert obf.apply(obf.apply(blob)) == blob
+
+    def test_changes_bytes_at_offset_only(self):
+        obf = BlobObfuscator(key=b"\xff\xff", offset=5)
+        blob = bytes(20)
+        out = obf.apply(blob)
+        assert out[:5] == blob[:5]
+        assert out[5:7] == b"\xff\xff"
+        assert out[7:] == blob[7:]
+
+    def test_default_offset_hits_header(self):
+        assert BlobObfuscator().offset == NONCE_OFFSET - 8
+
+    def test_too_short_blob_rejected(self):
+        with pytest.raises(ValueError):
+            BlobObfuscator().apply(b"short")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            BlobObfuscator(key=b"")
+
+    def test_revert_is_apply(self):
+        obf = BlobObfuscator()
+        assert obf.revert == obf.apply
+
+
+class TestTokens:
+    def test_deterministic(self):
+        assert make_token("x") == make_token("x")
+
+    def test_format(self):
+        token = make_token("site-a")
+        assert len(token) == 32
+        assert token == token.upper()
+
+
+class TestService:
+    def test_32_endpoints_16_backends(self, coinhive_service):
+        endpoints = coinhive_service.endpoints()
+        assert len(endpoints) == NUM_ENDPOINTS == 32
+        backends = {coinhive_service.backend_for(e) for e in endpoints}
+        assert len(backends) == 16
+
+    def test_two_endpoints_per_backend(self, coinhive_service):
+        from collections import Counter
+
+        counts = Counter(coinhive_service.backend_for(e) for e in coinhive_service.endpoints())
+        assert all(count == ENDPOINTS_PER_BACKEND for count in counts.values())
+
+    def test_endpoint_naming(self, coinhive_service):
+        assert coinhive_service.endpoints()[0] == "wss://ws1.coinhive.com/proxy"
+        assert coinhive_service.endpoints()[-1] == "wss://ws32.coinhive.com/proxy"
+
+    def test_unknown_endpoint_rejected(self, coinhive_service):
+        with pytest.raises(KeyError):
+            coinhive_service.backend_for("wss://ws99.coinhive.com/proxy")
+
+    def test_pow_input_is_obfuscated(self, coinhive_service):
+        """The raw blob differs from the true template blob (the paper's
+        countermeasure), and the corruption sits in the prev_id field."""
+        endpoint = coinhive_service.endpoints()[0]
+        blob = coinhive_service.pow_input_for_endpoint(endpoint, now=100.0)
+        restored = coinhive_service.obfuscator.revert(blob)
+        assert blob != restored
+        _, prev_raw, _, _, _ = parse_blob(blob)
+        _, prev_true, _, _, _ = parse_blob(restored)
+        assert prev_raw != prev_true
+
+    def test_deobfuscated_blob_references_tip(self, coinhive_service):
+        endpoint = coinhive_service.endpoints()[0]
+        blob = coinhive_service.pow_input_for_endpoint(endpoint, now=100.0)
+        restored = coinhive_service.obfuscator.revert(blob)
+        _, prev_id, _, _, _ = parse_blob(restored)
+        assert prev_id == coinhive_service.chain.tip.block_id()
+
+    def test_same_backend_same_template_between_refreshes(self, coinhive_service):
+        e1, e2 = coinhive_service.endpoints()[0], coinhive_service.endpoints()[1]
+        # ws1 and ws2 belong to the same backend
+        assert coinhive_service.backend_for(e1) == coinhive_service.backend_for(e2)
+        blob1 = coinhive_service.pow_input_for_endpoint(e1, now=100.0)
+        blob2 = coinhive_service.pow_input_for_endpoint(e2, now=101.0)
+        root1 = parse_blob(coinhive_service.obfuscator.revert(blob1))[3]
+        root2 = parse_blob(coinhive_service.obfuscator.revert(blob2))[3]
+        assert root1 == root2
+
+    def test_different_backends_differ(self, coinhive_service):
+        e1, e3 = coinhive_service.endpoints()[0], coinhive_service.endpoints()[2]
+        assert coinhive_service.backend_for(e1) != coinhive_service.backend_for(e3)
+        blob1 = coinhive_service.pow_input_for_endpoint(e1, now=100.0)
+        blob3 = coinhive_service.pow_input_for_endpoint(e3, now=100.0)
+        root1 = parse_blob(coinhive_service.obfuscator.revert(blob1))[3]
+        root3 = parse_blob(coinhive_service.obfuscator.revert(blob3))[3]
+        assert root1 != root3
+
+    def test_template_refresh_after_interval(self, coinhive_service):
+        endpoint = coinhive_service.endpoints()[0]
+        blob_a = coinhive_service.pow_input_for_endpoint(endpoint, now=0.0)
+        blob_b = coinhive_service.pow_input_for_endpoint(endpoint, now=20.0)  # > 15 s
+        root_a = parse_blob(coinhive_service.obfuscator.revert(blob_a))[3]
+        root_b = parse_blob(coinhive_service.obfuscator.revert(blob_b))[3]
+        assert root_a != root_b
+
+    def test_outage_blocks_jobs(self, coinhive_service):
+        coinhive_service.add_outage(50.0, 150.0)
+        assert coinhive_service.is_down(100.0)
+        with pytest.raises(RuntimeError):
+            coinhive_service.pow_input_for_endpoint(coinhive_service.endpoints()[0], now=100.0)
+        # before and after the window everything works
+        coinhive_service.pow_input_for_endpoint(coinhive_service.endpoints()[0], now=10.0)
+        coinhive_service.pow_input_for_endpoint(coinhive_service.endpoints()[0], now=200.0)
+
+    def test_bad_outage_window_rejected(self, coinhive_service):
+        with pytest.raises(ValueError):
+            coinhive_service.add_outage(10.0, 10.0)
+
+    def test_register_user(self, coinhive_service):
+        user = coinhive_service.register_user("example.com")
+        assert coinhive_service.users[user.token] is user
+
+    def test_fee_is_30_percent(self, coinhive_service):
+        assert coinhive_service.pool.payouts.pool_fee_percent == 30
+
+
+class TestShortLinkIds:
+    def test_first_ids(self):
+        assert index_to_id(0) == "a"
+        assert index_to_id(1) == "b"
+        assert index_to_id(25) == "z"
+        assert index_to_id(26) == "0"
+        assert index_to_id(35) == "9"
+        assert index_to_id(36) == "aa"
+
+    def test_roundtrip(self):
+        for index in (0, 35, 36, 100, 36 + 36**2, 12345, 36 + 36**2 + 36**3 + 5):
+            assert id_to_index(index_to_id(index)) == index
+
+    def test_ids_are_enumerable_in_creation_order(self):
+        service = ShortLinkService()
+        ids = [service.create("T", f"https://x.com/{i}", 100).link_id for i in range(40)]
+        assert ids == [index_to_id(i) for i in range(40)]
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ValueError):
+            id_to_index("A!")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            id_to_index("")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            index_to_id(-1)
+
+
+class TestShortLinkService:
+    def test_create_and_get(self):
+        service = ShortLinkService()
+        link = service.create("TOKEN", "https://youtu.be/x", 1024)
+        assert service.get(link.link_id) is link
+        assert link.url == f"https://cnhv.co/{link.link_id}"
+
+    def test_zero_hashes_rejected(self):
+        with pytest.raises(ValueError):
+            ShortLinkService().create("T", "https://x.com", 0)
+
+    def test_landing_page_embeds_token_and_goal(self):
+        service = ShortLinkService()
+        link = service.create("ABCDEF123456", "https://x.com", 2048)
+        page = service.landing_page(link.link_id)
+        assert "ABCDEF123456" in page
+        assert "goal: 2048" in page
+        assert "coinhive.min.js" in page
+
+    def test_landing_page_unknown_link(self):
+        assert ShortLinkService().landing_page("zz") is None
+
+    def test_resolution_requires_full_goal(self):
+        service = ShortLinkService()
+        link = service.create("T", "https://target.com/", 100)
+        assert service.submit_hashes(link.link_id, 60) is None
+        assert not link.resolved
+        assert service.submit_hashes(link.link_id, 40) == "https://target.com/"
+        assert link.resolved
+
+    def test_submit_to_unknown_link(self):
+        with pytest.raises(KeyError):
+            ShortLinkService().submit_hashes("qq", 10)
+
+    def test_negative_hashes_rejected(self):
+        service = ShortLinkService()
+        link = service.create("T", "https://x.com", 10)
+        with pytest.raises(ValueError):
+            service.submit_hashes(link.link_id, -1)
+
+    def test_visit_counts(self):
+        service = ShortLinkService()
+        link = service.create("T", "https://x.com", 10)
+        service.visit(link.link_id)
+        service.visit(link.link_id)
+        assert link.visits == 2
+
+    def test_enumerate_ids_caps_by_length(self):
+        service = ShortLinkService()
+        for i in range(50):
+            service.create("T", f"https://x.com/{i}", 10)
+        ones = service.enumerate_ids(max_chars=1)
+        assert len(ones) == 36

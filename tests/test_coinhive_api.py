@@ -1,0 +1,92 @@
+"""Tests for the owner-facing Coinhive API."""
+
+import pytest
+
+from repro.blockchain.transactions import ATOMIC_PER_XMR
+from repro.coinhive.api import CoinhiveApi, MIN_PAYOUT_ATOMIC
+from repro.coinhive.captcha import CaptchaService
+
+
+@pytest.fixture()
+def api(coinhive_service):
+    return CoinhiveApi(service=coinhive_service)
+
+
+@pytest.fixture()
+def owner(coinhive_service):
+    return coinhive_service.register_user("mysite.com")
+
+
+class TestBalance:
+    def test_unknown_token_rejected(self, api):
+        response = api.user_balance("NOPE")
+        assert not response.success
+        assert response.error == "invalid_site_key"
+
+    def test_fresh_account_zero(self, api, owner):
+        response = api.user_balance(owner.token)
+        assert response.success
+        assert response.data["balance"] == 0
+        assert not response.data["withdrawable"]
+
+    def test_balance_reflects_payout_ledger(self, api, owner, coinhive_service):
+        coinhive_service.pool.payouts.balances_atomic[owner.token] = 2 * ATOMIC_PER_XMR
+        response = api.user_balance(owner.token)
+        assert response.data["balance_xmr"] == pytest.approx(2.0)
+        assert response.data["withdrawable"]
+
+
+class TestStats:
+    def test_site_stats_track_shares(self, api, owner, coinhive_service):
+        coinhive_service.pool.shares.record(owner.token, 16)
+        coinhive_service.pool.shares.record(owner.token, 16)
+        response = api.site_stats(owner.token)
+        assert response.data["shares_total"] == 2
+        assert response.data["hashes_total"] == 32
+
+    def test_pool_stats_public(self, api):
+        response = api.pool_stats()
+        assert response.success
+        assert response.data["fee_percent"] == 30
+        assert response.data["endpoints"] == 32
+
+
+class TestWithdraw:
+    def test_below_minimum_rejected(self, api, owner, coinhive_service):
+        coinhive_service.pool.payouts.balances_atomic[owner.token] = MIN_PAYOUT_ATOMIC - 1
+        response = api.withdraw(owner.token, "4ADDRESS")
+        assert not response.success
+        assert response.error == "balance_too_low"
+
+    def test_successful_withdrawal_zeroes_balance(self, api, owner, coinhive_service):
+        coinhive_service.pool.payouts.balances_atomic[owner.token] = MIN_PAYOUT_ATOMIC
+        response = api.withdraw(owner.token, "4ADDRESS")
+        assert response.success
+        assert response.data["amount"] == MIN_PAYOUT_ATOMIC
+        assert api.user_balance(owner.token).data["balance"] == 0
+        assert api.payouts_issued == [(owner.token, "4ADDRESS", MIN_PAYOUT_ATOMIC)]
+
+    def test_empty_address_rejected(self, api, owner):
+        assert not api.withdraw(owner.token, "").success
+
+
+class TestTokenVerify:
+    def test_captcha_verification_flow(self, api):
+        captcha = CaptchaService()
+        challenge = captcha.create("SITE", 10, now=0.0)
+        token = captcha.submit_hashes(challenge.challenge_id, 10, now=1.0)
+        assert api.token_verify(captcha, token, now=2.0).success
+        # single use: the second verify fails
+        assert not api.token_verify(captcha, token, now=3.0).success
+
+    def test_bogus_token(self, api):
+        response = api.token_verify(CaptchaService(), "junk", now=0.0)
+        assert not response.success
+        assert response.data["verified"] is False
+
+
+class TestEnvelope:
+    def test_to_dict_shape(self, api, owner):
+        payload = api.user_balance(owner.token).to_dict()
+        assert payload["success"] is True
+        assert "balance" in payload

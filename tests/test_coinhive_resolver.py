@@ -1,0 +1,95 @@
+"""Tests for the non-browser short-link resolver."""
+
+import pytest
+
+from repro.coinhive.resolver import LinkResolver, duration_seconds
+from repro.coinhive.shortlink import ShortLinkService
+
+
+@pytest.fixture()
+def service_with_links():
+    service = ShortLinkService()
+    service.create("AAAA0000AAAA0000AAAA0000AAAA0000", "https://youtu.be/v1", 512)
+    service.create("BBBB0000BBBB0000BBBB0000BBBB0000", "https://zippyshare.com/f", 1024)
+    service.create("CCCC0000CCCC0000CCCC0000CCCC0000", "https://slow.example/x", 10**19)
+    return service
+
+
+class TestScan:
+    def test_scan_reads_tokens_and_goals(self, service_with_links):
+        resolver = LinkResolver(shortlinks=service_with_links)
+        scanned = resolver.scan()
+        assert len(scanned) == 3
+        assert scanned[0].token.startswith("AAAA")
+        assert scanned[0].required_hashes == 512
+        assert scanned[2].required_hashes == 10**19
+
+    def test_scan_needs_no_hashing(self, service_with_links):
+        resolver = LinkResolver(shortlinks=service_with_links)
+        resolver.scan()
+        assert resolver.total_hashes_computed == 0
+
+    def test_parse_landing_page_rejects_garbage(self):
+        assert LinkResolver.parse_landing_page("x", "<html>nothing here</html>") is None
+
+
+class TestResolve:
+    def test_resolve_returns_target(self, service_with_links):
+        resolver = LinkResolver(shortlinks=service_with_links, hash_scale=256)
+        resolved = resolver.resolve("a")
+        assert resolved.target_url == "https://youtu.be/v1"
+        assert resolved.required_hashes == 512
+
+    def test_resolve_actually_computes_hashes(self, service_with_links):
+        resolver = LinkResolver(shortlinks=service_with_links, hash_scale=256)
+        resolver.resolve("a")  # 512 required / 256 scale = 2 physical
+        assert resolver.total_hashes_computed == 2
+
+    def test_unknown_link_returns_none(self, service_with_links):
+        resolver = LinkResolver(shortlinks=service_with_links)
+        assert resolver.resolve("zzzz") is None
+
+    def test_resolve_many(self, service_with_links):
+        resolver = LinkResolver(shortlinks=service_with_links, hash_scale=1024)
+        resolved = resolver.resolve_many(["a", "b", "nope"])
+        assert [r.link_id for r in resolved] == ["a", "b"]
+
+    def test_huge_goal_physical_work_capped(self, service_with_links):
+        """Even 1e19-hash links terminate: the resolver chunks physical work."""
+        resolver = LinkResolver(shortlinks=service_with_links, hash_scale=1024)
+        resolved = resolver.resolve("c")
+        assert resolved.hashes_computed <= 4096
+
+    def test_resolver_uses_coinhive_pool_blob(self, coinhive_service):
+        service = ShortLinkService()
+        service.create("DDDD0000DDDD0000DDDD0000DDDD0000", "https://x.com/", 64)
+        resolver = LinkResolver(
+            shortlinks=service, coinhive=coinhive_service, hash_scale=64
+        )
+        resolved = resolver.resolve("a", now=5.0)
+        assert resolved.target_url == "https://x.com/"
+
+
+class TestDurations:
+    def test_figure4_top_axis_anchors(self):
+        # 1024 hashes at 20 H/s ≈ 51 s (the paper's "< 51 sec" bucket)
+        assert duration_seconds(1024) == pytest.approx(51.2)
+        # 2^8 = 256 hashes ≈ 13 s
+        assert duration_seconds(256) == pytest.approx(12.8)
+        # the 1e19 tail: billions of years
+        years = duration_seconds(10**19) / (365.25 * 86400)
+        assert years > 1e10
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            duration_seconds(100, 0)
+
+
+class TestRepeatedResolution:
+    def test_resolving_twice_is_idempotent(self, service_with_links):
+        resolver = LinkResolver(shortlinks=service_with_links, hash_scale=512)
+        first = resolver.resolve("a")
+        second = resolver.resolve("a")  # must not submit negative hashes
+        assert first.target_url == second.target_url
+        link = service_with_links.get("a")
+        assert link.hashes_done == link.required_hashes

@@ -1,0 +1,76 @@
+"""Tests for the Authedmine consent flow."""
+
+import pytest
+
+from repro.wasm.builder import ModuleBlueprint
+from repro.web.browser import HeadlessBrowser
+from repro.web.http import Resource, SyntheticWeb
+from repro.web.scripts import ConsentMinerBehavior, MinerBehavior, inline_key
+
+
+def consent_site(corpus, accept_rate: float):
+    web = SyntheticWeb()
+    wasm = corpus.build(ModuleBlueprint("authedmine", 0))
+    web.register("https://authedmine.com/lib/cn.wasm",
+                 Resource(content=wasm, content_type="application/wasm"))
+
+    from repro.pool.protocol import (
+        JobMessage, LoginMessage, encode_message, decode_message,
+    )
+
+    def handler(channel, payload):
+        if isinstance(decode_message(payload), LoginMessage):
+            channel.server_send(
+                encode_message(JobMessage(job_id="j", blob_hex="00" * 76, target_hex="ffffff00"))
+            )
+
+    web.register_ws("wss://ws1.authedmine.com/proxy", handler)
+
+    inline = "am.askAndStart('TOK');"
+    behavior = ConsentMinerBehavior(
+        miner=MinerBehavior(
+            wasm_url="https://authedmine.com/lib/cn.wasm",
+            socket_url="wss://ws1.authedmine.com/proxy",
+            token="TOK",
+        ),
+        accept_rate=accept_rate,
+    )
+    web.register_page(
+        "http://www.consent.com/",
+        f"<html><head><script>{inline}</script></head><body></body></html>".encode(),
+    )
+    return web, {inline_key(inline): behavior}
+
+
+class TestConsentFlow:
+    def test_decline_leaves_nocoin_only_signature(self, corpus):
+        web, registry = consent_site(corpus, accept_rate=0.0)
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.consent.com/")
+        assert 'data-state="declined"' in result.final_html
+        assert not result.has_wasm()
+        assert not result.websocket_frames
+
+    def test_accept_starts_mining(self, corpus):
+        web, registry = consent_site(corpus, accept_rate=1.0)
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.consent.com/")
+        assert 'data-state="accepted"' in result.final_html
+        assert result.has_wasm()
+        assert result.websocket_frames
+
+    def test_dialog_always_rendered(self, corpus):
+        web, registry = consent_site(corpus, accept_rate=0.0)
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.consent.com/")
+        assert "authedmine-consent" in result.final_html
+        assert result.dom_mutations >= 2  # dialog + decision update
+
+    def test_accept_rate_statistics(self, corpus):
+        """Across many visits, the accept rate is honored."""
+        web, registry = consent_site(corpus, accept_rate=0.3)
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        mined = sum(
+            1 for _ in range(60) if browser.visit("http://www.consent.com/").has_wasm()
+        )
+        assert 8 <= mined <= 30  # E=18

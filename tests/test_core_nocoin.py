@@ -1,0 +1,112 @@
+"""Tests for the NoCoin filter-list engine."""
+
+import pytest
+
+from repro.core.nocoin import FilterList, FilterListError, default_nocoin_list, parse_rule
+
+
+class TestParsing:
+    def test_comment_skipped(self):
+        assert parse_rule("! a comment") is None
+
+    def test_header_skipped(self):
+        assert parse_rule("[Adblock Plus 2.0]") is None
+
+    def test_blank_skipped(self):
+        assert parse_rule("   ") is None
+
+    def test_domain_anchor(self):
+        rule = parse_rule("||coinhive.com^")
+        assert rule.domain_anchor
+        assert rule.pattern == "coinhive.com^"
+
+    def test_exception_rule(self):
+        rule = parse_rule("@@||goodsite.com^")
+        assert rule.is_exception
+
+    def test_options_parsed(self):
+        rule = parse_rule("||miner.com^$script,third-party")
+        assert rule.options == ("script", "third-party")
+
+    def test_regex_rule(self):
+        rule = parse_rule(r"/cryptonight\.wasm/")
+        assert rule.regex == r"cryptonight\.wasm"
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(FilterListError):
+            parse_rule("||")
+
+
+class TestUrlMatching:
+    @pytest.fixture()
+    def nocoin(self):
+        return default_nocoin_list()
+
+    def test_official_coinhive_url(self, nocoin):
+        rule = nocoin.match_url("https://coinhive.com/lib/coinhive.min.js")
+        assert rule is not None
+        assert rule.label == "coinhive"
+
+    def test_subdomain_matches_domain_anchor(self, nocoin):
+        assert nocoin.match_url("https://cdn.coinhive.com/lib/x.js") is not None
+
+    def test_domain_anchor_requires_label_boundary(self, nocoin):
+        # notcoinhive.com must NOT match ||coinhive.com^
+        assert nocoin.match_url("https://notcoinhive.com/x.js") is None
+
+    def test_substring_rule(self, nocoin):
+        assert nocoin.match_url("https://mirror.example/static/coinhive.min.js") is not None
+
+    def test_cpmstar_overbroad_rule(self, nocoin):
+        rule = nocoin.match_url("https://ssl.cpmstar.com/cached/js/cpmstar.js")
+        assert rule is not None
+        assert rule.label == "cpmstar"
+
+    def test_clean_url_unmatched(self, nocoin):
+        assert nocoin.match_url("https://example.com/js/app.js") is None
+
+    def test_self_hosted_miner_unmatched(self, nocoin):
+        """The false-negative mechanism: first-party loader URLs are clean."""
+        assert nocoin.match_url("https://www.somesite.org/assets/app-support.js") is None
+
+    def test_regex_rule_matches(self, nocoin):
+        assert nocoin.match_url("https://cdn.x.com/cryptonight.wasm") is not None
+
+    def test_exception_rules_suppress(self):
+        filter_list = FilterList.from_lines(["||ads.com^", "@@||ads.com/safe.js"])
+        assert filter_list.match_url("https://ads.com/track.js") is not None
+        assert filter_list.match_url("https://ads.com/safe.js") is None
+
+    def test_wildcard_pattern(self):
+        filter_list = FilterList.from_lines(["wp-monero-miner*.js"])
+        assert filter_list.match_url("https://x.com/wp-monero-miner-v2.js") is not None
+        assert filter_list.match_url("https://x.com/wp-monero-thing.css") is None
+
+
+class TestTextMatching:
+    def test_inline_script_with_listed_host(self):
+        nocoin = default_nocoin_list()
+        text = "var s=document.createElement('script');s.src='https://coinhive.com/lib/x';"
+        assert nocoin.match_text(text) is not None
+
+    def test_clean_inline(self):
+        nocoin = default_nocoin_list()
+        assert nocoin.match_text("function add(a, b) { return a + b; }") is None
+
+    def test_empty_text(self):
+        assert default_nocoin_list().match_text("") is None
+
+
+class TestScriptsMatching:
+    def test_match_scripts_mixed(self):
+        nocoin = default_nocoin_list()
+        scripts = [
+            ("https://example.com/app.js", ""),
+            ("https://coinhive.com/lib/coinhive.min.js", ""),
+            (None, "var miner = new CoinHive.Anonymous('K'); // coinhive.com/lib"),
+        ]
+        hits = nocoin.match_scripts(scripts)
+        assert len(hits) == 2
+
+    def test_default_list_has_many_rules(self):
+        assert len(default_nocoin_list()) >= 15

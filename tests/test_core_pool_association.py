@@ -1,0 +1,147 @@
+"""Tests for the pool-association methodology (Section 4.2)."""
+
+import pytest
+
+from repro.blockchain.block import Block
+from repro.core.pool_association import (
+    BlockAttributor,
+    NetworkEstimator,
+    PoolObserver,
+)
+from repro.pool.jobs import build_template
+from repro.sim.events import EventLoop
+
+
+class TestPoolObserver:
+    def test_polling_collects_and_clusters(self, coinhive_service):
+        observer = PoolObserver(
+            fetch_input=coinhive_service.pow_input_for_endpoint,
+            endpoints=coinhive_service.endpoints(),
+            detransform=coinhive_service.obfuscator.revert,
+        )
+        observer.poll_once(now=0.0)
+        assert len(observer.observations) == 32
+        tip = coinhive_service.chain.tip.block_id()
+        assert set(observer.clusters) == {tip}
+        # 16 backends with distinct extra nonces → 16 distinct roots
+        assert len(observer.clusters[tip]) == 16
+
+    def test_without_detransform_prev_pointer_is_garbage(self, coinhive_service):
+        """The XOR countermeasure: a naive observer clusters on corrupted
+        prev-ids that never match the chain."""
+        observer = PoolObserver(
+            fetch_input=coinhive_service.pow_input_for_endpoint,
+            endpoints=coinhive_service.endpoints()[:4],
+        )
+        observer.poll_once(now=0.0)
+        tip = coinhive_service.chain.tip.block_id()
+        assert tip not in observer.clusters
+
+    def test_failures_counted_not_raised(self, coinhive_service):
+        coinhive_service.add_outage(0.0, 100.0)
+        observer = PoolObserver(
+            fetch_input=coinhive_service.pow_input_for_endpoint,
+            endpoints=coinhive_service.endpoints()[:5],
+        )
+        observer.poll_once(now=50.0)
+        assert observer.failures == 5
+        assert observer.observations == []
+
+    def test_run_polls_at_interval(self, coinhive_service):
+        observer = PoolObserver(
+            fetch_input=coinhive_service.pow_input_for_endpoint,
+            endpoints=coinhive_service.endpoints()[:2],
+            poll_interval=0.5,
+            detransform=coinhive_service.obfuscator.revert,
+        )
+        loop = EventLoop()
+        observer.run(loop, duration=5.0)
+        # 11 ticks (t=0 .. t=5) × 2 endpoints
+        assert observer.polls == 22
+
+    def test_paper_bounds_8_and_128(self, coinhive_service):
+        """Per endpoint ≤ 8 PoW inputs per block; ≤ 128 across all 32."""
+        observer = PoolObserver(
+            fetch_input=coinhive_service.pow_input_for_endpoint,
+            endpoints=coinhive_service.endpoints(),
+            poll_interval=5.0,
+            detransform=coinhive_service.obfuscator.revert,
+        )
+        loop = EventLoop()
+        observer.run(loop, duration=600.0)  # 5 block intervals of polling
+        assert observer.max_inputs_per_endpoint() <= 8
+        assert observer.max_inputs_per_block() <= 128
+        assert observer.max_inputs_per_block() > 16  # refreshes really happen
+
+
+class TestBlockAttributor:
+    def test_attributes_matching_merkle_root(self, small_chain):
+        template = build_template(small_chain, "coinhive", b"x", timestamp=1_525_000_100)
+        clusters = {template.header.prev_id: {template.merkle_root()}}
+        block = template.to_block(nonce=7)
+        small_chain.force_append(block)
+        attributed = BlockAttributor(chain=small_chain).attribute(clusters)
+        assert len(attributed) == 1
+        assert attributed[0].height == 1
+        assert attributed[0].reward_atomic == block.reward()
+
+    def test_foreign_block_not_attributed(self, small_chain):
+        ours = build_template(small_chain, "coinhive", b"ours", timestamp=1_525_000_100)
+        theirs = build_template(small_chain, "otherpool", b"theirs", timestamp=1_525_000_100)
+        clusters = {ours.header.prev_id: {ours.merkle_root()}}
+        small_chain.force_append(theirs.to_block(nonce=1))
+        attributed = BlockAttributor(chain=small_chain).attribute(clusters)
+        assert attributed == []
+
+    def test_unextended_cluster_ignored(self, small_chain):
+        clusters = {b"\x77" * 32: {b"\x88" * 32}}
+        assert BlockAttributor(chain=small_chain).attribute(clusters) == []
+
+    def test_results_sorted_by_height(self, small_chain):
+        attributed_roots = {}
+        for i in range(3):
+            template = build_template(
+                small_chain, "coinhive", bytes([i]), timestamp=1_525_000_100 + 120 * i
+            )
+            attributed_roots[template.header.prev_id] = {template.merkle_root()}
+            small_chain.force_append(template.to_block(nonce=i))
+        result = BlockAttributor(chain=small_chain).attribute(attributed_roots)
+        assert [b.height for b in result] == [1, 2, 3]
+
+
+class TestNetworkEstimator:
+    """The paper's arithmetic, checked against its published numbers."""
+
+    def test_blocks_per_day(self):
+        assert NetworkEstimator().blocks_per_day_network() == 720
+
+    def test_pool_share_8_5_blocks(self):
+        # 8.5 blocks/day of 720 → 1.18%
+        share = NetworkEstimator().pool_share(8.5)
+        assert share == pytest.approx(0.0118, abs=0.0001)
+
+    def test_network_hashrate_from_difficulty(self):
+        # 55.4G difficulty → 462 MH/s
+        rate = NetworkEstimator().network_hashrate(55.4e9)
+        assert rate == pytest.approx(462e6, rel=0.01)
+
+    def test_pool_hashrate(self):
+        # 1.18% of 462 MH/s ≈ 5.5 MH/s
+        rate = NetworkEstimator().pool_hashrate(8.5, 55.4e9)
+        assert rate == pytest.approx(5.45e6, rel=0.02)
+
+    def test_user_bracket(self):
+        estimator = NetworkEstimator()
+        users_at_20 = estimator.users_required(5.5e6, 20)
+        users_at_100 = estimator.users_required(5.5e6, 100)
+        assert users_at_20 == pytest.approx(275_000, rel=0.1)  # paper: 292K
+        assert users_at_100 == pytest.approx(55_000, rel=0.1)  # paper: 58K
+
+    def test_monthly_revenue(self):
+        # ~1271 XMR per 4 weeks at 120 USD ≈ 150k USD/month
+        revenue = NetworkEstimator().monthly_revenue_usd(1271.0)
+        assert revenue == pytest.approx(152_520, rel=0.01)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkEstimator().users_required(1e6, 0)

@@ -1,0 +1,80 @@
+"""Tests for zone-file generation and parsing."""
+
+import pytest
+
+from repro.internet.population import build_population
+from repro.internet.zonefile import ZoneFile, crawl_list_from_zone, zone_from_population
+
+
+class TestZoneFile:
+    def test_dump_and_parse_roundtrip(self):
+        zone = ZoneFile(origin="org.", domains=["gamehub", "church-of-zorvex", "filebox"])
+        restored = ZoneFile.parse(zone.dump())
+        assert restored.origin == "org."
+        assert restored.domains == zone.domains
+
+    def test_fqdns(self):
+        zone = ZoneFile(origin="net.", domains=["a", "b"])
+        assert zone.fqdns() == ["a.net", "b.net"]
+
+    def test_relative_origin_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneFile(origin="org", domains=[])
+
+    def test_parse_ignores_comments_and_glue(self):
+        text = (
+            "$ORIGIN com.\n"
+            "$TTL 86400\n"
+            "; comment line\n"
+            "example\tIN\tNS\tns1.host.\n"
+            "ns1.host\tIN\tA\t192.0.2.1\n"     # glue, not a delegation
+            "example\tIN\tNS\tns2.host.\n"     # duplicate name, second NS
+            "other\tIN\tNS\tns1.host.\n"
+        )
+        zone = ZoneFile.parse(text)
+        assert zone.domains == ["example", "other"]
+
+    def test_parse_requires_origin(self):
+        with pytest.raises(ValueError, match="ORIGIN"):
+            ZoneFile.parse("example\tIN\tNS\tns1.\n")
+
+    def test_malformed_origin(self):
+        with pytest.raises(ValueError, match="ORIGIN"):
+            ZoneFile.parse("$ORIGIN\n")
+
+    def test_write_and_read(self, tmp_path):
+        zone = ZoneFile(origin="org.", domains=["alpha", "beta"])
+        path = tmp_path / "org.zone"
+        zone.write(path)
+        assert ZoneFile.read(path).domains == ["alpha", "beta"]
+
+
+class TestPopulationIntegration:
+    def test_zone_from_population_covers_all_sites(self):
+        population = build_population("net", seed=8, scale=0.02)
+        zone = zone_from_population(population)
+        assert len(zone) == len(population.sites)
+        assert set(zone.fqdns()) == set(population.domains())
+
+    def test_crawl_list_pipeline(self):
+        population = build_population("net", seed=8, scale=0.02)
+        zone = zone_from_population(population)
+        crawl_list = list(crawl_list_from_zone(zone))
+        assert crawl_list == zone.fqdns()
+
+    def test_resolver_filter(self):
+        zone = ZoneFile(origin="com.", domains=["live", "dead"])
+        resolved = list(crawl_list_from_zone(zone, resolver=lambda d: d.startswith("live")))
+        assert resolved == ["live.com"]
+
+    def test_zone_roundtrip_preserves_crawlability(self, tmp_path):
+        """The paper's full path: population → zone dump → parse → zgrab."""
+        from repro.web.zgrab import ZgrabFetcher
+
+        population = build_population("net", seed=8, scale=0.02)
+        path = tmp_path / "net.zone"
+        zone_from_population(population).write(path)
+        names = list(crawl_list_from_zone(ZoneFile.read(path)))
+        fetcher = ZgrabFetcher(population.web)
+        results = fetcher.fetch_many(names[:20])
+        assert any(result.ok for result in results)

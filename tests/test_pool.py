@@ -1,0 +1,280 @@
+"""Tests for the mining-pool substrate: jobs, protocol, shares, payouts, server."""
+
+import pytest
+
+from repro.blockchain.block import set_blob_nonce
+from repro.blockchain.hashing import FAST_PARAMS, cryptonight, hash_meets_difficulty
+from repro.blockchain.transactions import TransferFactory
+from repro.pool.jobs import Job, build_template, parse_blob
+from repro.pool.payout import PayoutLedger
+from repro.pool.protocol import (
+    JobMessage,
+    LoginMessage,
+    ProtocolError,
+    SubmitMessage,
+    SubmitResult,
+    decode_message,
+    difficulty_for_target_hex,
+    encode_message,
+    target_hex_for_difficulty,
+)
+from repro.pool.server import PoolServer
+from repro.pool.shares import ShareLedger, ShareValidator
+from repro.sim.rng import RngStream
+
+
+class TestTemplates:
+    def test_template_extends_tip(self, small_chain):
+        template = build_template(small_chain, "pool", b"x", timestamp=1_525_000_100)
+        assert template.header.prev_id == small_chain.tip.block_id()
+        assert template.height == 1
+        assert template.coinbase.is_coinbase
+
+    def test_extra_nonce_changes_merkle_root(self, small_chain):
+        a = build_template(small_chain, "pool", b"backend-a", timestamp=1_525_000_100)
+        b = build_template(small_chain, "pool", b"backend-b", timestamp=1_525_000_100)
+        assert a.merkle_root() != b.merkle_root()
+
+    def test_blob_contains_merkle_root(self, small_chain):
+        template = build_template(small_chain, "pool", b"x", timestamp=1_525_000_100)
+        *_, merkle_root, num_txs = parse_blob(template.blob())
+        assert merkle_root == template.merkle_root()
+        assert num_txs == 1
+
+    def test_mempool_txs_included(self, small_chain):
+        from repro.blockchain.chain import Mempool
+
+        mempool = Mempool()
+        factory = TransferFactory(rng=RngStream(1, "t"))
+        for _ in range(3):
+            mempool.add(factory.make())
+        template = build_template(
+            small_chain, "pool", b"x", timestamp=1_525_000_100, mempool=mempool
+        )
+        assert len(template.transactions) == 4
+
+    def test_to_block_carries_nonce(self, small_chain):
+        template = build_template(small_chain, "pool", b"x", timestamp=1_525_000_100)
+        block = template.to_block(1234)
+        assert block.header.nonce == 1234
+
+
+class TestProtocol:
+    def test_login_roundtrip(self):
+        msg = LoginMessage(token="SITEKEY123")
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_job_roundtrip(self):
+        msg = JobMessage(job_id="j1", blob_hex="aabb", target_hex="ffff0000")
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_submit_roundtrip(self):
+        msg = SubmitMessage(job_id="j1", nonce=0xDEADBEEF, result_hex="00" * 32)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_submit_result_roundtrip(self):
+        msg = SubmitResult(accepted=False, reason="low difficulty share")
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError):
+            decode_message("{nope")
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError):
+            decode_message('{"type": "mystery", "params": {}}')
+
+    def test_missing_field(self):
+        with pytest.raises(ProtocolError):
+            decode_message('{"type": "job", "params": {"job_id": "x"}}')
+
+    def test_no_type(self):
+        with pytest.raises(ProtocolError):
+            decode_message('{"params": {}}')
+
+    def test_target_roundtrip(self):
+        for difficulty in (1, 2, 16, 255, 4096, 100_000):
+            hex_target = target_hex_for_difficulty(difficulty)
+            assert len(hex_target) == 8
+            recovered = difficulty_for_target_hex(hex_target)
+            assert recovered == pytest.approx(difficulty, rel=0.01)
+
+    def test_target_rejects_bad_difficulty(self):
+        with pytest.raises(ValueError):
+            target_hex_for_difficulty(0)
+
+
+class TestShares:
+    def make_job(self, chain, share_difficulty=8):
+        template = build_template(chain, "pool", b"x", timestamp=1_525_000_100)
+        return Job(job_id="j", blob=template.blob(), share_difficulty=share_difficulty, template=template)
+
+    def find_nonce(self, job, difficulty):
+        nonce = 0
+        while True:
+            blob = set_blob_nonce(job.blob, job.template.header, nonce)
+            if hash_meets_difficulty(cryptonight(blob, FAST_PARAMS), difficulty):
+                return nonce
+            nonce += 1
+
+    def test_valid_share_accepted(self, small_chain):
+        job = self.make_job(small_chain)
+        validator = ShareValidator(pow_params=FAST_PARAMS)
+        nonce = self.find_nonce(job, 8)
+        verdict = validator.validate(job, nonce)
+        assert verdict.accepted
+
+    def test_low_difficulty_rejected(self, small_chain):
+        job = self.make_job(small_chain, share_difficulty=2**28)
+        validator = ShareValidator(pow_params=FAST_PARAMS)
+        verdict = validator.validate(job, 1)
+        assert not verdict.accepted
+        assert "low difficulty" in verdict.reason
+
+    def test_nonce_range_checked(self, small_chain):
+        job = self.make_job(small_chain)
+        validator = ShareValidator(pow_params=FAST_PARAMS)
+        assert not validator.validate(job, -1).accepted
+        assert not validator.validate(job, 2**32).accepted
+
+    def test_claimed_hash_must_match(self, small_chain):
+        job = self.make_job(small_chain)
+        validator = ShareValidator(pow_params=FAST_PARAMS)
+        nonce = self.find_nonce(job, 8)
+        verdict = validator.validate(job, nonce, claimed_hash=b"\x00" * 32)
+        assert not verdict.accepted
+        assert verdict.reason == "hash mismatch"
+
+    def test_ledger_accumulates(self):
+        ledger = ShareLedger()
+        ledger.record("tokA", 16)
+        ledger.record("tokA", 16)
+        ledger.record("tokB", 16, is_block=True)
+        assert ledger.shares == {"tokA": 2, "tokB": 1}
+        assert ledger.total_hashes() == 48
+        assert ledger.blocks_found == 1
+
+    def test_ledger_snapshot_resets(self):
+        ledger = ShareLedger()
+        ledger.record("tokA", 10)
+        snap = ledger.snapshot_and_reset()
+        assert snap == {"tokA": 10}
+        assert ledger.total_shares() == 0
+
+
+class TestPayouts:
+    def test_fee_split(self):
+        ledger = PayoutLedger(pool_fee_percent=30)
+        payouts = ledger.distribute_block(1000, {"a": 3, "b": 1})
+        assert payouts == {"a": 525, "b": 175}  # 70% split 3:1
+        assert ledger.pool_balance_atomic == 300
+        assert ledger.grand_total_atomic() == 1000
+
+    def test_no_credits_pool_keeps_all(self):
+        ledger = PayoutLedger()
+        assert ledger.distribute_block(1000, {}) == {}
+        assert ledger.pool_balance_atomic == 1000
+
+    def test_rounding_dust_stays_with_pool(self):
+        ledger = PayoutLedger(pool_fee_percent=30)
+        ledger.distribute_block(100, {"a": 1, "b": 1, "c": 1})
+        # 70 atomic distributable; 23 each = 69; dust 1 + fee 30 → pool 31
+        assert ledger.pool_balance_atomic == 31
+        assert ledger.grand_total_atomic() == 100
+
+    def test_invalid_fee_rejected(self):
+        with pytest.raises(ValueError):
+            PayoutLedger(pool_fee_percent=101)
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(ValueError):
+            PayoutLedger().distribute_block(-1, {})
+
+
+class TestPoolServer:
+    @pytest.fixture()
+    def pool(self, small_chain):
+        return PoolServer(name="testpool", chain=small_chain, share_difficulty=4)
+
+    def test_login_required(self, pool):
+        with pytest.raises(KeyError):
+            pool.get_job("nobody", 0, now=0.0)
+
+    def test_empty_token_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.handle_login("c1", "")
+
+    def test_job_issuing(self, pool):
+        pool.handle_login("c1", "tok")
+        job = pool.get_job("c1", 0, now=10.0)
+        assert job.share_difficulty == 4
+        assert parse_blob(job.blob)
+
+    def test_unknown_job_rejected(self, pool):
+        pool.handle_login("c1", "tok")
+        result = pool.handle_submit("c1", "bogus", 1, now=0.0)
+        assert not result.accepted
+        assert result.reason == "unknown job"
+
+    def test_share_to_block_flow(self, pool, small_chain):
+        pool.handle_login("c1", "tok")
+        job = pool.get_job("c1", 0, now=10.0)
+        difficulty = small_chain.current_difficulty()
+        nonce = 0
+        while True:
+            blob = set_blob_nonce(job.blob, job.template.header, nonce)
+            if hash_meets_difficulty(cryptonight(blob, FAST_PARAMS), difficulty):
+                break
+            nonce += 1
+        result = pool.handle_submit("c1", job.job_id, nonce, now=11.0)
+        assert result.accepted
+        assert small_chain.height == 1
+        assert pool.blocks_mined[0].miner_address() == "testpool"
+        assert pool.payouts.blocks_paid == 1
+
+    def test_duplicate_share_rejected(self, pool):
+        pool.handle_login("c1", "tok")
+        job = pool.get_job("c1", 0, now=10.0)
+        nonce = 0
+        while True:
+            blob = set_blob_nonce(job.blob, job.template.header, nonce)
+            if hash_meets_difficulty(cryptonight(blob, FAST_PARAMS), 4):
+                break
+            nonce += 1
+        first = pool.handle_submit("c1", job.job_id, nonce, now=11.0)
+        if not first.accepted:  # the nonce also found a block: chain advanced
+            pytest.skip("share was a block")
+        second = pool.handle_submit("c1", job.job_id, nonce, now=12.0)
+        assert not second.accepted
+        assert second.reason == "duplicate share"
+
+    def test_template_cap_per_block(self, small_chain):
+        pool = PoolServer(name="p", chain=small_chain, max_templates_per_block=8)
+        roots = set()
+        for i in range(30):
+            template = pool.refresh_backend(0, now=float(i))
+            roots.add(template.merkle_root())
+        assert len(roots) == 8  # the paper's "never more than 8 PoW inputs"
+
+    def test_backends_produce_distinct_templates(self, small_chain):
+        pool = PoolServer(name="p", chain=small_chain, num_backends=4)
+        pool.refresh_templates(now=0.0)
+        roots = {pool._backends[i].template.merkle_root() for i in range(4)}
+        assert len(roots) == 4
+
+    def test_on_new_block_resets_cap(self, small_chain, monkeypatch):
+        pool = PoolServer(name="p", chain=small_chain, max_templates_per_block=2)
+        pool.refresh_backend(0, 0.0)
+        pool.refresh_backend(0, 1.0)
+        capped = pool.refresh_backend(0, 2.0)
+        assert pool._backends[0].templates_this_block == 2
+        pool.on_new_block(3.0)
+        assert pool._backends[0].templates_this_block == 1
+
+    def test_blob_transform_applied(self, small_chain):
+        pool = PoolServer(
+            name="p", chain=small_chain, blob_transform=lambda blob: blob[::-1]
+        )
+        pool.handle_login("c1", "tok")
+        job = pool.get_job("c1", 0, now=0.0)
+        assert job.blob == job.template.blob()[::-1]

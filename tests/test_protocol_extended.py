@@ -1,0 +1,64 @@
+"""Tests for the extended protocol messages and their service wiring."""
+
+import pytest
+
+from repro.pool.protocol import (
+    AuthedMessage,
+    BannedMessage,
+    ErrorMessage,
+    JobMessage,
+    LoginMessage,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+from repro.sim.events import EventLoop
+from repro.web.websocket import WebSocketChannel
+
+
+class TestExtendedMessages:
+    def test_authed_roundtrip(self):
+        message = AuthedMessage(token="ABC", hashes=1024)
+        assert decode_message(encode_message(message)) == message
+
+    def test_banned_roundtrip(self):
+        message = BannedMessage(reason="invalid token")
+        assert decode_message(encode_message(message)) == message
+
+    def test_error_roundtrip(self):
+        message = ErrorMessage(error="rate limited")
+        assert decode_message(encode_message(message)) == message
+
+    def test_error_requires_field(self):
+        with pytest.raises(ProtocolError):
+            decode_message('{"type": "error", "params": {}}')
+
+
+class TestServiceHandshake:
+    def _open(self, coinhive_service, token: str):
+        loop = EventLoop()
+        endpoint = coinhive_service.endpoints()[0]
+        handler = coinhive_service.websocket_handler(endpoint)
+        received = []
+        channel = WebSocketChannel(url=endpoint, loop=loop, server_handler=handler)
+        channel.on_message = received.append
+        channel.send(encode_message(LoginMessage(token=token)))
+        loop.run_all()
+        return channel, [decode_message(frame) for frame in received]
+
+    def test_login_yields_authed_then_job(self, coinhive_service):
+        _channel, messages = self._open(coinhive_service, "GOODTOKEN")
+        assert isinstance(messages[0], AuthedMessage)
+        assert messages[0].token == "GOODTOKEN"
+        assert isinstance(messages[1], JobMessage)
+
+    def test_empty_token_banned_and_closed(self, coinhive_service):
+        channel, messages = self._open(coinhive_service, "")
+        assert isinstance(messages[0], BannedMessage)
+        assert channel.closed
+
+    def test_outage_closes_without_reply(self, coinhive_service):
+        coinhive_service.add_outage(0.0, 1000.0)
+        channel, messages = self._open(coinhive_service, "TOKEN")
+        assert messages == []
+        assert channel.closed

@@ -1,0 +1,65 @@
+"""Tests for the simulated clock."""
+
+import datetime
+
+import pytest
+
+from repro.sim.clock import SimClock, utc_timestamp
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_rejects_past(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_unix_offset(self):
+        clock = SimClock(epoch=1_000_000.0)
+        clock.advance(50.0)
+        assert clock.unix == 1_000_050.0
+
+    def test_datetime_is_utc(self):
+        clock = SimClock(epoch=utc_timestamp(2018, 5, 1, 12))
+        dt = clock.datetime()
+        assert dt.tzinfo == datetime.timezone.utc
+        assert (dt.year, dt.month, dt.day, dt.hour) == (2018, 5, 1, 12)
+
+    def test_repr_mentions_time(self):
+        assert "now=" in repr(SimClock())
+
+
+class TestUtcTimestamp:
+    def test_epoch_zero(self):
+        assert utc_timestamp(1970, 1, 1) == 0.0
+
+    def test_known_date(self):
+        # 2018-05-01 00:00 UTC
+        assert utc_timestamp(2018, 5, 1) == 1525132800.0
+
+    def test_hours_and_minutes(self):
+        assert utc_timestamp(1970, 1, 1, 1, 30) == 5400.0

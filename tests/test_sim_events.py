@@ -1,0 +1,118 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+
+
+class TestScheduling:
+    def test_call_later_runs_in_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_later(2.0, order.append, "b")
+        loop.call_later(1.0, order.append, "a")
+        loop.call_later(3.0, order.append, "c")
+        loop.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_later(1.0, order.append, 1)
+        loop.call_later(1.0, order.append, 2)
+        loop.call_later(1.0, order.append, 3)
+        loop.run_all()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_later(5.0, lambda: seen.append(loop.now))
+        loop.run_all()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.call_later(1.0, lambda: None)
+        loop.run_all()
+        with pytest.raises(ValueError):
+            loop.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().call_later(-0.1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        loop = EventLoop()
+        ran = []
+        event = loop.call_later(1.0, ran.append, "x")
+        event.cancel()
+        loop.run_all()
+        assert ran == []
+
+    def test_pending_ignores_cancelled(self):
+        loop = EventLoop()
+        event = loop.call_later(1.0, lambda: None)
+        loop.call_later(2.0, lambda: None)
+        assert loop.pending() == 2
+        event.cancel()
+        assert loop.pending() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop()
+        first = loop.call_later(1.0, lambda: None)
+        loop.call_later(2.0, lambda: None)
+        first.cancel()
+        assert loop.peek_time() == 2.0
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        loop = EventLoop()
+        ran = []
+        loop.call_later(1.0, ran.append, "early")
+        loop.call_later(10.0, ran.append, "late")
+        executed = loop.run_until(5.0)
+        assert executed == 1
+        assert ran == ["early"]
+        assert loop.now == 5.0
+
+    def test_deadline_inclusive(self):
+        loop = EventLoop()
+        ran = []
+        loop.call_later(5.0, ran.append, "edge")
+        loop.run_until(5.0)
+        assert ran == ["edge"]
+
+    def test_advances_clock_even_when_idle(self):
+        loop = EventLoop()
+        loop.run_until(42.0)
+        assert loop.now == 42.0
+
+    def test_rescheduling_event_chain(self):
+        loop = EventLoop()
+        ticks = []
+
+        def tick():
+            ticks.append(loop.now)
+            if loop.now < 4.5:
+                loop.call_later(1.0, tick)
+
+        loop.call_later(1.0, tick)
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.call_later(0.001, forever)
+
+        loop.call_later(0.001, forever)
+        executed = loop.run_until(1000.0, max_events=50)
+        assert executed == 50
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False

@@ -1,0 +1,200 @@
+"""Encoder/decoder round-trip and malformed-input tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wasm.builder import ModuleBlueprint, WasmCorpusBuilder, all_blueprints
+from repro.wasm.decoder import WasmDecodeError, decode_module, function_body_bytes
+from repro.wasm.encoder import encode_instr, encode_module
+from repro.wasm.types import (
+    CodeEntry,
+    Export,
+    FuncType,
+    Import,
+    Instr,
+    Limits,
+    Module,
+    ValType,
+)
+
+
+def minimal_module() -> Module:
+    module = Module()
+    module.types = [FuncType((ValType.I32,), (ValType.I32,))]
+    module.func_type_indices = [0]
+    module.memories = [Limits(1, 4)]
+    module.exports = [Export("run", 0, 0), Export("memory", 2, 0)]
+    module.codes = [
+        CodeEntry(
+            locals_=[(2, ValType.I32)],
+            body=[
+                Instr("local.get", (0,)),
+                Instr("i32.const", (42,)),
+                Instr("i32.add", ()),
+                Instr("end"),
+            ],
+        )
+    ]
+    module.func_names = {0: "run"}
+    module.module_name = "minimal"
+    return module
+
+
+class TestRoundTrip:
+    def test_minimal_module(self):
+        data = encode_module(minimal_module())
+        module = decode_module(data)
+        assert len(module.types) == 1
+        assert module.types[0].params == (ValType.I32,)
+        assert module.exports[0].name == "run"
+        assert module.func_names[0] == "run"
+        assert module.module_name == "minimal"
+        assert encode_module(module) == data
+
+    def test_magic_and_version(self):
+        data = encode_module(minimal_module())
+        assert data[:4] == b"\x00asm"
+        assert data[4:8] == b"\x01\x00\x00\x00"
+
+    def test_import_roundtrip(self):
+        module = minimal_module()
+        module.imports = [
+            Import("env", "abort", 0, 0),
+            Import("env", "memory", 2, Limits(2, None)),
+            Import("env", "g", 3, (ValType.I64, True)),
+        ]
+        decoded = decode_module(encode_module(module))
+        assert decoded.imports[0].name == "abort"
+        assert decoded.imports[1].desc == Limits(2, None)
+        assert decoded.imports[2].desc == (ValType.I64, True)
+
+    def test_negative_i32_const(self):
+        module = minimal_module()
+        module.codes[0].body[1] = Instr("i32.const", (-1000,))
+        decoded = decode_module(encode_module(module))
+        assert decoded.codes[0].body[1].operands == (-1000,)
+
+    def test_memarg_roundtrip(self):
+        module = minimal_module()
+        module.codes[0].body = [
+            Instr("local.get", (0,)),
+            Instr("i32.load", (2, 1024)),
+            Instr("end"),
+        ]
+        decoded = decode_module(encode_module(module))
+        assert decoded.codes[0].body[1].operands == (2, 1024)
+
+    def test_br_table_roundtrip(self):
+        module = minimal_module()
+        module.codes[0].body = [
+            Instr("block", (None,)),
+            Instr("local.get", (0,)),
+            Instr("br_table", ((0, 0), 0)),
+            Instr("end"),
+            Instr("i32.const", (1,)),
+            Instr("end"),
+        ]
+        decoded = decode_module(encode_module(module))
+        assert decoded.codes[0].body[2].operands == ((0, 0), 0)
+
+    def test_float_consts_roundtrip(self):
+        module = minimal_module()
+        module.codes[0].body = [
+            Instr("f64.const", (3.5,)),
+            Instr("i64.reinterpret_f64", ()),
+            Instr("i32.wrap_i64", ()),
+            Instr("end"),
+        ]
+        decoded = decode_module(encode_module(module))
+        assert decoded.codes[0].body[0].operands == (3.5,)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(all_blueprints()))
+    def test_corpus_roundtrip(self, blueprint):
+        builder = WasmCorpusBuilder()
+        data = builder.build(blueprint)
+        assert encode_module(decode_module(data)) == data
+
+
+class TestFunctionBodyBytes:
+    def test_bodies_match_code_section(self, coinhive_wasm):
+        bodies = function_body_bytes(coinhive_wasm)
+        module = decode_module(coinhive_wasm)
+        assert len(bodies) == len(module.codes)
+        assert all(isinstance(b, bytes) and b for b in bodies)
+
+    def test_not_wasm_raises(self):
+        with pytest.raises(WasmDecodeError):
+            function_body_bytes(b"hello world")
+
+
+class TestMalformedInput:
+    def test_empty(self):
+        with pytest.raises(WasmDecodeError):
+            decode_module(b"")
+
+    def test_bad_magic(self):
+        with pytest.raises(WasmDecodeError, match="magic"):
+            decode_module(b"\x00bad\x01\x00\x00\x00")
+
+    def test_bad_version(self):
+        with pytest.raises(WasmDecodeError, match="version"):
+            decode_module(b"\x00asm\x02\x00\x00\x00")
+
+    def test_truncated_section(self):
+        data = encode_module(minimal_module())
+        with pytest.raises(WasmDecodeError):
+            decode_module(data[:-3])
+
+    def test_section_length_overruns(self):
+        # custom section claiming more bytes than exist
+        data = b"\x00asm\x01\x00\x00\x00" + b"\x00\x7f"
+        with pytest.raises(WasmDecodeError):
+            decode_module(data)
+
+    def test_out_of_order_sections(self):
+        good = encode_module(minimal_module())
+        # find type (1) and memory (5) sections and swap their order crudely:
+        # craft module with memory section before type section
+        data = b"\x00asm\x01\x00\x00\x00"
+        memory_section = b"\x05\x03\x01\x00\x01"
+        type_section = b"\x01\x04\x01\x60\x00\x00"
+        with pytest.raises(WasmDecodeError, match="out of order"):
+            decode_module(data + memory_section + type_section)
+        assert decode_module(good)  # sanity: the good one still parses
+
+    def test_code_count_mismatch(self):
+        module = minimal_module()
+        module.func_type_indices = [0, 0]  # declares 2 funcs, 1 body
+        data = encode_module(module)
+        with pytest.raises(WasmDecodeError, match="bodies"):
+            decode_module(data)
+
+    def test_unknown_opcode(self):
+        # craft a body containing opcode 0xFE (not in our subset)
+        module = minimal_module()
+        data = encode_module(module)
+        patched = data.replace(bytes([0x6A]), bytes([0xFE]))
+        with pytest.raises(WasmDecodeError):
+            decode_module(patched)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, data):
+        """Decoder must fail cleanly, never with unexpected exceptions."""
+        try:
+            decode_module(data)
+        except WasmDecodeError:
+            pass
+
+
+class TestEncodeInstr:
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(ValueError):
+            encode_instr(Instr("i32.frobnicate", ()))
+
+    def test_blocktype_empty(self):
+        assert encode_instr(Instr("block", (None,))) == b"\x02\x40"
+
+    def test_blocktype_valtype(self):
+        assert encode_instr(Instr("block", (ValType.I32,))) == b"\x02\x7f"

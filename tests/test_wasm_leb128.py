@@ -1,0 +1,79 @@
+"""Tests for LEB128 coding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wasm import leb128
+
+
+class TestUnsigned:
+    def test_zero(self):
+        assert leb128.encode_u(0) == b"\x00"
+
+    def test_single_byte_max(self):
+        assert leb128.encode_u(127) == b"\x7f"
+
+    def test_two_bytes(self):
+        # 624485 is the spec's worked example
+        assert leb128.encode_u(624485) == b"\xe5\x8e\x26"
+
+    def test_negative_rejected(self):
+        with pytest.raises(leb128.LEBError):
+            leb128.encode_u(-1)
+
+    def test_decode_spec_example(self):
+        value, offset = leb128.decode_u(b"\xe5\x8e\x26", 0)
+        assert value == 624485
+        assert offset == 3
+
+    def test_decode_with_offset(self):
+        data = b"\xff" + leb128.encode_u(300)
+        value, offset = leb128.decode_u(data, 1)
+        assert value == 300
+
+    def test_truncated_raises(self):
+        with pytest.raises(leb128.LEBError):
+            leb128.decode_u(b"\x80", 0)
+
+    def test_oversized_raises(self):
+        with pytest.raises(leb128.LEBError):
+            leb128.decode_u(b"\x80" * 11 + b"\x01", 0, max_bits=64)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        encoded = leb128.encode_u(value)
+        decoded, offset = leb128.decode_u(encoded, 0)
+        assert decoded == value
+        assert offset == len(encoded)
+
+
+class TestSigned:
+    def test_zero(self):
+        assert leb128.encode_s(0) == b"\x00"
+
+    def test_minus_one(self):
+        assert leb128.encode_s(-1) == b"\x7f"
+
+    def test_spec_example(self):
+        assert leb128.encode_s(-123456) == b"\xc0\xbb\x78"
+
+    def test_decode_spec_example(self):
+        value, _ = leb128.decode_s(b"\xc0\xbb\x78", 0)
+        assert value == -123456
+
+    def test_sign_boundary_63_and_64(self):
+        assert leb128.encode_s(63) == b"\x3f"
+        assert leb128.encode_s(64) == b"\xc0\x00"
+        assert leb128.encode_s(-64) == b"\x40"
+        assert leb128.encode_s(-65) == b"\xbf\x7f"
+
+    def test_truncated_raises(self):
+        with pytest.raises(leb128.LEBError):
+            leb128.decode_s(b"\x80\x80", 0)
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip(self, value):
+        encoded = leb128.encode_s(value)
+        decoded, offset = leb128.decode_s(encoded, 0)
+        assert decoded == value
+        assert offset == len(encoded)

@@ -1,0 +1,102 @@
+"""Tests for the evasion-transform toolkit."""
+
+import pytest
+
+from repro.core.features import extract_features
+from repro.core.signatures import unordered_signature, wasm_signature
+from repro.sim.rng import RngStream
+from repro.wasm.builder import ModuleBlueprint
+from repro.wasm.decoder import decode_module
+from repro.wasm.interp import Instance
+from repro.wasm.obfuscate import (
+    pad_dead_code,
+    reorder_functions,
+    rewrite_constants,
+    strip_names,
+)
+from repro.wasm.validator import validate_module
+
+
+def _first_export(wasm: bytes) -> str:
+    module = decode_module(wasm)
+    return next(e.name for e in module.exports if e.kind == 0)
+
+
+def _run(wasm: bytes, *args):
+    module = decode_module(wasm)
+    return Instance(module).invoke(_first_export(wasm), *args)
+
+
+class TestStripNames:
+    def test_names_gone(self, coinhive_wasm):
+        stripped = strip_names(coinhive_wasm)
+        module = decode_module(stripped)
+        assert module.func_names == {}
+        assert all(not e.name.startswith("_crypto") for e in module.exports if e.kind == 0)
+
+    def test_signature_preserved(self, coinhive_wasm):
+        assert wasm_signature(strip_names(coinhive_wasm)) == wasm_signature(coinhive_wasm)
+
+    def test_still_valid_and_executable(self, coinhive_wasm):
+        stripped = strip_names(coinhive_wasm)
+        validate_module(decode_module(stripped))
+        assert _run(stripped, 3, 7)
+
+
+class TestReorderFunctions:
+    def test_breaks_ordered_signature_only(self, coinhive_wasm):
+        reordered = reorder_functions(coinhive_wasm)
+        assert wasm_signature(reordered) != wasm_signature(coinhive_wasm)
+        assert unordered_signature(reordered) == unordered_signature(coinhive_wasm)
+
+    def test_call_sites_remapped(self, coinhive_wasm):
+        reordered = reorder_functions(coinhive_wasm)
+        validate_module(decode_module(reordered))
+        assert _run(reordered, 3, 7)
+
+    def test_seeded_shuffle(self, coinhive_wasm):
+        a = reorder_functions(coinhive_wasm, RngStream(1, "r"))
+        b = reorder_functions(coinhive_wasm, RngStream(1, "r"))
+        assert a == b
+
+    def test_exports_track_real_functions(self, coinhive_wasm):
+        """The export must reach the same code as before the permutation."""
+        before = _run(coinhive_wasm, 5, 9)
+        after = _run(reorder_functions(coinhive_wasm), 5, 9)
+        assert before == after
+
+
+class TestPadDeadCode:
+    def test_static_mix_poisoned_execution_unchanged(self, coinhive_wasm):
+        padded = pad_dead_code(coinhive_wasm)
+        assert extract_features(padded).float_density > 0.3
+        assert _run(padded, 3, 7) == _run(coinhive_wasm, 3, 7)
+
+    def test_valid(self, coinhive_wasm):
+        validate_module(decode_module(pad_dead_code(coinhive_wasm)))
+
+
+class TestRewriteConstants:
+    def test_new_signature_same_mix(self, coinhive_wasm):
+        rewritten = rewrite_constants(coinhive_wasm, RngStream(2, "rw"))
+        assert wasm_signature(rewritten) != wasm_signature(coinhive_wasm)
+        before = extract_features(coinhive_wasm)
+        after = extract_features(rewritten)
+        assert before.xor_count == after.xor_count
+        assert before.total_instructions == after.total_instructions
+
+    def test_still_executes(self, coinhive_wasm):
+        rewritten = rewrite_constants(coinhive_wasm, RngStream(2, "rw"))
+        validate_module(decode_module(rewritten))
+        assert _run(rewritten, 3, 7)
+
+    def test_classifier_mix_path_survives_rewrite(self, coinhive_wasm, signature_db):
+        """The paper's layered design in one test: constants change ⇒
+        signature misses, but name hints / instruction mix still catch it."""
+        from repro.core.classifier import MinerClassifier
+
+        rewritten = rewrite_constants(coinhive_wasm, RngStream(3, "rw"))
+        classifier = MinerClassifier(database=signature_db)
+        verdict = classifier.classify_wasm(rewritten)
+        assert verdict.is_miner
+        assert verdict.method != "signature"

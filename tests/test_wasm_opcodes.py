@@ -1,0 +1,64 @@
+"""Sanity tests on the opcode table itself."""
+
+import pytest
+
+from repro.wasm import opcodes
+
+
+class TestTableIntegrity:
+    def test_codes_unique(self):
+        assert len(opcodes.BY_CODE) == len(opcodes.BY_NAME)
+
+    def test_spec_fields_consistent(self):
+        for code, spec in opcodes.BY_CODE.items():
+            assert spec.code == code
+            assert opcodes.BY_NAME[spec.name] is spec
+
+    def test_immediate_kinds_closed_set(self):
+        kinds = {
+            "none", "blocktype", "u32", "u32x2", "memarg",
+            "i32", "i64", "f32", "f64", "br_table",
+        }
+        assert {spec.immediate for spec in opcodes.BY_CODE.values()} <= kinds
+
+    def test_spec_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            opcodes.spec_for(0xFF)
+
+    def test_spec_for_known(self):
+        assert opcodes.spec_for(0x73).name == "i32.xor"
+
+
+class TestFeatureGroups:
+    def test_groups_are_disjoint(self):
+        groups = [
+            opcodes.XOR_OPS, opcodes.SHIFT_OPS, opcodes.ROTATE_OPS,
+            opcodes.LOAD_OPS, opcodes.STORE_OPS, opcodes.MUL_OPS,
+        ]
+        seen = set()
+        for group in groups:
+            assert not (seen & group)
+            seen |= group
+
+    def test_groups_reference_real_ops(self):
+        for group in (
+            opcodes.XOR_OPS, opcodes.SHIFT_OPS, opcodes.ROTATE_OPS,
+            opcodes.LOAD_OPS, opcodes.STORE_OPS, opcodes.MUL_OPS,
+            opcodes.FLOAT_OPS,
+        ):
+            for name in group:
+                assert name in opcodes.BY_NAME
+
+    def test_load_group_complete(self):
+        assert "i32.load" in opcodes.LOAD_OPS
+        assert "i64.load32_u" in opcodes.LOAD_OPS
+        assert "i32.store" not in opcodes.LOAD_OPS
+
+    def test_float_ops_cover_both_widths(self):
+        assert "f32.add" in opcodes.FLOAT_OPS
+        assert "f64.sqrt" in opcodes.FLOAT_OPS
+        assert "i32.add" not in opcodes.FLOAT_OPS
+
+    def test_shift_excludes_rotates(self):
+        assert "i32.rotl" not in opcodes.SHIFT_OPS
+        assert "i32.rotl" in opcodes.ROTATE_OPS

@@ -1,0 +1,126 @@
+"""Tests for structural module validation."""
+
+import pytest
+
+from repro.wasm.types import CodeEntry, Export, FuncType, Import, Instr, Limits, Module, ValType
+from repro.wasm.validator import WasmValidationError, validate_module
+
+
+def base_module() -> Module:
+    module = Module()
+    module.types = [FuncType((), (ValType.I32,))]
+    module.func_type_indices = [0]
+    module.memories = [Limits(1)]
+    module.codes = [CodeEntry(body=[Instr("i32.const", (1,)), Instr("end")])]
+    return module
+
+
+class TestIndexSpaces:
+    def test_valid_module_passes(self):
+        validate_module(base_module())
+
+    def test_bad_type_index(self):
+        module = base_module()
+        module.func_type_indices = [5]
+        with pytest.raises(WasmValidationError, match="type"):
+            validate_module(module)
+
+    def test_bad_import_type_index(self):
+        module = base_module()
+        module.imports = [Import("env", "f", 0, 9)]
+        with pytest.raises(WasmValidationError):
+            validate_module(module)
+
+    def test_export_of_missing_function(self):
+        module = base_module()
+        module.exports = [Export("f", 0, 3)]
+        with pytest.raises(WasmValidationError, match="export"):
+            validate_module(module)
+
+    def test_export_of_imported_function_ok(self):
+        module = base_module()
+        module.imports = [Import("env", "f", 0, 0)]
+        module.exports = [Export("g", 0, 0)]  # index 0 = the import
+        validate_module(module)
+
+    def test_two_memories_rejected(self):
+        module = base_module()
+        module.memories = [Limits(1), Limits(1)]
+        with pytest.raises(WasmValidationError, match="memory"):
+            validate_module(module)
+
+    def test_name_section_out_of_range(self):
+        module = base_module()
+        module.func_names = {7: "ghost"}
+        with pytest.raises(WasmValidationError, match="name section"):
+            validate_module(module)
+
+
+class TestBodies:
+    def test_missing_end(self):
+        module = base_module()
+        module.codes[0].body = [Instr("i32.const", (1,))]
+        with pytest.raises(WasmValidationError, match="end"):
+            validate_module(module)
+
+    def test_code_after_final_end(self):
+        module = base_module()
+        module.codes[0].body = [Instr("end"), Instr("nop")]
+        with pytest.raises(WasmValidationError, match="after final end"):
+            validate_module(module)
+
+    def test_branch_depth_checked(self):
+        module = base_module()
+        module.codes[0].body = [
+            Instr("block", (None,)),
+            Instr("br", (5,)),
+            Instr("end"),
+            Instr("i32.const", (1,)),
+            Instr("end"),
+        ]
+        with pytest.raises(WasmValidationError, match="branch depth"):
+            validate_module(module)
+
+    def test_valid_nested_branching(self):
+        module = base_module()
+        module.codes[0].body = [
+            Instr("block", (None,)),
+            Instr("loop", (None,)),
+            Instr("i32.const", (0,)),
+            Instr("br_if", (1,)),
+            Instr("end"),
+            Instr("end"),
+            Instr("i32.const", (1,)),
+            Instr("end"),
+        ]
+        validate_module(module)
+
+    def test_local_out_of_range(self):
+        module = base_module()
+        module.codes[0].body = [Instr("local.get", (3,)), Instr("end")]
+        with pytest.raises(WasmValidationError, match="local"):
+            validate_module(module)
+
+    def test_locals_include_params(self):
+        module = base_module()
+        module.types = [FuncType((ValType.I32, ValType.I32), (ValType.I32,))]
+        module.codes[0].body = [Instr("local.get", (1,)), Instr("end")]
+        validate_module(module)
+
+    def test_call_target_checked(self):
+        module = base_module()
+        module.codes[0].body = [Instr("call", (4,)), Instr("i32.const", (0,)), Instr("end")]
+        with pytest.raises(WasmValidationError, match="call target"):
+            validate_module(module)
+
+    def test_else_outside_if(self):
+        module = base_module()
+        module.codes[0].body = [Instr("else"), Instr("end")]
+        with pytest.raises(WasmValidationError, match="else"):
+            validate_module(module)
+
+    def test_global_reference_checked(self):
+        module = base_module()
+        module.codes[0].body = [Instr("global.get", (0,)), Instr("end")]
+        with pytest.raises(WasmValidationError, match="global"):
+            validate_module(module)

@@ -1,0 +1,201 @@
+"""Tests for the headless browser: page-load heuristic and capture."""
+
+import pytest
+
+from repro.pool.protocol import decode_message, JobMessage, LoginMessage, SubmitMessage
+from repro.web.browser import BrowserConfig, HeadlessBrowser
+from repro.web.html import HtmlElement, parse_html
+from repro.web.http import Resource, SyntheticWeb
+from repro.web.scripts import (
+    DomMutatorBehavior,
+    InjectScriptBehavior,
+    MinerBehavior,
+    ScriptTag,
+    inline_key,
+)
+
+
+def simple_web(html=b"<html><head></head><body>hi</body></html>") -> SyntheticWeb:
+    web = SyntheticWeb()
+    web.register_page("http://www.site.com/", html)
+    return web
+
+
+class TestBasicVisits:
+    def test_successful_visit(self):
+        browser = HeadlessBrowser(simple_web())
+        result = browser.visit("http://www.site.com/")
+        assert result.status == "ok"
+        assert "hi" in result.final_html
+        assert result.load_event_at is not None
+
+    def test_unresolvable_domain(self):
+        browser = HeadlessBrowser(SyntheticWeb())
+        result = browser.visit("http://www.ghost.com/")
+        assert result.status == "error"
+        assert "name not resolved" in result.error
+
+    def test_follows_redirect_to_https(self):
+        web = SyntheticWeb()
+        web.register("http://www.site.com/", Resource(redirect_to="https://www.site.com/"))
+        web.register_page("https://www.site.com/", b"<html>secure</html>")
+        result = HeadlessBrowser(web).visit("http://www.site.com/")
+        assert result.status == "ok"
+        assert result.final_url == "https://www.site.com/"
+
+    def test_final_html_truncated_at_65k(self):
+        web = simple_web(b"<html><body>" + b"z" * (100 * 1024) + b"</body></html>")
+        result = HeadlessBrowser(web).visit("http://www.site.com/")
+        assert len(result.final_html) == 65 * 1024
+
+    def test_hanging_page_times_out_at_15s(self):
+        web = SyntheticWeb()
+        web.register("http://www.slow.com/", Resource(content=b"x", hang=True))
+        browser = HeadlessBrowser(web)
+        result = browser.visit("http://www.slow.com/")
+        assert result.status == "error"  # transfer never completes
+
+
+class TestPageLoadHeuristic:
+    def test_quiet_page_finishes_2s_after_load(self):
+        browser = HeadlessBrowser(simple_web())
+        start = browser.loop.now
+        result = browser.visit("http://www.site.com/")
+        # latency 0.05 (page) → load; +2.0 quiet timer
+        assert result.finished_at - start == pytest.approx(2.05, abs=0.2)
+
+    def test_dom_mutations_extend_wait(self):
+        web = simple_web(
+            b"<html><head><script src='http://www.site.com/w.js'></script></head><body></body></html>"
+        )
+        web.register("http://www.site.com/w.js", Resource(content=b"/*w*/", content_type="text/javascript"))
+        registry = {
+            "http://www.site.com/w.js": DomMutatorBehavior(mutations=((1.0, "div"), (2.0, "div")))
+        }
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        start = browser.loop.now
+        result = browser.visit("http://www.site.com/")
+        # last mutation at ~2.1; quiet timer pushes finish to ~4.1
+        assert result.dom_mutations == 2
+        assert result.finished_at - start == pytest.approx(4.1, abs=0.3)
+
+    def test_wait_capped_at_5s_after_load(self):
+        mutations = tuple((0.5 * i, "div") for i in range(1, 14))
+        web = simple_web(
+            b"<html><head><script src='http://www.site.com/w.js'></script></head><body></body></html>"
+        )
+        web.register("http://www.site.com/w.js", Resource(content=b"/*w*/", content_type="text/javascript"))
+        registry = {"http://www.site.com/w.js": DomMutatorBehavior(mutations=mutations)}
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        start = browser.loop.now
+        result = browser.visit("http://www.site.com/")
+        load_delay = result.load_event_at - start
+        assert result.finished_at - start <= load_delay + 5.0 + 0.01
+
+    def test_mutations_after_finish_not_counted(self):
+        web = simple_web(
+            b"<html><head><script src='http://www.site.com/w.js'></script></head><body></body></html>"
+        )
+        web.register("http://www.site.com/w.js", Resource(content=b"/*w*/", content_type="text/javascript"))
+        registry = {"http://www.site.com/w.js": DomMutatorBehavior(mutations=((60.0, "div"),))}
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.site.com/")
+        assert result.dom_mutations == 0
+
+
+class TestCapture:
+    def make_mining_site(self):
+        """A site whose inline script runs a miner against a toy pool."""
+        web = SyntheticWeb()
+        from repro.wasm.builder import ModuleBlueprint, WasmCorpusBuilder
+
+        wasm = WasmCorpusBuilder().build(ModuleBlueprint("coinhive", 0))
+        web.register("https://cdn.pool.com/cn.wasm", Resource(content=wasm, content_type="application/wasm"))
+
+        from repro.pool.protocol import encode_message, SubmitResult, target_hex_for_difficulty
+
+        def pool_handler(channel, payload):
+            message = decode_message(payload)
+            if isinstance(message, LoginMessage):
+                channel.server_send(
+                    encode_message(JobMessage(job_id="j1", blob_hex="00" * 76, target_hex="ffffff00"))
+                )
+            elif isinstance(message, SubmitMessage):
+                channel.server_send(encode_message(SubmitResult(True)))
+
+        web.register_ws("wss://ws1.pool.com/proxy", pool_handler)
+
+        inline = "startMiner('TOK');"
+        tag = ScriptTag(
+            inline=inline,
+            behavior=MinerBehavior(
+                wasm_url="https://cdn.pool.com/cn.wasm",
+                socket_url="wss://ws1.pool.com/proxy",
+                token="TOK",
+                hash_rate=100.0,
+                share_difficulty_hint=4,
+            ),
+        )
+        html = f"<html><head><script>{inline}</script></head><body></body></html>"
+        web.register_page("http://www.miner.com/", html.encode())
+        registry = {inline_key(inline): tag.behavior}
+        return web, registry
+
+    def test_wasm_dumped(self):
+        web, registry = self.make_mining_site()
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.miner.com/")
+        assert result.has_wasm()
+        assert result.wasm_dumps[0][:4] == b"\x00asm"
+
+    def test_websocket_frames_captured_both_directions(self):
+        web, registry = self.make_mining_site()
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.miner.com/")
+        directions = {frame.direction for frame in result.websocket_frames}
+        assert directions == {"sent", "received"}
+        assert result.websocket_urls() == {"wss://ws1.pool.com/proxy"}
+
+    def test_auth_frame_carries_token(self):
+        web, registry = self.make_mining_site()
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.miner.com/")
+        sent = [f for f in result.websocket_frames if f.direction == "sent"]
+        login = decode_message(sent[0].payload)
+        assert isinstance(login, LoginMessage)
+        assert login.token == "TOK"
+
+    def test_submits_shares(self):
+        web, registry = self.make_mining_site()
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.miner.com/")
+        submits = [
+            f for f in result.websocket_frames
+            if f.direction == "sent" and isinstance(decode_message(f.payload), SubmitMessage)
+        ]
+        assert submits  # at ~100 H/s and difficulty 4, shares land fast
+
+    def test_capture_reset_between_visits(self):
+        web, registry = self.make_mining_site()
+        web.register_page("http://www.clean.com/", b"<html><body>clean</body></html>")
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        miner_result = browser.visit("http://www.miner.com/")
+        clean_result = browser.visit("http://www.clean.com/")
+        assert miner_result.has_wasm()
+        assert not clean_result.has_wasm()
+        assert not clean_result.websocket_frames
+
+
+class TestDynamicInjection:
+    def test_injected_script_visible_in_final_html_only(self):
+        web = SyntheticWeb()
+        loader_inline = "loadStuff();"
+        injected = ScriptTag(src="https://coinhive.com/lib/coinhive.min.js")
+        html = f"<html><head><script>{loader_inline}</script></head><body></body></html>"
+        web.register_page("http://www.sneaky.com/", html.encode())
+        registry = {inline_key(loader_inline): InjectScriptBehavior(script=injected, delay=0.1)}
+        browser = HeadlessBrowser(web, behavior_registry=registry)
+        result = browser.visit("http://www.sneaky.com/")
+        assert "coinhive.com" not in html.replace("coinhive.com/lib", "") or True
+        assert "coinhive.com/lib/coinhive.min.js" in result.final_html
+        assert "coinhive" not in html  # static HTML clean

@@ -1,0 +1,131 @@
+"""Tests for the HTML parser/serializer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.web.html import HtmlElement, extract_scripts, parse_html
+
+
+class TestBasicParsing:
+    def test_simple_document(self):
+        doc = parse_html("<html><head><title>Hi</title></head><body><p>text</p></body></html>")
+        assert doc.title() == "Hi"
+        assert "text" in doc.body_text()
+
+    def test_attributes(self):
+        doc = parse_html('<a href="https://x.com" class="big">link</a>')
+        anchor = doc.find_all("a")[0]
+        assert anchor.get("href") == "https://x.com"
+        assert anchor.get("class") == "big"
+
+    def test_unquoted_and_bare_attributes(self):
+        doc = parse_html("<input type=text disabled>")
+        el = doc.find_all("input")[0]
+        assert el.get("type") == "text"
+        assert el.get("disabled") is None
+        assert "disabled" in el.attrs
+
+    def test_case_insensitive_tags(self):
+        doc = parse_html("<SCRIPT src='x.js'></SCRIPT>")
+        assert doc.scripts() == [("x.js", "")]
+
+    def test_void_elements_do_not_nest(self):
+        doc = parse_html("<p><br><img src='x.png'>tail</p>")
+        paragraph = doc.find_all("p")[0]
+        assert "tail" in paragraph.text()
+
+    def test_comments_skipped(self):
+        doc = parse_html("<p>a<!-- hidden <script src='no.js'> -->b</p>")
+        assert doc.scripts() == []
+        assert "hidden" not in doc.root.text()
+
+    def test_doctype_skipped(self):
+        doc = parse_html("<!DOCTYPE html><html><body>x</body></html>")
+        assert "x" in doc.body_text()
+
+    def test_entities_unescaped(self):
+        doc = parse_html("<p>a &amp; b &lt;tag&gt;</p>")
+        assert doc.root.text() == "a & b <tag>"
+
+
+class TestScriptExtraction:
+    def test_src_and_inline(self):
+        html = (
+            '<script src="https://coinhive.com/lib/coinhive.min.js"></script>'
+            "<script>var miner = new CoinHive.Anonymous('KEY');</script>"
+        )
+        scripts = extract_scripts(html)
+        assert scripts[0] == ("https://coinhive.com/lib/coinhive.min.js", "")
+        assert scripts[1][0] is None
+        assert "CoinHive.Anonymous" in scripts[1][1]
+
+    def test_script_body_not_parsed_as_html(self):
+        html = "<script>if (a < b) { document.write('<p>x</p>'); }</script>"
+        scripts = extract_scripts(html)
+        assert len(scripts) == 1
+        assert "document.write" in scripts[0][1]
+
+    def test_script_inside_body(self):
+        html = "<html><body><div><script src='deep.js'></script></div></body></html>"
+        assert extract_scripts(html) == [("deep.js", "")]
+
+    def test_unclosed_script_at_truncation(self):
+        """zgrab cuts pages at 256 kB, often mid-script."""
+        html = "<script src='x.js'></script><script>var a = 'trunca"
+        scripts = extract_scripts(html)
+        assert scripts[0] == ("x.js", "")
+        assert "trunca" in scripts[1][1]
+
+
+class TestMalformedInput:
+    def test_unclosed_tags_close_at_eof(self):
+        doc = parse_html("<div><p>deep")
+        assert "deep" in doc.root.text()
+
+    def test_stray_end_tags_dropped(self):
+        doc = parse_html("</div><p>ok</p>")
+        assert doc.find_all("p")
+
+    def test_mismatched_nesting(self):
+        doc = parse_html("<b><i>x</b></i>")
+        assert "x" in doc.root.text()
+
+    def test_truncated_mid_tag(self):
+        doc = parse_html("<p>before</p><a href='x")
+        assert "before" in doc.root.text()
+
+    def test_angle_in_text(self):
+        doc = parse_html("<p>1 < 2 and 3 > 2</p>")
+        assert doc.find_all("p")
+
+    def test_quoted_gt_inside_attribute(self):
+        doc = parse_html('<img alt="a > b" src="x.png">next')
+        assert doc.find_all("img")[0].get("alt") == "a > b"
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_never_raises(self, text):
+        parse_html(text)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self):
+        html = '<html><head><script src="x.js"></script></head><body><p>hi</p></body></html>'
+        doc = parse_html(html)
+        again = parse_html(doc.serialize())
+        assert again.scripts() == doc.scripts()
+        assert again.body_text() == doc.body_text()
+
+    def test_mutated_dom_serializes_new_nodes(self):
+        doc = parse_html("<html><body></body></html>")
+        doc.find_all("body")[0].append(
+            HtmlElement("script", {"src": "https://coinhive.com/lib/coinhive.min.js"})
+        )
+        assert "coinhive.com" in doc.serialize()
+
+    def test_script_text_not_escaped(self):
+        doc = parse_html("<script>a && b < c</script>")
+        assert "a && b < c" in doc.serialize()
+
+    def test_text_escaped_outside_raw_elements(self):
+        doc = parse_html("<p>a &lt; b</p>")
+        assert "&lt;" in doc.serialize()

@@ -1,0 +1,150 @@
+"""Tests for the simulated HTTP layer and zgrab fetcher."""
+
+import pytest
+
+from repro.web.http import FetchError, Resource, SyntheticWeb, split_url
+from repro.web.zgrab import ZgrabFetcher
+
+
+class TestSplitUrl:
+    def test_basic(self):
+        assert split_url("https://www.example.com/a/b") == ("https", "www.example.com", "/a/b")
+
+    def test_no_path(self):
+        assert split_url("http://example.com") == ("http", "example.com", "/")
+
+    def test_host_lowercased(self):
+        assert split_url("https://WWW.Example.COM/")[1] == "www.example.com"
+
+    def test_websocket_scheme(self):
+        assert split_url("wss://ws1.coinhive.com/proxy")[0] == "wss"
+
+    def test_rejects_schemeless(self):
+        with pytest.raises(ValueError):
+            split_url("example.com/x")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            split_url("ftp://example.com/")
+
+    def test_rejects_empty_host(self):
+        with pytest.raises(ValueError):
+            split_url("https:///path")
+
+
+class TestSyntheticWeb:
+    def test_register_and_fetch(self):
+        web = SyntheticWeb()
+        web.register_page("https://www.a.com/", b"<html>A</html>")
+        response = web.fetch("https://www.a.com/")
+        assert response.body == b"<html>A</html>"
+        assert response.status == 200
+
+    def test_unknown_host_is_dns_failure(self):
+        web = SyntheticWeb()
+        with pytest.raises(FetchError, match="name not resolved"):
+            web.fetch("https://www.ghost.com/")
+
+    def test_http_only_host_fails_tls(self):
+        web = SyntheticWeb()
+        web.register_page("http://www.plain.com/", b"x")
+        with pytest.raises(FetchError, match="TLS"):
+            web.fetch("https://www.plain.com/")
+
+    def test_missing_path_is_404(self):
+        web = SyntheticWeb()
+        web.register_page("https://www.a.com/", b"x")
+        with pytest.raises(FetchError, match="404"):
+            web.fetch("https://www.a.com/missing")
+
+    def test_redirect_followed(self):
+        web = SyntheticWeb()
+        web.register("http://www.a.com/", Resource(redirect_to="https://www.a.com/"))
+        web.register_page("https://www.a.com/", b"secure")
+        response = web.fetch("http://www.a.com/")
+        assert response.body == b"secure"
+        assert response.url == "https://www.a.com/"
+        assert response.redirects == ("http://www.a.com/",)
+
+    def test_redirect_loop_detected(self):
+        web = SyntheticWeb()
+        web.register("https://www.a.com/", Resource(redirect_to="https://www.b.com/"))
+        web.register("https://www.b.com/", Resource(redirect_to="https://www.a.com/"))
+        with pytest.raises(FetchError, match="redirects"):
+            web.fetch("https://www.a.com/")
+
+    def test_truncation(self):
+        web = SyntheticWeb()
+        web.register_page("https://www.big.com/", b"x" * 1000)
+        response = web.fetch("https://www.big.com/", max_bytes=100)
+        assert len(response.body) == 100
+
+    def test_hang_times_out(self):
+        web = SyntheticWeb()
+        web.register("https://www.slow.com/", Resource(content=b"x", hang=True))
+        with pytest.raises(FetchError, match="timed out"):
+            web.fetch("https://www.slow.com/")
+
+    def test_latency_accumulates_over_redirects(self):
+        web = SyntheticWeb()
+        web.register("http://www.a.com/", Resource(redirect_to="https://www.a.com/", latency=0.2))
+        web.register("https://www.a.com/", Resource(content=b"x", latency=0.3))
+        response = web.fetch("http://www.a.com/")
+        assert response.elapsed == pytest.approx(0.5)
+
+    def test_callable_content(self):
+        web = SyntheticWeb()
+        calls = []
+        web.register(
+            "https://www.dyn.com/",
+            Resource(content=lambda: calls.append(1) or b"dynamic"),
+        )
+        assert web.fetch("https://www.dyn.com/").body == b"dynamic"
+        assert calls == [1]
+
+    def test_ws_registration_and_lookup(self):
+        web = SyntheticWeb()
+        handler = lambda channel, payload: None
+        web.register_ws("wss://ws1.pool.com/proxy", handler)
+        assert web.lookup_ws("wss://ws1.pool.com/proxy") is handler
+
+    def test_ws_requires_ws_scheme(self):
+        web = SyntheticWeb()
+        with pytest.raises(ValueError):
+            web.register_ws("https://pool.com/", lambda c, p: None)
+
+    def test_ws_unknown_endpoint(self):
+        web = SyntheticWeb()
+        with pytest.raises(FetchError):
+            web.lookup_ws("wss://nowhere.com/x")
+
+
+class TestZgrab:
+    def test_fetches_www_over_tls(self):
+        web = SyntheticWeb()
+        web.register_page("https://www.site.org/", b"<html>hello</html>")
+        result = ZgrabFetcher(web).fetch_domain("site.org")
+        assert result.ok
+        assert "hello" in result.body
+
+    def test_http_only_site_fails(self):
+        web = SyntheticWeb()
+        web.register_page("http://www.plain.org/", b"<html>x</html>")
+        result = ZgrabFetcher(web).fetch_domain("plain.org")
+        assert not result.ok
+        assert "TLS" in result.error
+
+    def test_truncates_at_256k(self):
+        web = SyntheticWeb()
+        web.register_page("https://www.big.org/", b"y" * (300 * 1024))
+        result = ZgrabFetcher(web).fetch_domain("big.org")
+        assert result.ok
+        assert result.truncated
+        assert len(result.body) == 256 * 1024
+
+    def test_fetch_many_preserves_order(self):
+        web = SyntheticWeb()
+        web.register_page("https://www.a.org/", b"a")
+        web.register_page("https://www.b.org/", b"b")
+        results = ZgrabFetcher(web).fetch_many(["a.org", "missing.org", "b.org"])
+        assert [r.ok for r in results] == [True, False, True]
