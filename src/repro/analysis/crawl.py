@@ -7,20 +7,41 @@ scan dates (the second scan applies the population's churn flags).
 :class:`ChromeCampaign` reproduces Tables 1–3: instrumented browser visits
 of ``http://www.<domain>`` with Wasm-signature classification, NoCoin
 re-matching on post-execution HTML, and RuleSpace categorization.
+
+Both campaigns are written as *merge-friendly* pipelines: the per-site work
+lives in ``scan_sites``/``run_sites``, which return additive partial
+results, and the final report is assembled by a separate ``finalize_*``
+step. The sequential entry points (``scan``/``run``) are just
+"one partial covering every site"; the sharded executor in
+:mod:`repro.analysis.parallel` runs the same per-site code on site subsets
+and merges the partials — by construction the merged output is identical
+to the sequential one.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.detector import CrossTabulation, DetectionReport, PageDetector, cross_tabulate
 from repro.core.signatures import SignatureDatabase, build_reference_database, wasm_signature
-from repro.internet.population import WebPopulation
+from repro.internet.population import SiteSpec, WebPopulation
 from repro.rulespace.engine import RuleSpaceEngine
 from repro.web.browser import BrowserConfig, HeadlessBrowser
 from repro.web.zgrab import ZgrabFetcher
+
+
+def _canonical_order(counter: Counter) -> Counter:
+    """Re-insert entries by (count desc, label asc).
+
+    Counter equality ignores insertion order, but ``most_common`` breaks
+    ties by it — and merged partials insert in shard order while a
+    sequential pass inserts in population order. Canonicalizing in the
+    shared finalize step makes rendered tables (top-5 cuts, share
+    listings) byte-identical across execution modes.
+    """
+    return Counter(dict(sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))))
 
 
 @dataclass
@@ -31,7 +52,7 @@ class ZgrabScanResult:
     scan_date: str
     domains_probed: int
     nocoin_domains: int
-    script_shares: dict  # family label → share of detected domains
+    script_shares: dict[str, float]  # family label → share of detected domains
     paper_total_domains: int
     fetch_failures: int = 0  # DNS/TLS/timeout — the non-HTTPS web, mostly
 
@@ -42,49 +63,78 @@ class ZgrabScanResult:
 
 
 @dataclass
+class ZgrabScanPartial:
+    """Additive per-site tallies of one zgrab pass (or one shard of it).
+
+    Partials from disjoint site subsets merge into exactly the totals a
+    single pass over the union would produce: every field is a plain sum.
+    """
+
+    domains_probed: int = 0
+    nocoin_domains: int = 0
+    fetch_failures: int = 0
+    label_hits: Counter = field(default_factory=Counter)
+
+    def merge(self, other: "ZgrabScanPartial") -> "ZgrabScanPartial":
+        self.domains_probed += other.domains_probed
+        self.nocoin_domains += other.nocoin_domains
+        self.fetch_failures += other.fetch_failures
+        self.label_hits.update(other.label_hits)
+        return self
+
+
+@dataclass
 class ZgrabCampaign:
     """Runs the Section 3.1 pipeline over a population."""
 
     population: WebPopulation
     detector: PageDetector = field(default_factory=PageDetector)
 
-    def scan(self, scan_index: int = 0) -> ZgrabScanResult:
-        """Scan ``0`` (first date) or ``1`` (second date, after churn)."""
-        spec = self.population.spec
+    def scan_sites(self, sites: Iterable[SiteSpec], scan_index: int = 0) -> ZgrabScanPartial:
+        """Fetch-and-match a subset of sites; returns the additive tallies."""
         fetcher = ZgrabFetcher(self.population.web)
-        label_hits: Counter = Counter()
-        nocoin_domains = 0
-        probed = 0
-        failures = 0
-        for site in self.population.sites:
+        partial = ZgrabScanPartial()
+        for site in sites:
             if scan_index == 1 and not site.present_scan2:
                 continue  # site dropped its tag between the scans
-            probed += 1
+            partial.domains_probed += 1
             result = fetcher.fetch_domain(site.domain)
             if not result.ok:
-                failures += 1
+                partial.fetch_failures += 1
                 continue
             report = self.detector.detect_static(site.domain, result.body)
             if report.nocoin_hit:
-                nocoin_domains += 1
+                partial.nocoin_domains += 1
                 for label in report.nocoin_rule_labels:
-                    label_hits[label] += 1
+                    partial.label_hits[label] += 1
+        return partial
+
+    def finalize_scan(self, partial: ZgrabScanPartial, scan_index: int = 0) -> ZgrabScanResult:
+        """Turn (possibly merged) tallies into the Figure-2 result row."""
+        spec = self.population.spec
         shares = {
-            label: count / nocoin_domains for label, count in label_hits.most_common()
-        } if nocoin_domains else {}
+            label: count / partial.nocoin_domains
+            for label, count in _canonical_order(partial.label_hits).items()
+        } if partial.nocoin_domains else {}
         # scale the detected count back up by the churned share so both
         # scans report against the same nominal zone size
         return ZgrabScanResult(
             dataset=spec.name,
             scan_date=spec.scan_dates[scan_index],
-            domains_probed=probed,
-            nocoin_domains=nocoin_domains,
+            domains_probed=partial.domains_probed,
+            nocoin_domains=partial.nocoin_domains,
             script_shares=shares,
             paper_total_domains=spec.paper_total_domains,
-            fetch_failures=failures,
+            fetch_failures=partial.fetch_failures,
         )
 
-    def both_scans(self) -> list:
+    def scan(self, scan_index: int = 0) -> ZgrabScanResult:
+        """Scan ``0`` (first date) or ``1`` (second date, after churn)."""
+        return self.finalize_scan(
+            self.scan_sites(self.population.sites, scan_index), scan_index
+        )
+
+    def both_scans(self) -> list[ZgrabScanResult]:
         return [self.scan(0), self.scan(1)]
 
 
@@ -93,7 +143,7 @@ class ChromeCampaignResult:
     """Everything Tables 1–3 need from one Chrome crawl."""
 
     dataset: str
-    reports: list
+    reports: list[DetectionReport]
     signature_counts: Counter       # family → #sites with that miner (Table 1)
     total_wasm_sites: int
     miner_wasm_sites: int
@@ -102,6 +152,41 @@ class ChromeCampaignResult:
     nocoin_categorized_fraction: float
     signature_categories: Counter   # Table 3 right columns
     signature_categorized_fraction: float
+
+
+@dataclass
+class ChromeRunPartial:
+    """Additive tallies of a Chrome crawl over a subset of sites.
+
+    ``reports`` carries the original population index of every site so that
+    merged partials reassemble the report list in population order — the
+    cross-tabulation and downstream consumers then see exactly the
+    sequential ordering.
+    """
+
+    reports: list[tuple[int, DetectionReport]] = field(default_factory=list)
+    signature_counts: Counter = field(default_factory=Counter)
+    total_wasm_sites: int = 0
+    miner_wasm_sites: int = 0
+    nocoin_categories: Counter = field(default_factory=Counter)
+    nocoin_total: int = 0
+    nocoin_categorized: int = 0
+    signature_categories: Counter = field(default_factory=Counter)
+    signature_total: int = 0
+    signature_categorized: int = 0
+
+    def merge(self, other: "ChromeRunPartial") -> "ChromeRunPartial":
+        self.reports.extend(other.reports)
+        self.signature_counts.update(other.signature_counts)
+        self.total_wasm_sites += other.total_wasm_sites
+        self.miner_wasm_sites += other.miner_wasm_sites
+        self.nocoin_categories.update(other.nocoin_categories)
+        self.nocoin_total += other.nocoin_total
+        self.nocoin_categorized += other.nocoin_categorized
+        self.signature_categories.update(other.signature_categories)
+        self.signature_total += other.signature_total
+        self.signature_categorized += other.signature_categorized
+        return self
 
 
 @dataclass
@@ -118,57 +203,66 @@ class ChromeCampaign:
             self.detector = PageDetector()
             self.detector.classifier.database = build_reference_database()
 
-    def run(self) -> ChromeCampaignResult:
+    def run_sites(self, indexed_sites: Iterable[tuple[int, SiteSpec]]) -> ChromeRunPartial:
+        """Visit a subset of ``(population index, site)`` pairs.
+
+        A fresh browser drives the subset; page-level randomness is keyed
+        by URL (not visit order), so the outcome per site is the same no
+        matter how sites are grouped into subsets.
+        """
         browser = HeadlessBrowser(
             self.population.web,
             config=self.browser_config,
             behavior_registry=self.population.behavior_registry,
         )
-        reports: list[DetectionReport] = []
-        signature_counts: Counter = Counter()
-        total_wasm_sites = 0
-        miner_wasm_sites = 0
-        nocoin_cats: Counter = Counter()
-        nocoin_total = 0
-        nocoin_categorized = 0
-        sig_cats: Counter = Counter()
-        sig_total = 0
-        sig_categorized = 0
-
-        for site in self.population.sites:
+        partial = ChromeRunPartial()
+        for index, site in indexed_sites:
             page = browser.visit(f"http://www.{site.domain}/")
             report = self.detector.detect_page(site.domain, page)
-            reports.append(report)
+            partial.reports.append((index, report))
             if report.wasm_present:
-                total_wasm_sites += 1
+                partial.total_wasm_sites += 1
             if report.is_miner:
-                miner_wasm_sites += 1
-                signature_counts[self._display_family(report.miner.family)] += 1
+                partial.miner_wasm_sites += 1
+                partial.signature_counts[self._display_family(report.miner.family)] += 1
             if report.nocoin_hit:
-                nocoin_total += 1
+                partial.nocoin_total += 1
                 labels = self.rulespace.classify_domain(site.domain)
                 if labels:
-                    nocoin_categorized += 1
-                    nocoin_cats.update(labels[:1])
+                    partial.nocoin_categorized += 1
+                    partial.nocoin_categories.update(labels[:1])
             if report.is_miner:
-                sig_total += 1
+                partial.signature_total += 1
                 labels = self.rulespace.classify_domain(site.domain)
                 if labels:
-                    sig_categorized += 1
-                    sig_cats.update(labels[:1])
+                    partial.signature_categorized += 1
+                    partial.signature_categories.update(labels[:1])
+        return partial
 
+    def finalize_run(self, partial: ChromeRunPartial) -> ChromeCampaignResult:
+        """Assemble Tables 1–3 from (possibly merged) tallies."""
+        ordered = [report for _, report in sorted(partial.reports, key=lambda item: item[0])]
         return ChromeCampaignResult(
             dataset=self.population.spec.name,
-            reports=reports,
-            signature_counts=signature_counts,
-            total_wasm_sites=total_wasm_sites,
-            miner_wasm_sites=miner_wasm_sites,
-            cross_tab=cross_tabulate(reports),
-            nocoin_categories=nocoin_cats,
-            nocoin_categorized_fraction=nocoin_categorized / nocoin_total if nocoin_total else 0.0,
-            signature_categories=sig_cats,
-            signature_categorized_fraction=sig_categorized / sig_total if sig_total else 0.0,
+            reports=ordered,
+            signature_counts=_canonical_order(partial.signature_counts),
+            total_wasm_sites=partial.total_wasm_sites,
+            miner_wasm_sites=partial.miner_wasm_sites,
+            cross_tab=cross_tabulate(ordered),
+            nocoin_categories=_canonical_order(partial.nocoin_categories),
+            nocoin_categorized_fraction=(
+                partial.nocoin_categorized / partial.nocoin_total
+                if partial.nocoin_total else 0.0
+            ),
+            signature_categories=_canonical_order(partial.signature_categories),
+            signature_categorized_fraction=(
+                partial.signature_categorized / partial.signature_total
+                if partial.signature_total else 0.0
+            ),
         )
+
+    def run(self) -> ChromeCampaignResult:
+        return self.finalize_run(self.run_sites(enumerate(self.population.sites)))
 
     @staticmethod
     def _display_family(family: str) -> str:

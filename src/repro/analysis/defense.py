@@ -35,11 +35,11 @@ def _host_of(url: str) -> str:
 class GeneratedRules:
     """Rules distilled from one crawl's miner reports."""
 
-    websocket_hosts: set = field(default_factory=set)
-    third_party_script_hosts: set = field(default_factory=set)
+    websocket_hosts: set[str] = field(default_factory=set)
+    third_party_script_hosts: set[str] = field(default_factory=set)
     skipped_first_party: int = 0
 
-    def to_lines(self) -> list:
+    def to_lines(self) -> list[str]:
         lines = [f"||{host}^" for host in sorted(self.websocket_hosts)]
         lines += [f"||{host}^" for host in sorted(self.third_party_script_hosts)]
         return lines
@@ -48,7 +48,7 @@ class GeneratedRules:
         return len(self.websocket_hosts) + len(self.third_party_script_hosts)
 
 
-def generate_rules(reports, site_domains: dict) -> GeneratedRules:
+def generate_rules(reports, site_domains: dict[str, str]) -> GeneratedRules:
     """Distill block rules from signature-detected miner reports.
 
     ``site_domains`` maps report.domain → the site's own host, so

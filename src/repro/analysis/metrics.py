@@ -1,0 +1,112 @@
+"""Per-shard campaign metrics.
+
+The sharded executor (:mod:`repro.analysis.parallel`) measures every shard
+worker — wall clock, throughput, fetch failures, detector hits, retries —
+and aggregates them into a :class:`CampaignMetrics` the CLI renders next
+to the campaign results. Shards that exhausted their retries are kept in
+the list with their ``error`` set, so degraded runs stay inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ShardMetrics:
+    """Measurements of one shard worker's execution."""
+
+    shard_id: int
+    sites: int
+    wall_seconds: float = 0.0
+    domains_probed: int = 0
+    fetch_failures: int = 0
+    detector_hits: int = 0
+    retries: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def domains_per_sec(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.domains_probed / self.wall_seconds
+
+
+@dataclass
+class CampaignMetrics:
+    """Aggregated view over every shard of one campaign execution."""
+
+    shards: list[ShardMetrics] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    mode: str = "serial"
+    workers: int = 1
+
+    @property
+    def total_sites(self) -> int:
+        return sum(shard.sites for shard in self.shards)
+
+    @property
+    def total_probed(self) -> int:
+        return sum(shard.domains_probed for shard in self.shards)
+
+    @property
+    def total_fetch_failures(self) -> int:
+        return sum(shard.fetch_failures for shard in self.shards)
+
+    @property
+    def total_detector_hits(self) -> int:
+        return sum(shard.detector_hits for shard in self.shards)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(shard.retries for shard in self.shards)
+
+    @property
+    def failed_shards(self) -> list[int]:
+        return [shard.shard_id for shard in self.shards if not shard.ok]
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Overall domains/second against campaign wall clock."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total_probed / self.wall_seconds
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Sum of shard wall clocks over campaign wall clock × workers.
+
+        1.0 means every worker stayed busy the whole time; low values flag
+        skewed shards or scheduling overhead.
+        """
+        if self.wall_seconds <= 0.0 or self.workers <= 0:
+            return 0.0
+        busy = sum(shard.wall_seconds for shard in self.shards)
+        return busy / (self.wall_seconds * self.workers)
+
+    def summary_rows(self) -> list[list[object]]:
+        """Rows for :func:`repro.analysis.reporting.render_table`."""
+        rows: list[list[object]] = []
+        for shard in self.shards:
+            rows.append(
+                [
+                    shard.shard_id,
+                    shard.sites,
+                    f"{shard.wall_seconds:.3f}s",
+                    f"{shard.domains_per_sec:.0f}/s",
+                    shard.fetch_failures,
+                    shard.detector_hits,
+                    shard.retries,
+                    "ok" if shard.ok else f"FAILED: {shard.error}",
+                ]
+            )
+        return rows
+
+    SUMMARY_HEADER = [
+        "shard", "sites", "wall", "rate", "fetch fails", "hits", "retries", "status",
+    ]

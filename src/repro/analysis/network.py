@@ -50,7 +50,7 @@ class NetworkSimConfig:
     initial_reward_xmr: float = 4.55
     coinhive_share: float = 0.0118
     #: month → share multiplier (user-base growth; June was Coinhive's best)
-    monthly_share_factor: dict = field(
+    monthly_share_factor: dict[int, float] = field(
         default_factory=lambda: {4: 1.00, 5: 1.04, 6: 1.10, 7: 1.09}
     )
     #: slow network hash-rate growth: block times shrink by this factor/day,
@@ -58,10 +58,10 @@ class NetworkSimConfig:
     hashrate_drift_per_day: float = 0.0008
     #: probability the observer misses the winning PoW input despite being up
     observer_miss_rate: float = 0.02
-    coinhive_outages: tuple = (
+    coinhive_outages: tuple[tuple[float, float], ...] = (
         (utc_timestamp(2018, 5, 6, 6), utc_timestamp(2018, 5, 7, 18)),
     )
-    observer_outages: tuple = (
+    observer_outages: tuple[tuple[float, float], ...] = (
         (utc_timestamp(2018, 4, 28, 10), utc_timestamp(2018, 4, 28, 20)),
         (utc_timestamp(2018, 5, 15, 0), utc_timestamp(2018, 5, 15, 8)),
     )
@@ -78,13 +78,13 @@ class NetworkObservation:
 
     config: NetworkSimConfig
     chain: Blockchain
-    attributed: list
-    coinhive_truth_heights: set
+    attributed: list  # of attributed Block objects, by height
+    coinhive_truth_heights: set[int]
     clusters_observed: int
 
     # -- Figure 5 -----------------------------------------------------------------
 
-    def day_hour_matrix(self) -> dict:
+    def day_hour_matrix(self) -> dict[tuple[str, int], int]:
         """(date, hour) → attributed block count."""
         matrix: Counter = Counter()
         for block in self.attributed:
@@ -92,7 +92,7 @@ class NetworkObservation:
             matrix[(dt.date().isoformat(), dt.hour)] += 1
         return dict(matrix)
 
-    def blocks_per_day(self) -> dict:
+    def blocks_per_day(self) -> dict[str, int]:
         per_day: Counter = Counter()
         for block in self.attributed:
             dt = _dt.datetime.fromtimestamp(block.timestamp, tz=_dt.timezone.utc)
@@ -200,8 +200,8 @@ def simulate_network(config: Optional[NetworkSimConfig] = None) -> NetworkObserv
     mempool = Mempool()
     diurnal = DiurnalModel(holidays=paper_holiday_calendar(), outages=list(config.coinhive_outages))
 
-    clusters: dict = {}
-    truth_heights: set = set()
+    clusters: dict[bytes, set] = {}  # prev block id → merkle roots seen for it
+    truth_heights: set[int] = set()
     now = config.start
     extra_counter = 0
     #: the network's aggregate hash rate; block arrivals respond to the

@@ -1,0 +1,494 @@
+"""Sharded parallel campaign execution.
+
+The paper's scans cover 138M domains with zgrab and ~3.2M with instrumented
+Chrome — scale that a single-threaded loop over ``population.sites`` never
+reaches. This module partitions a :class:`~repro.internet.population.WebPopulation`
+into deterministic shards (stable hash of the domain → shard id), runs the
+campaign's per-site pipeline on each shard via a ``concurrent.futures``
+pool, and merges the per-shard partial results into output **identical to
+the sequential path**:
+
+- shard membership depends only on the domain string (stable across runs,
+  processes, and site orderings),
+- the per-site work in :class:`~repro.analysis.crawl.ZgrabCampaign` /
+  :class:`~repro.analysis.crawl.ChromeCampaign` is site-independent and
+  keyed by URL-scoped RNG streams, so grouping does not change outcomes,
+- partials merge in shard-id order and every tally is a plain sum, so the
+  finalized result does not depend on worker count or completion order.
+
+Execution modes:
+
+- ``serial``  — run shards in the calling thread (debugging, baselines),
+- ``thread``  — ``ThreadPoolExecutor``; zero-copy sharing of the population,
+- ``process`` — ``ProcessPoolExecutor`` with the ``fork`` start method; the
+  population is inherited copy-on-write, giving each worker an isolated
+  view with no pickling of the web registry.
+
+Every shard is wrapped in retry-with-exponential-backoff; a shard that
+exhausts its retries is recorded in the metrics (``error`` set) and skipped
+instead of killing the whole campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TypeVar
+
+from repro.analysis.crawl import (
+    ChromeCampaign,
+    ChromeCampaignResult,
+    ChromeRunPartial,
+    ZgrabCampaign,
+    ZgrabScanPartial,
+    ZgrabScanResult,
+)
+from repro.analysis.metrics import CampaignMetrics, ShardMetrics
+from repro.core.detector import PageDetector
+from repro.core.signatures import build_reference_database
+from repro.internet.population import SiteSpec, WebPopulation, build_population
+from repro.rulespace.engine import RuleSpaceEngine
+from repro.web.browser import BrowserConfig
+
+T = TypeVar("T")
+
+EXECUTOR_MODES = ("serial", "thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# sharding
+
+
+def stable_shard(domain: str, num_shards: int) -> int:
+    """Deterministic shard id for a domain.
+
+    SHA-256 based, so the assignment is stable across Python versions,
+    processes, and hash randomization — resumable pipelines depend on a
+    domain always landing in the same shard.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    digest = hashlib.sha256(domain.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+def partition_indices(sites: list[SiteSpec], num_shards: int) -> list[list[int]]:
+    """Population indices per shard, by stable hash of each site's domain."""
+    shards: list[list[int]] = [[] for _ in range(num_shards)]
+    for index, site in enumerate(sites):
+        shards[stable_shard(site.domain, num_shards)].append(index)
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# retry
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff around one shard execution."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return self.backoff_base * (self.backoff_factor ** (attempt - 1))
+
+
+def run_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy = RetryPolicy(),
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[T, int]:
+    """Call ``fn`` with retries; returns ``(result, retries_used)``.
+
+    Re-raises the last exception once ``max_attempts`` calls have failed.
+    """
+    retries = 0
+    while True:
+        try:
+            return fn(), retries
+        except Exception:
+            retries += 1
+            if retries >= policy.max_attempts:
+                raise
+            sleep(policy.delay(retries))
+
+
+# ---------------------------------------------------------------------------
+# configuration
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How a sharded campaign executes."""
+
+    shards: int = 4
+    workers: int = 4
+    mode: str = "thread"  # serial | thread | process
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: False: a shard that exhausts retries is dropped (recorded in the
+    #: metrics); True: the campaign raises instead.
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.mode not in EXECUTOR_MODES:
+            raise ValueError(f"mode must be one of {EXECUTOR_MODES}, got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class PopulationRecipe:
+    """Enough to rebuild a population deterministically in any worker.
+
+    Builds are pure functions of ``(dataset, seed, scale)``, so a worker
+    reconstructing its own copy sees byte-identical sites — this is how
+    thread-mode Chrome workers get mutation-isolated Coinhive services
+    without pickling anything.
+    """
+
+    dataset: str
+    seed: int = 2018
+    scale: float = 1.0
+
+    def build(self) -> WebPopulation:
+        return build_population(self.dataset, seed=self.seed, scale=self.scale)
+
+
+# ---------------------------------------------------------------------------
+# worker-side state
+
+#: Populated in the parent just before a fork-based pool spins up; forked
+#: workers read their copy-on-write view of it. Not used in thread mode.
+_FORK_STATE: dict = {}
+
+#: Per-thread (and, transitively, per-process) caches for the expensive
+#: worker artifacts: the reference signature database and recipe-built
+#: population copies.
+_WORKER_CACHE = threading.local()
+
+
+def _worker_chrome_detector() -> PageDetector:
+    detector = getattr(_WORKER_CACHE, "chrome_detector", None)
+    if detector is None:
+        detector = PageDetector()
+        detector.classifier.database = build_reference_database()
+        _WORKER_CACHE.chrome_detector = detector
+    return detector
+
+
+def _worker_population(recipe: PopulationRecipe) -> WebPopulation:
+    key = (recipe.dataset, recipe.seed, recipe.scale)
+    cached = getattr(_WORKER_CACHE, "population", None)
+    if cached is None or cached[0] != key:
+        cached = (key, recipe.build())
+        _WORKER_CACHE.population = cached
+    return cached[1]
+
+
+# ---------------------------------------------------------------------------
+# shard work (shared by every execution mode)
+
+
+def _zgrab_shard_work(
+    population: WebPopulation, shard_id: int, indices: list[int], scan_index: int
+) -> tuple[ZgrabScanPartial, ShardMetrics]:
+    campaign = ZgrabCampaign(population=population)
+    started = time.perf_counter()
+    partial = campaign.scan_sites((population.sites[i] for i in indices), scan_index)
+    wall = time.perf_counter() - started
+    metrics = ShardMetrics(
+        shard_id=shard_id,
+        sites=len(indices),
+        wall_seconds=wall,
+        domains_probed=partial.domains_probed,
+        fetch_failures=partial.fetch_failures,
+        detector_hits=partial.nocoin_domains,
+    )
+    return partial, metrics
+
+
+def _chrome_shard_work(
+    population: WebPopulation,
+    shard_id: int,
+    indices: list[int],
+    browser_config: BrowserConfig,
+) -> tuple[ChromeRunPartial, ShardMetrics]:
+    campaign = ChromeCampaign(
+        population=population,
+        detector=_worker_chrome_detector(),
+        browser_config=browser_config,
+        rulespace=RuleSpaceEngine(),
+    )
+    started = time.perf_counter()
+    partial = campaign.run_sites((i, population.sites[i]) for i in indices)
+    wall = time.perf_counter() - started
+    metrics = ShardMetrics(
+        shard_id=shard_id,
+        sites=len(indices),
+        wall_seconds=wall,
+        domains_probed=len(indices),
+        fetch_failures=sum(1 for _, report in partial.reports if report.status == "error"),
+        detector_hits=partial.miner_wasm_sites,
+    )
+    return partial, metrics
+
+
+def _zgrab_process_entry(
+    shard_id: int, indices: list[int], scan_index: int, retry: RetryPolicy
+) -> tuple[ZgrabScanPartial, ShardMetrics]:
+    population = _FORK_STATE["population"]
+    result, retries = run_with_retry(
+        lambda: _zgrab_shard_work(population, shard_id, indices, scan_index), retry
+    )
+    result[1].retries = retries
+    return result
+
+
+def _chrome_process_entry(
+    shard_id: int, indices: list[int], browser_config: BrowserConfig, retry: RetryPolicy
+) -> tuple[ChromeRunPartial, ShardMetrics]:
+    population = _FORK_STATE["population"]
+    result, retries = run_with_retry(
+        lambda: _chrome_shard_work(population, shard_id, indices, browser_config), retry
+    )
+    result[1].retries = retries
+    return result
+
+
+# ---------------------------------------------------------------------------
+# executor core
+
+
+def _fork_pool(workers: int) -> ProcessPoolExecutor:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            "process mode needs the 'fork' start method (copy-on-write "
+            "population sharing); use mode='thread' on this platform"
+        )
+    return ProcessPoolExecutor(
+        max_workers=workers, mp_context=multiprocessing.get_context("fork")
+    )
+
+
+def _collect_shards(
+    submit: Callable[[Executor, int], "object"],
+    shard_sizes: dict[int, int],
+    pool: Optional[Executor],
+    config: ParallelConfig,
+) -> tuple[dict[int, object], list[ShardMetrics]]:
+    """Run every shard, gathering partials and metrics (failures included)."""
+    partials: dict[int, object] = {}
+    failures: list[ShardMetrics] = []
+    metrics_by_shard: dict[int, ShardMetrics] = {}
+
+    def record(shard_id: int, outcome) -> None:
+        partial, shard_metrics = outcome
+        partials[shard_id] = partial
+        metrics_by_shard[shard_id] = shard_metrics
+
+    if pool is None:  # serial
+        for shard_id in shard_sizes:
+            try:
+                record(shard_id, submit(None, shard_id))
+            except Exception as exc:
+                if config.fail_fast:
+                    raise
+                failures.append(
+                    ShardMetrics(
+                        shard_id=shard_id,
+                        sites=shard_sizes[shard_id],
+                        retries=config.retry.max_attempts - 1,
+                        error=str(exc) or type(exc).__name__,
+                    )
+                )
+    else:
+        futures = {submit(pool, shard_id): shard_id for shard_id in shard_sizes}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                shard_id = futures[future]
+                try:
+                    record(shard_id, future.result())
+                except Exception as exc:
+                    if config.fail_fast:
+                        for other in pending:
+                            other.cancel()
+                        raise
+                    failures.append(
+                        ShardMetrics(
+                            shard_id=shard_id,
+                            sites=shard_sizes[shard_id],
+                            retries=config.retry.max_attempts - 1,
+                            error=str(exc) or type(exc).__name__,
+                        )
+                    )
+
+    all_metrics = sorted(
+        list(metrics_by_shard.values()) + failures, key=lambda m: m.shard_id
+    )
+    return partials, all_metrics
+
+
+class _ShardedCampaignBase:
+    """Shared machinery: partitioning, pool lifecycle, metrics assembly."""
+
+    population: WebPopulation
+    config: ParallelConfig
+
+    def _partition(self) -> tuple[list[list[int]], dict[int, int]]:
+        shard_indices = partition_indices(self.population.sites, self.config.shards)
+        sizes = {shard_id: len(idx) for shard_id, idx in enumerate(shard_indices)}
+        return shard_indices, sizes
+
+    def _execute(self, submit_local, submit_process) -> tuple[dict[int, object], CampaignMetrics]:
+        """Run all shards under the configured mode.
+
+        ``submit_local(pool_or_none, shard_id)`` runs/submits a shard in
+        serial or thread mode; ``submit_process(pool, shard_id)`` submits
+        the module-level fork entry point.
+        """
+        config = self.config
+        _, sizes = self._partition()
+        started = time.perf_counter()
+        if config.mode == "serial":
+            partials, shard_metrics = _collect_shards(submit_local, sizes, None, config)
+        elif config.mode == "thread":
+            with ThreadPoolExecutor(max_workers=config.workers) as pool:
+                partials, shard_metrics = _collect_shards(submit_local, sizes, pool, config)
+        else:  # process
+            _FORK_STATE["population"] = self.population
+            try:
+                with _fork_pool(config.workers) as pool:
+                    partials, shard_metrics = _collect_shards(
+                        submit_process, sizes, pool, config
+                    )
+            finally:
+                _FORK_STATE.pop("population", None)
+        wall = time.perf_counter() - started
+        metrics = CampaignMetrics(
+            shards=shard_metrics,
+            wall_seconds=wall,
+            mode=config.mode,
+            workers=config.workers if config.mode != "serial" else 1,
+        )
+        return partials, metrics
+
+
+@dataclass
+class ShardedZgrabCampaign(_ShardedCampaignBase):
+    """Shard-parallel drop-in for :class:`ZgrabCampaign`.
+
+    ``scan``/``both_scans`` return the same :class:`ZgrabScanResult` values
+    the sequential campaign produces; ``metrics`` holds the per-shard
+    measurements of the most recent scan.
+    """
+
+    population: WebPopulation
+    config: ParallelConfig = field(default_factory=ParallelConfig)
+    metrics: Optional[CampaignMetrics] = None
+
+    def scan(self, scan_index: int = 0) -> ZgrabScanResult:
+        shard_indices, _ = self._partition()
+        retry = self.config.retry
+
+        def submit_local(pool, shard_id):
+            def attempt():
+                return _zgrab_shard_work(
+                    self.population, shard_id, shard_indices[shard_id], scan_index
+                )
+
+            def entry():
+                result, retries = run_with_retry(attempt, retry)
+                result[1].retries = retries
+                return result
+
+            return entry() if pool is None else pool.submit(entry)
+
+        def submit_process(pool, shard_id):
+            return pool.submit(
+                _zgrab_process_entry, shard_id, shard_indices[shard_id], scan_index, retry
+            )
+
+        partials, self.metrics = self._execute(submit_local, submit_process)
+        merged = ZgrabScanPartial()
+        for shard_id in sorted(partials):
+            merged.merge(partials[shard_id])
+        return ZgrabCampaign(population=self.population).finalize_scan(merged, scan_index)
+
+    def both_scans(self) -> list[ZgrabScanResult]:
+        return [self.scan(0), self.scan(1)]
+
+
+@dataclass
+class ShardedChromeCampaign(_ShardedCampaignBase):
+    """Shard-parallel drop-in for :class:`ChromeCampaign`.
+
+    Each shard drives its own fresh browser, so per-page RNG (keyed by URL)
+    and page-load timing replay exactly as in the sequential run. In thread
+    mode, pass a ``recipe`` to give every worker thread its own rebuilt
+    population — Coinhive pool state is mutated during visits, and the
+    rebuild isolates those writes without changing any detection outcome.
+    In process mode the fork gives workers copy-on-write isolation for free.
+    """
+
+    population: Optional[WebPopulation] = None
+    recipe: Optional[PopulationRecipe] = None
+    config: ParallelConfig = field(default_factory=ParallelConfig)
+    browser_config: BrowserConfig = field(default_factory=BrowserConfig)
+    metrics: Optional[CampaignMetrics] = None
+
+    def __post_init__(self) -> None:
+        if self.population is None:
+            if self.recipe is None:
+                raise ValueError("need a population or a recipe")
+            self.population = self.recipe.build()
+
+    def _shard_population(self) -> WebPopulation:
+        if self.config.mode == "thread" and self.recipe is not None:
+            return _worker_population(self.recipe)
+        return self.population
+
+    def run(self) -> ChromeCampaignResult:
+        shard_indices, _ = self._partition()
+        retry = self.config.retry
+        browser_config = self.browser_config
+
+        def submit_local(pool, shard_id):
+            def attempt():
+                return _chrome_shard_work(
+                    self._shard_population(), shard_id, shard_indices[shard_id], browser_config
+                )
+
+            def entry():
+                result, retries = run_with_retry(attempt, retry)
+                result[1].retries = retries
+                return result
+
+            return entry() if pool is None else pool.submit(entry)
+
+        def submit_process(pool, shard_id):
+            return pool.submit(
+                _chrome_process_entry, shard_id, shard_indices[shard_id], browser_config, retry
+            )
+
+        partials, self.metrics = self._execute(submit_local, submit_process)
+        merged = ChromeRunPartial()
+        for shard_id in sorted(partials):
+            merged.merge(partials[shard_id])
+        finalizer = ChromeCampaign(
+            population=self.population,
+            detector=PageDetector(),  # finalize only aggregates; no detection runs
+            browser_config=self.browser_config,
+        )
+        return finalizer.finalize_run(merged)

@@ -27,7 +27,7 @@ from repro.sim.rng import RngStream
 class LinksPerTokenResult:
     """Figure 3's data: link counts by token rank."""
 
-    counts_by_rank: list  # descending link counts
+    counts_by_rank: list[int]  # descending link counts
     total_links: int
 
     @property
@@ -37,7 +37,7 @@ class LinksPerTokenResult:
     def topn_share(self, n: int = 10) -> float:
         return sum(self.counts_by_rank[:n]) / self.total_links if self.total_links else 0.0
 
-    def cdf_points(self) -> list:
+    def cdf_points(self) -> list[tuple[int, float]]:
         """(rank, cumulative share) pairs."""
         out = []
         acc = 0
@@ -51,8 +51,8 @@ class LinksPerTokenResult:
 class HashRequirementResult:
     """Figure 4's data: hash requirements, biased and unbiased."""
 
-    all_links: list           # required hashes, one per link
-    user_bias_removed: list   # one per (user, required-hash value)
+    all_links: list[int]           # required hashes, one per link
+    user_bias_removed: list[int]   # one per (user, required-hash value)
 
     def share_resolvable_within(self, max_hashes: int, unbiased: bool = True) -> float:
         data = self.user_bias_removed if unbiased else self.all_links
@@ -108,7 +108,7 @@ class ShortLinkStudy:
 
     def hash_requirements(self) -> HashRequirementResult:
         all_links = [link.required_hashes for link in self.population.service.links]
-        per_user_values: set = set()
+        per_user_values: set[tuple[str, int]] = set()
         for link in self.population.service.links:
             per_user_values.add((link.token, link.required_hashes))
         return HashRequirementResult(
@@ -127,15 +127,19 @@ class ShortLinkStudy:
         """
         rng = RngStream(seed, "shortlink-study")
         service = self.population.service
-        top_tokens = set(self.population.top_tokens(10))
+        # keep the ranked order for iteration: sampling consumes the RNG per
+        # token, so iterating the *set* would tie the draws to the process
+        # hash seed and break cross-run determinism
+        ranked_top = self.population.top_tokens(10)
+        top_tokens = set(ranked_top)
 
-        by_token: dict = {}
+        by_token: dict[str, list] = {}
         for link in service.links:
             by_token.setdefault(link.token, []).append(link)
 
         top_domains: Counter = Counter()
         top_sample = 0
-        for token in top_tokens:
+        for token in ranked_top:
             links = by_token.get(token, [])
             sample = links if len(links) <= self.sample_per_top_user else rng.sample(
                 links, self.sample_per_top_user
@@ -146,7 +150,7 @@ class ShortLinkStudy:
                 top_sample += 1
 
         # unbiased: dedup per (token, required) and cap at the cutoff
-        seen: set = set()
+        seen: set[tuple[str, int]] = set()
         unbiased_cats: Counter = Counter()
         unbiased_urls = 0
         unclassified = 0

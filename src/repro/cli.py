@@ -73,18 +73,56 @@ def _cmd_nocoin(args: argparse.Namespace) -> int:
     return status
 
 
+def _print_shard_metrics(metrics, title: str) -> None:
+    from repro.analysis.metrics import CampaignMetrics
+    from repro.analysis.reporting import render_table
+
+    print(render_table(CampaignMetrics.SUMMARY_HEADER, metrics.summary_rows(), title=title))
+    print(
+        f"wall={metrics.wall_seconds:.2f}s mode={metrics.mode} workers={metrics.workers} "
+        f"rate={metrics.aggregate_rate:.0f} domains/s "
+        f"efficiency={metrics.parallel_efficiency:.0%}"
+        + (f" FAILED SHARDS: {metrics.failed_shards}" if metrics.failed_shards else "")
+    )
+
+
 def _cmd_crawl(args: argparse.Namespace) -> int:
     from repro.analysis.crawl import ChromeCampaign, ZgrabCampaign
+    from repro.analysis.parallel import (
+        ParallelConfig,
+        PopulationRecipe,
+        ShardedChromeCampaign,
+        ShardedZgrabCampaign,
+    )
     from repro.analysis.reporting import render_table
     from repro.internet.population import build_population
 
+    parallel = args.shards > 1 or args.workers > 1
     population = build_population(args.dataset, seed=args.seed, scale=args.scale)
     print(f"dataset={args.dataset} sites={len(population.sites)} scale={args.scale}")
-    scans = ZgrabCampaign(population=population).both_scans()
+    if parallel:
+        config = ParallelConfig(shards=args.shards, workers=args.workers, mode=args.executor)
+        zgrab = ShardedZgrabCampaign(population=population, config=config)
+        scans = zgrab.both_scans()
+    else:
+        zgrab = ZgrabCampaign(population=population)
+        scans = zgrab.both_scans()
     rows = [[s.scan_date, s.nocoin_domains, f"{s.prevalence:.4%}"] for s in scans]
     print(render_table(["scan", "NoCoin domains", "prevalence"], rows, title="\nzgrab pass"))
+    if parallel and zgrab.metrics is not None:
+        _print_shard_metrics(zgrab.metrics, "\nzgrab shard metrics (second scan)")
     if population.spec.chrome_crawl:
-        result = ChromeCampaign(population=population).run()
+        if parallel:
+            config = ParallelConfig(shards=args.shards, workers=args.workers, mode=args.executor)
+            chrome = ShardedChromeCampaign(
+                population=population,
+                recipe=PopulationRecipe(args.dataset, seed=args.seed, scale=args.scale),
+                config=config,
+            )
+            result = chrome.run()
+        else:
+            chrome = None
+            result = ChromeCampaign(population=population).run()
         tab = result.cross_tab
         rows = [
             ["Wasm miner sites", tab.wasm_miner_hits],
@@ -95,6 +133,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         print(render_table(["metric", "value"], rows, title="\nChrome pass"))
         rows = list(result.signature_counts.most_common(5))
         print(render_table(["family", "sites"], rows, title="\ntop signatures"))
+        if parallel and chrome is not None and chrome.metrics is not None:
+            _print_shard_metrics(chrome.metrics, "\nChrome shard metrics")
     return 0
 
 
@@ -150,6 +190,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         crawl_scale=args.crawl_scale,
         shortlink_scale=args.shortlink_scale,
         network_days=args.days,
+        crawl_shards=args.shards,
+        crawl_workers=args.workers,
+        crawl_executor=args.executor,
     )
     report = run_reproduction(config)
     markdown = report.to_markdown()
@@ -193,6 +236,13 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mining",
@@ -213,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("crawl", help="run a scaled crawl campaign")
     p.add_argument("--dataset", choices=("alexa", "com", "net", "org"), default="alexa")
     p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--shards", type=_positive_int, default=1, help="split the population into N shards")
+    p.add_argument("--workers", type=_positive_int, default=1, help="worker pool size for shard execution")
+    p.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="shard execution mode (process = fork-based pool, Linux)",
+    )
     p.set_defaults(func=_cmd_crawl)
 
     p = sub.add_parser("shortlinks", help="run the cnhv.co study")
@@ -230,6 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crawl-scale", type=float, default=0.25)
     p.add_argument("--shortlink-scale", type=float, default=0.004)
     p.add_argument("--days", type=int, default=28)
+    p.add_argument("--shards", type=_positive_int, default=1, help="crawl shards (see `crawl --shards`)")
+    p.add_argument("--workers", type=_positive_int, default=1, help="crawl worker pool size")
+    p.add_argument("--executor", choices=("serial", "thread", "process"), default="thread")
     p.set_defaults(func=_cmd_reproduce)
 
     p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")

@@ -155,7 +155,7 @@ class HeadlessBrowser:
         self.behavior_registry = behavior_registry if behavior_registry is not None else {}
         self._current: Optional[PageResult] = None
         self._last_mutation: float = 0.0
-        self._visit_counter = 0
+        self._visit_counts: dict[str, int] = {}
 
     # -- capture hooks ------------------------------------------------------------
 
@@ -186,11 +186,13 @@ class HeadlessBrowser:
 
         result.final_url = response.url
         document = parse_html(response.body.decode("utf-8", errors="replace"))
-        # per-visit stream: deterministic for a given browser+visit order,
-        # but distinct across repeat visits of the same URL
-        self._visit_counter += 1
+        # per-visit stream keyed by (url, nth visit of that url): distinct
+        # across repeat visits, yet independent of the order in which other
+        # URLs are visited — sharded crawls replay identical page behaviour
+        visit_count = self._visit_counts.get(url, 0) + 1
+        self._visit_counts[url] = visit_count
         context = PageContext(
-            self, document, result, self.rng.substream("page", url, str(self._visit_counter))
+            self, document, result, self.rng.substream("page", url, str(visit_count))
         )
         self._last_mutation = start
 

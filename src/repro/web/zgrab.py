@@ -9,7 +9,7 @@ TLS-only, fixed byte budget, no script execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.web.http import FetchError, SyntheticWeb
 
@@ -51,6 +51,11 @@ class ZgrabFetcher:
             truncated=len(response.body) >= self.max_bytes,
         )
 
-    def fetch_many(self, domains) -> list:
-        """Fetch a batch of domains (order preserved)."""
+    def fetch_many(self, domains: Iterable[str]) -> list[ZgrabResult]:
+        """Fetch a batch of domains (order preserved).
+
+        Fetches are independent and side-effect free on the shared
+        :class:`SyntheticWeb`, which is what lets shard workers run them
+        concurrently (see :mod:`repro.analysis.parallel`).
+        """
         return [self.fetch_domain(domain) for domain in domains]
