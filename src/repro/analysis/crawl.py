@@ -26,6 +26,11 @@ from typing import Iterable, Optional
 
 from repro.core.detector import CrossTabulation, DetectionReport, PageDetector, cross_tabulate
 from repro.core.signatures import SignatureDatabase, build_reference_database, wasm_signature
+from repro.faults.checkpoint import CheckpointJournal
+from repro.faults.ledger import FaultLedger
+from repro.faults.plan import FaultKind
+from repro.faults.resilience import ResiliencePolicy
+from repro.faults.taxonomy import ErrorClass
 from repro.internet.population import SiteSpec, WebPopulation
 from repro.rulespace.engine import RuleSpaceEngine
 from repro.web.browser import BrowserConfig, HeadlessBrowser
@@ -74,13 +79,29 @@ class ZgrabScanPartial:
     nocoin_domains: int = 0
     fetch_failures: int = 0
     label_hits: Counter = field(default_factory=Counter)
+    fault_ledger: FaultLedger = field(default_factory=FaultLedger)
 
     def merge(self, other: "ZgrabScanPartial") -> "ZgrabScanPartial":
         self.domains_probed += other.domains_probed
         self.nocoin_domains += other.nocoin_domains
         self.fetch_failures += other.fetch_failures
         self.label_hits.update(other.label_hits)
+        self.fault_ledger.merge(other.fault_ledger)
         return self
+
+
+@dataclass(frozen=True)
+class ZgrabSiteOutcome:
+    """One site's zgrab verdict plus its fault accounting.
+
+    This is the checkpoint unit: order-independent and additive, so a
+    resumed shard replaying recorded outcomes merges bit-identically.
+    """
+
+    failed: bool = False
+    nocoin_hit: bool = False
+    labels: tuple = ()
+    ledger: FaultLedger = field(default_factory=FaultLedger)
 
 
 @dataclass
@@ -89,25 +110,67 @@ class ZgrabCampaign:
 
     population: WebPopulation
     detector: PageDetector = field(default_factory=PageDetector)
+    #: retry/breaker/deadline settings for the fetcher; ``None`` keeps the
+    #: legacy single-attempt behaviour
+    resilience: Optional[ResiliencePolicy] = None
 
     def scan_sites(self, sites: Iterable[SiteSpec], scan_index: int = 0) -> ZgrabScanPartial:
         """Fetch-and-match a subset of sites; returns the additive tallies."""
-        fetcher = ZgrabFetcher(self.population.web)
+        return self.scan_sites_indexed(enumerate(sites), scan_index)
+
+    def scan_sites_indexed(
+        self,
+        indexed_sites: Iterable[tuple[int, SiteSpec]],
+        scan_index: int = 0,
+        journal: Optional[CheckpointJournal] = None,
+    ) -> ZgrabScanPartial:
+        """Scan ``(population index, site)`` pairs, optionally journaled.
+
+        With a ``journal``, sites already recorded are replayed instead of
+        re-fetched, and every fresh site is recorded as it completes — a
+        shard killed mid-run resumes from the journal and still merges to
+        the exact uninterrupted result (fault decisions are keyed on
+        domains, never on execution position).
+        """
+        fetcher = ZgrabFetcher(self.population.web, resilience=self.resilience)
         partial = ZgrabScanPartial()
-        for site in sites:
+        done = journal.load() if journal is not None else {}
+        for index, site in indexed_sites:
             if scan_index == 1 and not site.present_scan2:
                 continue  # site dropped its tag between the scans
-            partial.domains_probed += 1
-            result = fetcher.fetch_domain(site.domain)
-            if not result.ok:
-                partial.fetch_failures += 1
-                continue
-            report = self.detector.detect_static(site.domain, result.body)
-            if report.nocoin_hit:
-                partial.nocoin_domains += 1
-                for label in report.nocoin_rule_labels:
-                    partial.label_hits[label] += 1
+            outcome = done.get(index)
+            if outcome is not None:
+                partial.fault_ledger.checkpoint_resumed += 1
+            else:
+                outcome = self._scan_site(fetcher, site)
+                if journal is not None:
+                    journal.record(index, outcome)
+                    partial.fault_ledger.checkpoint_recorded += 1
+            self._apply_outcome(partial, outcome)
         return partial
+
+    def _scan_site(self, fetcher: ZgrabFetcher, site: SiteSpec) -> ZgrabSiteOutcome:
+        ledger = FaultLedger()
+        result = fetcher.fetch_domain(site.domain, ledger=ledger)
+        if not result.ok:
+            return ZgrabSiteOutcome(failed=True, ledger=ledger)
+        report = self.detector.detect_static(site.domain, result.body)
+        return ZgrabSiteOutcome(
+            nocoin_hit=report.nocoin_hit,
+            labels=tuple(report.nocoin_rule_labels),
+            ledger=ledger,
+        )
+
+    @staticmethod
+    def _apply_outcome(partial: ZgrabScanPartial, outcome: ZgrabSiteOutcome) -> None:
+        partial.domains_probed += 1
+        if outcome.failed:
+            partial.fetch_failures += 1
+        elif outcome.nocoin_hit:
+            partial.nocoin_domains += 1
+            for label in outcome.labels:
+                partial.label_hits[label] += 1
+        partial.fault_ledger.merge(outcome.ledger)
 
     def finalize_scan(self, partial: ZgrabScanPartial, scan_index: int = 0) -> ZgrabScanResult:
         """Turn (possibly merged) tallies into the Figure-2 result row."""
@@ -174,6 +237,7 @@ class ChromeRunPartial:
     signature_categories: Counter = field(default_factory=Counter)
     signature_total: int = 0
     signature_categorized: int = 0
+    fault_ledger: FaultLedger = field(default_factory=FaultLedger)
 
     def merge(self, other: "ChromeRunPartial") -> "ChromeRunPartial":
         self.reports.extend(other.reports)
@@ -186,7 +250,16 @@ class ChromeRunPartial:
         self.signature_categories.update(other.signature_categories)
         self.signature_total += other.signature_total
         self.signature_categorized += other.signature_categorized
+        self.fault_ledger.merge(other.fault_ledger)
         return self
+
+
+@dataclass(frozen=True)
+class ChromeSiteOutcome:
+    """One site's Chrome-visit detection report plus fault accounting."""
+
+    report: DetectionReport
+    ledger: FaultLedger = field(default_factory=FaultLedger)
 
 
 @dataclass
@@ -203,12 +276,18 @@ class ChromeCampaign:
             self.detector = PageDetector()
             self.detector.classifier.database = build_reference_database()
 
-    def run_sites(self, indexed_sites: Iterable[tuple[int, SiteSpec]]) -> ChromeRunPartial:
+    def run_sites(
+        self,
+        indexed_sites: Iterable[tuple[int, SiteSpec]],
+        journal: Optional[CheckpointJournal] = None,
+    ) -> ChromeRunPartial:
         """Visit a subset of ``(population index, site)`` pairs.
 
         A fresh browser drives the subset; page-level randomness is keyed
         by URL (not visit order), so the outcome per site is the same no
-        matter how sites are grouped into subsets.
+        matter how sites are grouped into subsets. With a ``journal``,
+        already-recorded sites are replayed instead of re-visited (see
+        :meth:`ZgrabCampaign.scan_sites_indexed`).
         """
         browser = HeadlessBrowser(
             self.population.web,
@@ -216,28 +295,60 @@ class ChromeCampaign:
             behavior_registry=self.population.behavior_registry,
         )
         partial = ChromeRunPartial()
+        done = journal.load() if journal is not None else {}
         for index, site in indexed_sites:
-            page = browser.visit(f"http://www.{site.domain}/")
-            report = self.detector.detect_page(site.domain, page)
-            partial.reports.append((index, report))
-            if report.wasm_present:
-                partial.total_wasm_sites += 1
-            if report.is_miner:
-                partial.miner_wasm_sites += 1
-                partial.signature_counts[self._display_family(report.miner.family)] += 1
-            if report.nocoin_hit:
-                partial.nocoin_total += 1
-                labels = self.rulespace.classify_domain(site.domain)
-                if labels:
-                    partial.nocoin_categorized += 1
-                    partial.nocoin_categories.update(labels[:1])
-            if report.is_miner:
-                partial.signature_total += 1
-                labels = self.rulespace.classify_domain(site.domain)
-                if labels:
-                    partial.signature_categorized += 1
-                    partial.signature_categories.update(labels[:1])
+            outcome = done.get(index)
+            if outcome is not None:
+                partial.fault_ledger.checkpoint_resumed += 1
+            else:
+                outcome = self._visit_site(browser, site)
+                if journal is not None:
+                    journal.record(index, outcome)
+                    partial.fault_ledger.checkpoint_recorded += 1
+            self._apply_outcome(partial, index, site, outcome)
         return partial
+
+    def _visit_site(self, browser: HeadlessBrowser, site: SiteSpec) -> ChromeSiteOutcome:
+        ledger = FaultLedger()
+        page = browser.visit(f"http://www.{site.domain}/")
+        report = self.detector.detect_page(site.domain, page)
+        kinds = [FaultKind(value) for value in page.fault_events]
+        for kind in kinds:
+            ledger.record_injection(kind)
+        # a page that still produced a capture recovered from its injected
+        # faults (degraded is not failed); an error page did not
+        ledger.settle(kinds, recovered=page.status != "error")
+        if page.status == "error" and page.error_class:
+            ledger.record_observed(ErrorClass(page.error_class))
+        return ChromeSiteOutcome(report=report, ledger=ledger)
+
+    def _apply_outcome(
+        self,
+        partial: ChromeRunPartial,
+        index: int,
+        site: SiteSpec,
+        outcome: ChromeSiteOutcome,
+    ) -> None:
+        report = outcome.report
+        partial.reports.append((index, report))
+        if report.wasm_present:
+            partial.total_wasm_sites += 1
+        if report.is_miner:
+            partial.miner_wasm_sites += 1
+            partial.signature_counts[self._display_family(report.miner.family)] += 1
+        if report.nocoin_hit:
+            partial.nocoin_total += 1
+            labels = self.rulespace.classify_domain(site.domain)
+            if labels:
+                partial.nocoin_categorized += 1
+                partial.nocoin_categories.update(labels[:1])
+        if report.is_miner:
+            partial.signature_total += 1
+            labels = self.rulespace.classify_domain(site.domain)
+            if labels:
+                partial.signature_categorized += 1
+                partial.signature_categories.update(labels[:1])
+        partial.fault_ledger.merge(outcome.ledger)
 
     def finalize_run(self, partial: ChromeRunPartial) -> ChromeCampaignResult:
         """Assemble Tables 1–3 from (possibly merged) tallies."""

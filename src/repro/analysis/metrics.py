@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults.ledger import FaultLedger
+
 
 @dataclass
 class ShardMetrics:
@@ -25,6 +27,8 @@ class ShardMetrics:
     detector_hits: int = 0
     retries: int = 0
     error: Optional[str] = None
+    #: fault accounting for this shard (``None`` when no chaos plane ran)
+    ledger: Optional[FaultLedger] = None
 
     @property
     def ok(self) -> bool:
@@ -69,6 +73,15 @@ class CampaignMetrics:
     @property
     def failed_shards(self) -> list[int]:
         return [shard.shard_id for shard in self.shards if not shard.ok]
+
+    @property
+    def fault_ledger(self) -> FaultLedger:
+        """All shard ledgers merged (additively, in shard order)."""
+        merged = FaultLedger()
+        for shard in self.shards:
+            if shard.ledger is not None:
+                merged.merge(shard.ledger)
+        return merged
 
     @property
     def aggregate_rate(self) -> float:

@@ -24,9 +24,13 @@ Execution modes:
   population is inherited copy-on-write, giving each worker an isolated
   view with no pickling of the web registry.
 
-Every shard is wrapped in retry-with-exponential-backoff; a shard that
-exhausts its retries is recorded in the metrics (``error`` set) and skipped
-instead of killing the whole campaign.
+Every shard is wrapped in retry-with-exponential-backoff (the shared
+:class:`repro.faults.resilience.RetryPolicy` — re-exported here for
+backward compatibility); a shard that exhausts its retries is recorded in
+the metrics (``error`` set) and skipped instead of killing the whole
+campaign. With ``checkpoint_dir`` set, every shard journals per-site
+outcomes so a killed run resumes without repeating (or re-randomizing)
+completed work.
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Optional, TypeVar
+from typing import Callable, Optional
 
 from repro.analysis.crawl import (
     ChromeCampaign,
@@ -50,13 +54,26 @@ from repro.analysis.crawl import (
 from repro.analysis.metrics import CampaignMetrics, ShardMetrics
 from repro.core.detector import PageDetector
 from repro.core.signatures import build_reference_database
+from repro.faults.checkpoint import shard_journal
+from repro.faults.plan import build_fault_plan
+from repro.faults.resilience import ResiliencePolicy, RetryPolicy, run_with_retry
 from repro.internet.population import SiteSpec, WebPopulation, build_population
 from repro.rulespace.engine import RuleSpaceEngine
 from repro.web.browser import BrowserConfig
 
-T = TypeVar("T")
-
 EXECUTOR_MODES = ("serial", "thread", "process")
+
+__all__ = [
+    "EXECUTOR_MODES",
+    "ParallelConfig",
+    "PopulationRecipe",
+    "RetryPolicy",
+    "ShardedChromeCampaign",
+    "ShardedZgrabCampaign",
+    "partition_indices",
+    "run_with_retry",
+    "stable_shard",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -85,44 +102,11 @@ def partition_indices(sites: list[SiteSpec], num_shards: int) -> list[list[int]]
 
 
 # ---------------------------------------------------------------------------
-# retry
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Exponential backoff around one shard execution."""
-
-    max_attempts: int = 3
-    backoff_base: float = 0.05
-    backoff_factor: float = 2.0
-
-    def delay(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based)."""
-        return self.backoff_base * (self.backoff_factor ** (attempt - 1))
-
-
-def run_with_retry(
-    fn: Callable[[], T],
-    policy: RetryPolicy = RetryPolicy(),
-    sleep: Callable[[float], None] = time.sleep,
-) -> tuple[T, int]:
-    """Call ``fn`` with retries; returns ``(result, retries_used)``.
-
-    Re-raises the last exception once ``max_attempts`` calls have failed.
-    """
-    retries = 0
-    while True:
-        try:
-            return fn(), retries
-        except Exception:
-            retries += 1
-            if retries >= policy.max_attempts:
-                raise
-            sleep(policy.delay(retries))
-
-
-# ---------------------------------------------------------------------------
 # configuration
+#
+# (Shard retry used to be implemented here; it now lives in
+# repro.faults.resilience, shared with the zgrab fetcher and the pool
+# observer. RetryPolicy/run_with_retry stay importable from this module.)
 
 
 @dataclass(frozen=True)
@@ -136,6 +120,12 @@ class ParallelConfig:
     #: False: a shard that exhausts retries is dropped (recorded in the
     #: metrics); True: the campaign raises instead.
     fail_fast: bool = False
+    #: per-domain retry/breaker/deadline policy handed to the campaign's
+    #: fetchers; ``None`` keeps the legacy single-attempt fetch
+    resilience: Optional[ResiliencePolicy] = None
+    #: directory for per-shard checkpoint journals; ``None`` disables
+    #: checkpoint/resume
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -150,18 +140,25 @@ class ParallelConfig:
 class PopulationRecipe:
     """Enough to rebuild a population deterministically in any worker.
 
-    Builds are pure functions of ``(dataset, seed, scale)``, so a worker
-    reconstructing its own copy sees byte-identical sites — this is how
-    thread-mode Chrome workers get mutation-isolated Coinhive services
-    without pickling anything.
+    Builds are pure functions of ``(dataset, seed, scale, fault_profile)``,
+    so a worker reconstructing its own copy sees byte-identical sites —
+    this is how thread-mode Chrome workers get mutation-isolated Coinhive
+    services without pickling anything. ``fault_profile`` rides along so a
+    rebuilt population reattaches the same seeded fault plan.
     """
 
     dataset: str
     seed: int = 2018
     scale: float = 1.0
+    fault_profile: str = ""
 
     def build(self) -> WebPopulation:
-        return build_population(self.dataset, seed=self.seed, scale=self.scale)
+        population = build_population(self.dataset, seed=self.seed, scale=self.scale)
+        if self.fault_profile:
+            population.attach_fault_plan(
+                build_fault_plan(self.fault_profile, seed=self.seed)
+            )
+        return population
 
 
 # ---------------------------------------------------------------------------
@@ -187,7 +184,7 @@ def _worker_chrome_detector() -> PageDetector:
 
 
 def _worker_population(recipe: PopulationRecipe) -> WebPopulation:
-    key = (recipe.dataset, recipe.seed, recipe.scale)
+    key = (recipe.dataset, recipe.seed, recipe.scale, recipe.fault_profile)
     cached = getattr(_WORKER_CACHE, "population", None)
     if cached is None or cached[0] != key:
         cached = (key, recipe.build())
@@ -200,11 +197,23 @@ def _worker_population(recipe: PopulationRecipe) -> WebPopulation:
 
 
 def _zgrab_shard_work(
-    population: WebPopulation, shard_id: int, indices: list[int], scan_index: int
+    population: WebPopulation,
+    shard_id: int,
+    indices: list[int],
+    scan_index: int,
+    resilience: Optional[ResiliencePolicy] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> tuple[ZgrabScanPartial, ShardMetrics]:
-    campaign = ZgrabCampaign(population=population)
+    campaign = ZgrabCampaign(population=population, resilience=resilience)
+    journal = shard_journal(checkpoint_dir, f"zgrab{scan_index}", shard_id)
     started = time.perf_counter()
-    partial = campaign.scan_sites((population.sites[i] for i in indices), scan_index)
+    try:
+        partial = campaign.scan_sites_indexed(
+            ((i, population.sites[i]) for i in indices), scan_index, journal=journal
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     wall = time.perf_counter() - started
     metrics = ShardMetrics(
         shard_id=shard_id,
@@ -213,6 +222,7 @@ def _zgrab_shard_work(
         domains_probed=partial.domains_probed,
         fetch_failures=partial.fetch_failures,
         detector_hits=partial.nocoin_domains,
+        ledger=partial.fault_ledger,
     )
     return partial, metrics
 
@@ -222,6 +232,7 @@ def _chrome_shard_work(
     shard_id: int,
     indices: list[int],
     browser_config: BrowserConfig,
+    checkpoint_dir: Optional[str] = None,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
     campaign = ChromeCampaign(
         population=population,
@@ -229,8 +240,15 @@ def _chrome_shard_work(
         browser_config=browser_config,
         rulespace=RuleSpaceEngine(),
     )
+    journal = shard_journal(checkpoint_dir, "chrome", shard_id)
     started = time.perf_counter()
-    partial = campaign.run_sites((i, population.sites[i]) for i in indices)
+    try:
+        partial = campaign.run_sites(
+            ((i, population.sites[i]) for i in indices), journal=journal
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     wall = time.perf_counter() - started
     metrics = ShardMetrics(
         shard_id=shard_id,
@@ -239,27 +257,76 @@ def _chrome_shard_work(
         domains_probed=len(indices),
         fetch_failures=sum(1 for _, report in partial.reports if report.status == "error"),
         detector_hits=partial.miner_wasm_sites,
+        ledger=partial.fault_ledger,
     )
     return partial, metrics
 
 
+def _call_zgrab_work(
+    population: WebPopulation,
+    shard_id: int,
+    indices: list[int],
+    scan_index: int,
+    resilience: Optional[ResiliencePolicy],
+    checkpoint_dir: Optional[str],
+) -> tuple[ZgrabScanPartial, ShardMetrics]:
+    # keep the legacy positional call when the chaos/checkpoint plane is
+    # off — callers (and tests) may substitute a 4-arg _zgrab_shard_work
+    if resilience is None and checkpoint_dir is None:
+        return _zgrab_shard_work(population, shard_id, indices, scan_index)
+    return _zgrab_shard_work(
+        population, shard_id, indices, scan_index, resilience, checkpoint_dir
+    )
+
+
+def _call_chrome_work(
+    population: WebPopulation,
+    shard_id: int,
+    indices: list[int],
+    browser_config: BrowserConfig,
+    checkpoint_dir: Optional[str],
+) -> tuple[ChromeRunPartial, ShardMetrics]:
+    if checkpoint_dir is None:
+        return _chrome_shard_work(population, shard_id, indices, browser_config)
+    return _chrome_shard_work(
+        population, shard_id, indices, browser_config, checkpoint_dir
+    )
+
+
 def _zgrab_process_entry(
-    shard_id: int, indices: list[int], scan_index: int, retry: RetryPolicy
+    shard_id: int,
+    indices: list[int],
+    scan_index: int,
+    retry: RetryPolicy,
+    resilience: Optional[ResiliencePolicy] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> tuple[ZgrabScanPartial, ShardMetrics]:
     population = _FORK_STATE["population"]
     result, retries = run_with_retry(
-        lambda: _zgrab_shard_work(population, shard_id, indices, scan_index), retry
+        lambda: _call_zgrab_work(
+            population, shard_id, indices, scan_index, resilience, checkpoint_dir
+        ),
+        retry,
+        key=(f"zgrab{scan_index}", f"shard{shard_id}"),
     )
     result[1].retries = retries
     return result
 
 
 def _chrome_process_entry(
-    shard_id: int, indices: list[int], browser_config: BrowserConfig, retry: RetryPolicy
+    shard_id: int,
+    indices: list[int],
+    browser_config: BrowserConfig,
+    retry: RetryPolicy,
+    checkpoint_dir: Optional[str] = None,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
     population = _FORK_STATE["population"]
     result, retries = run_with_retry(
-        lambda: _chrome_shard_work(population, shard_id, indices, browser_config), retry
+        lambda: _call_chrome_work(
+            population, shard_id, indices, browser_config, checkpoint_dir
+        ),
+        retry,
+        key=("chrome", f"shard{shard_id}"),
     )
     result[1].retries = retries
     return result
@@ -401,15 +468,24 @@ class ShardedZgrabCampaign(_ShardedCampaignBase):
     def scan(self, scan_index: int = 0) -> ZgrabScanResult:
         shard_indices, _ = self._partition()
         retry = self.config.retry
+        resilience = self.config.resilience
+        checkpoint_dir = self.config.checkpoint_dir
 
         def submit_local(pool, shard_id):
             def attempt():
-                return _zgrab_shard_work(
-                    self.population, shard_id, shard_indices[shard_id], scan_index
+                return _call_zgrab_work(
+                    self.population,
+                    shard_id,
+                    shard_indices[shard_id],
+                    scan_index,
+                    resilience,
+                    checkpoint_dir,
                 )
 
             def entry():
-                result, retries = run_with_retry(attempt, retry)
+                result, retries = run_with_retry(
+                    attempt, retry, key=(f"zgrab{scan_index}", f"shard{shard_id}")
+                )
                 result[1].retries = retries
                 return result
 
@@ -417,7 +493,13 @@ class ShardedZgrabCampaign(_ShardedCampaignBase):
 
         def submit_process(pool, shard_id):
             return pool.submit(
-                _zgrab_process_entry, shard_id, shard_indices[shard_id], scan_index, retry
+                _zgrab_process_entry,
+                shard_id,
+                shard_indices[shard_id],
+                scan_index,
+                retry,
+                resilience,
+                checkpoint_dir,
             )
 
         partials, self.metrics = self._execute(submit_local, submit_process)
@@ -463,15 +545,22 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
         shard_indices, _ = self._partition()
         retry = self.config.retry
         browser_config = self.browser_config
+        checkpoint_dir = self.config.checkpoint_dir
 
         def submit_local(pool, shard_id):
             def attempt():
-                return _chrome_shard_work(
-                    self._shard_population(), shard_id, shard_indices[shard_id], browser_config
+                return _call_chrome_work(
+                    self._shard_population(),
+                    shard_id,
+                    shard_indices[shard_id],
+                    browser_config,
+                    checkpoint_dir,
                 )
 
             def entry():
-                result, retries = run_with_retry(attempt, retry)
+                result, retries = run_with_retry(
+                    attempt, retry, key=("chrome", f"shard{shard_id}")
+                )
                 result[1].retries = retries
                 return result
 
@@ -479,7 +568,12 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
 
         def submit_process(pool, shard_id):
             return pool.submit(
-                _chrome_process_entry, shard_id, shard_indices[shard_id], browser_config, retry
+                _chrome_process_entry,
+                shard_id,
+                shard_indices[shard_id],
+                browser_config,
+                retry,
+                checkpoint_dir,
             )
 
         partials, self.metrics = self._execute(submit_local, submit_process)

@@ -23,6 +23,9 @@ from repro.analysis.parallel import (
 )
 from repro.analysis.reporting import render_day_hour_heatmap, render_table
 from repro.analysis.shortlink import ShortLinkStudy
+from repro.faults.ledger import FaultLedger
+from repro.faults.plan import build_fault_plan
+from repro.faults.resilience import ResiliencePolicy
 from repro.internet.population import build_population
 from repro.internet.shortlinks import build_shortlink_population
 from repro.sim.clock import utc_timestamp
@@ -48,6 +51,11 @@ class ReproductionConfig:
     crawl_shards: int = 1
     crawl_workers: int = 1
     crawl_executor: str = "thread"
+    #: fault-injection profile for the crawls ("" = no chaos plane);
+    #: implies the sharded executor (which carries the fault ledger)
+    fault_profile: str = ""
+    #: checkpoint-journal directory for the crawls (also implies sharded)
+    checkpoint_dir: Optional[str] = None
 
 
 @dataclass
@@ -79,21 +87,41 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     started = time.monotonic()
 
     # ---- Figure 2 + Tables 1-3 ------------------------------------------------
-    parallel_crawl = config.crawl_shards > 1 or config.crawl_workers > 1
+    fault_plan = (
+        build_fault_plan(config.fault_profile, seed=config.seed)
+        if config.fault_profile
+        else None
+    )
+    # chaos and checkpointing ride on the sharded executor (which carries
+    # the per-shard fault ledgers), even with a single serial shard
+    parallel_crawl = (
+        config.crawl_shards > 1
+        or config.crawl_workers > 1
+        or fault_plan is not None
+        or config.checkpoint_dir is not None
+    )
     parallel_config = ParallelConfig(
         shards=max(config.crawl_shards, config.crawl_workers),
         workers=config.crawl_workers,
         mode=config.crawl_executor,
+        resilience=ResiliencePolicy() if fault_plan is not None else None,
+        checkpoint_dir=config.checkpoint_dir,
     )
     chrome_rows = []
     fig2_rows = []
+    fault_ledger = FaultLedger()
     for dataset in config.datasets:
         log(f"[crawl] {dataset} @ scale {config.crawl_scale}")
         population = build_population(dataset, seed=config.seed, scale=config.crawl_scale)
+        if fault_plan is not None:
+            population.attach_fault_plan(fault_plan)
         if parallel_crawl:
-            zgrab_scans = ShardedZgrabCampaign(
-                population=population, config=parallel_config
-            ).both_scans()
+            zgrab = ShardedZgrabCampaign(population=population, config=parallel_config)
+            zgrab_scans = []
+            for scan_index in (0, 1):  # metrics hold the most recent scan only
+                zgrab_scans.append(zgrab.scan(scan_index))
+                if zgrab.metrics is not None:
+                    fault_ledger.merge(zgrab.metrics.fault_ledger)
         else:
             zgrab_scans = ZgrabCampaign(population=population).both_scans()
         for scan in zgrab_scans:
@@ -102,11 +130,19 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
             )
         if population.spec.chrome_crawl:
             if parallel_crawl:
-                result = ShardedChromeCampaign(
+                chrome = ShardedChromeCampaign(
                     population=population,
-                    recipe=PopulationRecipe(dataset, seed=config.seed, scale=config.crawl_scale),
+                    recipe=PopulationRecipe(
+                        dataset,
+                        seed=config.seed,
+                        scale=config.crawl_scale,
+                        fault_profile=config.fault_profile,
+                    ),
                     config=parallel_config,
-                ).run()
+                )
+                result = chrome.run()
+                if chrome.metrics is not None:
+                    fault_ledger.merge(chrome.metrics.fault_ledger)
             else:
                 result = ChromeCampaign(population=population).run()
             tab = result.cross_tab
@@ -122,6 +158,13 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         ["dataset", "Wasm miners", "NoCoin hits", "missed", "factor", "top families"],
         chrome_rows,
     )
+    chaos_active = fault_plan is not None or config.checkpoint_dir is not None
+    if chaos_active and fault_ledger.has_events():
+        report.sections["Fault ledger"] = (
+            render_table(FaultLedger.SUMMARY_HEADER, fault_ledger.summary_rows())
+            + "\n"
+            + fault_ledger.status_line()
+        )
 
     # ---- Figures 3-4 + Tables 4-5 ------------------------------------------------
     log(f"[shortlinks] scale {config.shortlink_scale}")

@@ -86,6 +86,16 @@ def _print_shard_metrics(metrics, title: str) -> None:
     )
 
 
+def _print_fault_ledger(ledger) -> None:
+    from repro.analysis.reporting import render_table
+    from repro.faults.ledger import FaultLedger
+
+    if not ledger.has_events():
+        return
+    print(render_table(FaultLedger.SUMMARY_HEADER, ledger.summary_rows(), title="\nfault ledger"))
+    print(ledger.status_line())
+
+
 def _cmd_crawl(args: argparse.Namespace) -> int:
     from repro.analysis.crawl import ChromeCampaign, ZgrabCampaign
     from repro.analysis.parallel import (
@@ -95,15 +105,38 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         ShardedZgrabCampaign,
     )
     from repro.analysis.reporting import render_table
+    from repro.faults.ledger import FaultLedger
+    from repro.faults.plan import build_fault_plan
+    from repro.faults.resilience import ResiliencePolicy
     from repro.internet.population import build_population
 
-    parallel = args.shards > 1 or args.workers > 1
+    plan = build_fault_plan(args.fault_profile, seed=args.seed)
+    # chaos and checkpoint/resume need the sharded executor (it carries the
+    # fault ledgers and the per-shard journals), even with one serial shard
+    parallel = (
+        args.shards > 1 or args.workers > 1
+        or plan is not None or args.resume_from is not None
+    )
     population = build_population(args.dataset, seed=args.seed, scale=args.scale)
+    if plan is not None:
+        population.attach_fault_plan(plan)
+        print(f"fault profile: {args.fault_profile} (seed={args.seed})")
+    population_ledger = FaultLedger()
     print(f"dataset={args.dataset} sites={len(population.sites)} scale={args.scale}")
     if parallel:
-        config = ParallelConfig(shards=args.shards, workers=args.workers, mode=args.executor)
+        config = ParallelConfig(
+            shards=args.shards,
+            workers=args.workers,
+            mode=args.executor,
+            resilience=ResiliencePolicy() if plan is not None else None,
+            checkpoint_dir=args.resume_from,
+        )
         zgrab = ShardedZgrabCampaign(population=population, config=config)
-        scans = zgrab.both_scans()
+        scans = []
+        for scan_index in (0, 1):
+            scans.append(zgrab.scan(scan_index))
+            if zgrab.metrics is not None:
+                population_ledger.merge(zgrab.metrics.fault_ledger)
     else:
         zgrab = ZgrabCampaign(population=population)
         scans = zgrab.both_scans()
@@ -113,13 +146,19 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         _print_shard_metrics(zgrab.metrics, "\nzgrab shard metrics (second scan)")
     if population.spec.chrome_crawl:
         if parallel:
-            config = ParallelConfig(shards=args.shards, workers=args.workers, mode=args.executor)
             chrome = ShardedChromeCampaign(
                 population=population,
-                recipe=PopulationRecipe(args.dataset, seed=args.seed, scale=args.scale),
+                recipe=PopulationRecipe(
+                    args.dataset,
+                    seed=args.seed,
+                    scale=args.scale,
+                    fault_profile=args.fault_profile or "",
+                ),
                 config=config,
             )
             result = chrome.run()
+            if chrome.metrics is not None:
+                population_ledger.merge(chrome.metrics.fault_ledger)
         else:
             chrome = None
             result = ChromeCampaign(population=population).run()
@@ -135,6 +174,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         print(render_table(["family", "sites"], rows, title="\ntop signatures"))
         if parallel and chrome is not None and chrome.metrics is not None:
             _print_shard_metrics(chrome.metrics, "\nChrome shard metrics")
+    if plan is not None or args.resume_from is not None:
+        _print_fault_ledger(population_ledger)
     return 0
 
 
@@ -193,6 +234,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         crawl_shards=args.shards,
         crawl_workers=args.workers,
         crawl_executor=args.executor,
+        fault_profile=args.fault_profile or "",
+        checkpoint_dir=args.resume_from,
     )
     report = run_reproduction(config)
     markdown = report.to_markdown()
@@ -271,6 +314,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="shard execution mode (process = fork-based pool, Linux)",
     )
+    p.add_argument(
+        "--fault-profile",
+        default="",
+        help="chaos profile: none | mild | heavy | kind=rate,... (e.g. reset=0.2)",
+    )
+    p.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="DIR",
+        help="checkpoint-journal directory; a rerun resumes completed sites from it",
+    )
     p.set_defaults(func=_cmd_crawl)
 
     p = sub.add_parser("shortlinks", help="run the cnhv.co study")
@@ -291,6 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=_positive_int, default=1, help="crawl shards (see `crawl --shards`)")
     p.add_argument("--workers", type=_positive_int, default=1, help="crawl worker pool size")
     p.add_argument("--executor", choices=("serial", "thread", "process"), default="thread")
+    p.add_argument(
+        "--fault-profile",
+        default="",
+        help="chaos profile for the crawls: none | mild | heavy | kind=rate,...",
+    )
+    p.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="DIR",
+        help="crawl checkpoint-journal directory (see `crawl --resume-from`)",
+    )
     p.set_defaults(func=_cmd_reproduce)
 
     p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")

@@ -28,7 +28,7 @@ from repro.pool.protocol import (
     decode_message,
     encode_message,
 )
-from repro.pool.server import PoolServer
+from repro.pool.server import PoolServer, PoolUnavailable
 
 NUM_BACKENDS = 16
 ENDPOINTS_PER_BACKEND = 2
@@ -184,7 +184,13 @@ class CoinhiveService:
                     encode_message(AuthedMessage(token=message.token, hashes=0))
                 )
                 self._maybe_refresh(backend, now)
-                job = self.pool.get_job(connection_id, backend, now)
+                try:
+                    job = self.pool.get_job(connection_id, backend, now)
+                except PoolUnavailable:
+                    # injected backend outage: the miner's connection dies,
+                    # exactly what a real pool outage looks like client-side
+                    channel.close()
+                    return
                 channel.server_send(encode_message(self.pool.job_message(job)))
             elif isinstance(message, SubmitMessage):
                 result = self.pool.handle_submit(

@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.blockchain.chain import Blockchain
+from repro.faults.ledger import FaultLedger
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.resilience import BreakerPolicy, BreakerRegistry, RetryPolicy
+from repro.faults.taxonomy import ErrorClass, classify_reason, is_transient
 from repro.pool.jobs import parse_blob
+from repro.pool.server import PoolUnavailable
 
 
 @dataclass(frozen=True)
@@ -52,12 +57,32 @@ class PoolObserver:
         Seconds between polls per endpoint (paper: 0.5).
     detransform:
         Optional blob de-obfuscation (the reverse-engineered XOR).
+    fault_plan:
+        Optional chaos plane injecting client-side poll failures, keyed on
+        ``(endpoint, poll sequence, attempt)``.
+    retry:
+        Optional in-tick retry budget: a transient poll failure is retried
+        immediately (retries are fast against the 500 ms poll interval).
+    breaker:
+        Optional per-endpoint circuit breaker; an endpoint that keeps
+        failing is skipped until its half-open probe succeeds.
+    ledger:
+        Optional :class:`~repro.faults.ledger.FaultLedger` receiving the
+        injected/observed/recovered accounting.
+
+    A poll that fails terminally is simply a missed observation — the
+    association method is a lower bound by construction, and stays correct
+    as long as *some* poll per template window succeeds.
     """
 
     fetch_input: Callable[[str, float], bytes]
     endpoints: list
     poll_interval: float = 0.5
     detransform: Optional[Callable[[bytes], bytes]] = None
+    fault_plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    breaker: Optional[BreakerPolicy] = None
+    ledger: Optional[FaultLedger] = None
     observations: list = field(default_factory=list)
     #: prev_id → {merkle_root, ...}
     clusters: dict = field(default_factory=dict)
@@ -65,23 +90,48 @@ class PoolObserver:
     per_endpoint_clusters: dict = field(default_factory=dict)
     polls: int = 0
     failures: int = 0
+    #: per-endpoint poll sequence numbers (fault keying)
+    _poll_seq: dict = field(default_factory=dict)
+    _breakers: Optional[BreakerRegistry] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.breaker is not None:
+            self._breakers = BreakerRegistry(policy=self.breaker, ledger=self.ledger)
 
     def poll_once(self, now: float) -> list:
         """Poll every endpoint once; returns new observations."""
         new: list[PowObservation] = []
         for endpoint in self.endpoints:
             self.polls += 1
-            try:
-                blob = self.fetch_input(endpoint, now)
-            except Exception:
+            seq = self._poll_seq.get(endpoint, 0)
+            self._poll_seq[endpoint] = seq + 1
+            breaker = self._breakers.get(endpoint) if self._breakers is not None else None
+            if breaker is not None and not breaker.allow():
                 self.failures += 1
+                if self.ledger is not None:
+                    self.ledger.record_observed(ErrorClass.BREAKER_OPEN)
                 continue
+            blob, injected, error_class = self._fetch(endpoint, now, seq)
+            if blob is None:
+                self.failures += 1
+                if breaker is not None:
+                    breaker.record_failure()
+                if self.ledger is not None:
+                    self.ledger.settle(injected, recovered=False)
+                    self.ledger.record_observed(error_class)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            if self.ledger is not None:
+                self.ledger.settle(injected, recovered=True)
             if self.detransform is not None:
                 blob = self.detransform(blob)
             try:
                 _header, prev_id, _nonce, merkle_root, num_txs = parse_blob(blob)
             except Exception:
                 self.failures += 1
+                if self.ledger is not None:
+                    self.ledger.record_observed(ErrorClass.PROTOCOL)
                 continue
             observation = PowObservation(
                 endpoint=endpoint,
@@ -95,6 +145,44 @@ class PoolObserver:
             self.clusters.setdefault(prev_id, set()).add(merkle_root)
             self.per_endpoint_clusters.setdefault((prev_id, endpoint), set()).add(merkle_root)
         return new
+
+    def _fetch(
+        self, endpoint: str, now: float, seq: int
+    ) -> tuple[Optional[bytes], list, ErrorClass]:
+        """One poll under the retry budget.
+
+        Returns ``(blob_or_None, injected fault kinds, terminal class)``.
+        Injection counts land in the ledger here; settlement (recovered vs
+        unrecovered) happens in :meth:`poll_once` where the poll's fate is
+        known.
+        """
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        injected: list = []
+        error_class = ErrorClass.POOL_OUTAGE
+        for attempt in range(attempts):
+            if attempt > 0 and self.ledger is not None:
+                self.ledger.retries += 1
+            if self.fault_plan is not None and self.fault_plan.poll_fault(
+                endpoint, seq, attempt
+            ):
+                injected.append(FaultKind.POOL_OUTAGE)
+                if self.ledger is not None:
+                    self.ledger.record_injection(FaultKind.POOL_OUTAGE)
+                error_class = ErrorClass.POOL_OUTAGE
+                continue
+            try:
+                return self.fetch_input(endpoint, now), injected, error_class
+            except PoolUnavailable:
+                injected.append(FaultKind.POOL_OUTAGE)
+                if self.ledger is not None:
+                    self.ledger.record_injection(FaultKind.POOL_OUTAGE)
+                error_class = ErrorClass.POOL_OUTAGE
+                continue
+            except Exception as exc:
+                error_class = classify_reason(str(exc))
+                if not is_transient(error_class):
+                    break
+        return None, injected, error_class
 
     def run(self, loop, duration: float) -> None:
         """Poll on the event loop for ``duration`` simulated seconds."""

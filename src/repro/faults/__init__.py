@@ -1,0 +1,61 @@
+"""Deterministic fault injection and resilience policies.
+
+The paper's measurements are *defined* by failure: zgrab only covers the
+TLS-responsive web, the Chrome crawl exists because origins hang past its
+15 s timeout, and the 500 ms pool polling misses job updates whenever an
+endpoint flaps. This package makes those failure modes first-class in the
+reproduction:
+
+- :mod:`repro.faults.taxonomy` — the structured error taxonomy replacing
+  stringly-typed failure reasons,
+- :mod:`repro.faults.plan` — a seeded :class:`FaultPlan` whose decisions
+  are pure functions of ``(seed, key)``, so identical plans inject
+  identical faults regardless of execution order, sharding, or process
+  boundaries,
+- :mod:`repro.faults.ledger` — additive fault accounting (injected vs.
+  observed vs. recovered) that merges across shards like every other
+  campaign tally,
+- :mod:`repro.faults.resilience` — retry budgets with seeded jitter,
+  per-domain circuit breakers with half-open probing, and deadline
+  propagation,
+- :mod:`repro.faults.checkpoint` — the append-only journal that lets a
+  shard killed mid-campaign resume and still merge bit-identical results.
+"""
+
+from repro.faults.checkpoint import CheckpointJournal
+from repro.faults.ledger import FaultLedger
+from repro.faults.plan import (
+    FAULT_PROFILES,
+    FaultKind,
+    FaultPlan,
+    InjectedFault,
+    build_fault_plan,
+)
+from repro.faults.resilience import (
+    BreakerPolicy,
+    BreakerRegistry,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    run_with_retry,
+)
+from repro.faults.taxonomy import ErrorClass, TRANSIENT_CLASSES, classify_reason
+
+__all__ = [
+    "BreakerPolicy",
+    "BreakerRegistry",
+    "CheckpointJournal",
+    "CircuitBreaker",
+    "ErrorClass",
+    "FAULT_PROFILES",
+    "FaultKind",
+    "FaultLedger",
+    "FaultPlan",
+    "InjectedFault",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "TRANSIENT_CLASSES",
+    "build_fault_plan",
+    "classify_reason",
+    "run_with_retry",
+]

@@ -1,0 +1,83 @@
+"""Append-only checkpoint journals for campaign shards.
+
+Each shard writes one journal: a line per completed site carrying the
+site's population index and its pickled per-site outcome. A shard process
+killed mid-run leaves a valid prefix (plus at most one torn final line,
+which the loader discards); on resume the shard replays the recorded
+outcomes instead of re-fetching, then continues from the first unrecorded
+site. Because per-site outcomes are additive and order-independent, the
+merged campaign result is bit-identical to an uninterrupted run.
+
+Format: one JSON object per line, ``{"i": <index>, "d": <base64 pickle>}``.
+JSON framing makes torn-write detection trivial; pickle carries arbitrary
+outcome dataclasses (detection reports included) without a parallel
+serialization schema.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional
+
+
+@dataclass
+class CheckpointJournal:
+    """One shard's crash-safe progress journal."""
+
+    path: Path
+    _handle: Optional[IO[str]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+
+    def load(self) -> dict[int, object]:
+        """Completed ``index → outcome``; silently drops a torn tail."""
+        if not self.path.exists():
+            return {}
+        done: dict[int, object] = {}
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                index = int(record["i"])
+                outcome = pickle.loads(base64.b64decode(record["d"]))
+            except Exception:
+                continue  # torn or corrupt line: the site will simply re-run
+            done[index] = outcome
+        return done
+
+    def record(self, index: int, outcome: object) -> None:
+        """Append one completed site; flushed so a kill loses at most the
+        lines still in the OS page cache (which the loader tolerates)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a")
+        payload = base64.b64encode(pickle.dumps(outcome)).decode("ascii")
+        self._handle.write(json.dumps({"i": index, "d": payload}) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def shard_journal(
+    directory: Optional[str], campaign: str, shard_id: int
+) -> Optional[CheckpointJournal]:
+    """The journal for one shard of one campaign pass, or ``None``."""
+    if directory is None:
+        return None
+    return CheckpointJournal(Path(directory) / f"{campaign}-shard{shard_id:04d}.journal")

@@ -1,0 +1,131 @@
+"""Additive fault accounting.
+
+A :class:`FaultLedger` travels with every campaign partial and merges the
+same way the detection tallies do: plain sums, so sharded, sequential,
+and resumed runs account identically. The bookkeeping invariant every
+chaos test asserts:
+
+    for every fault kind k:  injected[k] == recovered[k] + unrecovered[k]
+
+- ``injected``    — one count per injected fault *occurrence* (a flapping
+  origin retried twice injects twice),
+- ``recovered``   — occurrences masked by a later success (the retry loop
+  got through, or the page visit completed degraded),
+- ``unrecovered`` — occurrences that surfaced in a terminal failure,
+- ``observed``    — terminal failures by :class:`ErrorClass`, whether
+  injected or organic (the population's own dead hosts count here too).
+
+Breaker transitions and checkpoint events are campaign-health counters,
+not per-fault ones; resumed runs legitimately differ from uninterrupted
+runs in ``checkpoint_resumed`` while every fault counter stays identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultLedger:
+    """Merged per-shard (or per-site) fault accounting."""
+
+    injected: Counter = field(default_factory=Counter)      # FaultKind.value → n
+    observed: Counter = field(default_factory=Counter)      # ErrorClass.value → n
+    recovered: Counter = field(default_factory=Counter)     # FaultKind.value → n
+    unrecovered: Counter = field(default_factory=Counter)   # FaultKind.value → n
+    retries: int = 0
+    breaker_opened: int = 0
+    breaker_half_open: int = 0
+    breaker_closed: int = 0
+    checkpoint_recorded: int = 0
+    checkpoint_resumed: int = 0
+
+    # -- recording helpers --------------------------------------------------------
+
+    def record_injection(self, kind) -> None:
+        self.injected[getattr(kind, "value", str(kind))] += 1
+
+    def record_observed(self, error_class) -> None:
+        self.observed[getattr(error_class, "value", str(error_class))] += 1
+
+    def settle(self, kinds, recovered: bool) -> None:
+        """Close out one operation's injected occurrences."""
+        bucket = self.recovered if recovered else self.unrecovered
+        for kind in kinds:
+            bucket[getattr(kind, "value", str(kind))] += 1
+
+    # -- aggregation --------------------------------------------------------------
+
+    def merge(self, other: "FaultLedger") -> "FaultLedger":
+        self.injected.update(other.injected)
+        self.observed.update(other.observed)
+        self.recovered.update(other.recovered)
+        self.unrecovered.update(other.unrecovered)
+        self.retries += other.retries
+        self.breaker_opened += other.breaker_opened
+        self.breaker_half_open += other.breaker_half_open
+        self.breaker_closed += other.breaker_closed
+        self.checkpoint_recorded += other.checkpoint_recorded
+        self.checkpoint_resumed += other.checkpoint_resumed
+        return self
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_observed(self) -> int:
+        return sum(self.observed.values())
+
+    @property
+    def total_recovered(self) -> int:
+        return sum(self.recovered.values())
+
+    def balanced(self) -> bool:
+        """The accounting invariant: every injection settled exactly once."""
+        kinds = set(self.injected) | set(self.recovered) | set(self.unrecovered)
+        return all(
+            self.injected[k] == self.recovered[k] + self.unrecovered[k] for k in kinds
+        )
+
+    def has_events(self) -> bool:
+        return bool(
+            self.injected
+            or self.observed
+            or self.retries
+            or self.breaker_opened
+            or self.checkpoint_recorded
+            or self.checkpoint_resumed
+        )
+
+    # -- rendering ----------------------------------------------------------------
+
+    SUMMARY_HEADER = ["fault kind", "injected", "recovered", "unrecovered"]
+
+    def summary_rows(self) -> list[list[object]]:
+        """Per-kind rows in canonical (count desc, kind asc) order."""
+        kinds = set(self.injected) | set(self.recovered) | set(self.unrecovered)
+        ordered = sorted(kinds, key=lambda k: (-self.injected[k], k))
+        return [
+            [k, self.injected[k], self.recovered[k], self.unrecovered[k]]
+            for k in ordered
+        ]
+
+    def status_line(self) -> str:
+        observed = ", ".join(
+            f"{cls}:{n}" for cls, n in sorted(self.observed.items(), key=lambda kv: (-kv[1], kv[0]))
+        )
+        parts = [
+            f"injected={self.total_injected}",
+            f"recovered={self.total_recovered}",
+            f"retries={self.retries}",
+            f"breaker open/half/closed={self.breaker_opened}/{self.breaker_half_open}/{self.breaker_closed}",
+        ]
+        if self.checkpoint_recorded or self.checkpoint_resumed:
+            parts.append(
+                f"checkpoint recorded/resumed={self.checkpoint_recorded}/{self.checkpoint_resumed}"
+            )
+        if observed:
+            parts.append(f"observed failures: {observed}")
+        return " ".join(parts)

@@ -1,0 +1,247 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` decides, for every operation the pipelines perform,
+whether to inject a failure — connection resets, TLS handshake failures,
+DNS errors, truncated bodies, slow-then-fail transfers, flapping origins,
+mid-session WebSocket drops, and pool endpoint outages.
+
+Every decision is a **pure function** of ``(seed, kind, key)`` via
+:func:`repro.sim.rng.hash_unit`; the plan holds no mutable state. That is
+the property the chaos invariants rest on:
+
+- a sharded campaign and a sequential campaign under the same plan see
+  the exact same faults (decisions key on domains/URLs, never on order),
+- a resumed campaign re-derives the same decisions for its remaining
+  sites,
+- the expected injection count can be *recomputed* after the fact, which
+  is how the chaos tests audit the fault ledger.
+
+Fault keying encodes each fault's lifetime:
+
+- DNS/TLS faults key on the host only → permanent for the campaign,
+- flapping origins key on the host, but fail only the first
+  ``flap_failures`` attempts → recovered by any retry policy,
+- resets and slow transfers key on ``(url, attempt)`` → transient,
+- WebSocket drops key on the page session → deterministic per visit,
+- pool outages key on ``(endpoint, poll sequence)`` and, server-side,
+  on coarse time buckets → contiguous outage windows under 500 ms polling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Optional, Union
+
+from repro.faults.taxonomy import ErrorClass
+from repro.sim.rng import hash_unit
+
+
+class FaultKind(str, Enum):
+    """Injectable fault kinds."""
+
+    DNS = "dns"
+    TLS = "tls"
+    RESET = "reset"
+    TRUNCATE = "truncate"
+    SLOW = "slow"
+    FLAP = "flap"
+    WS_DROP = "ws-drop"
+    POOL_OUTAGE = "pool-outage"
+
+
+#: fault kind → the error class its injection surfaces as.
+KIND_TO_CLASS: Mapping[FaultKind, ErrorClass] = {
+    FaultKind.DNS: ErrorClass.DNS,
+    FaultKind.TLS: ErrorClass.TLS,
+    FaultKind.RESET: ErrorClass.CONNECTION_RESET,
+    FaultKind.TRUNCATE: ErrorClass.TRUNCATED,
+    FaultKind.SLOW: ErrorClass.TIMEOUT,
+    FaultKind.FLAP: ErrorClass.CONNECTION_RESET,
+    FaultKind.WS_DROP: ErrorClass.WEBSOCKET_DROP,
+    FaultKind.POOL_OUTAGE: ErrorClass.POOL_OUTAGE,
+}
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the plan decided to inject."""
+
+    kind: FaultKind
+    error_class: ErrorClass
+    reason: str
+    #: simulated seconds the failure consumed before surfacing (a slow
+    #: transfer burns the client's timeout; a reset fails fast)
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic injection schedule for one campaign.
+
+    ``rates`` maps :class:`FaultKind` (or its string value) to the
+    per-decision injection probability. Kinds absent from the map are
+    never injected.
+    """
+
+    seed: int = 2018
+    rates: Mapping[Union[FaultKind, str], float] = field(default_factory=dict)
+    #: a flapping origin fails this many attempts, then recovers
+    flap_failures: int = 2
+    #: fraction of the body kept by an injected truncation
+    truncate_keep_fraction: float = 0.25
+    #: frame count bounds for injected mid-session WebSocket drops
+    ws_drop_min_frames: int = 1
+    ws_drop_max_frames: int = 6
+    #: server-side pool outages toggle on this time granularity (seconds),
+    #: so consecutive 500 ms polls inside a bucket fail together
+    pool_outage_bucket: float = 30.0
+
+    def __post_init__(self) -> None:
+        normalized: dict[str, float] = {}
+        for kind, rate in dict(self.rates).items():
+            key = kind.value if isinstance(kind, FaultKind) else str(kind)
+            if key not in {k.value for k in FaultKind}:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"rate for {key} must be in [0, 1], got {rate}")
+            normalized[key] = float(rate)
+        object.__setattr__(self, "rates", normalized)
+
+    # -- the decision primitive ---------------------------------------------------
+
+    def rate(self, kind: FaultKind) -> float:
+        return self.rates.get(kind.value, 0.0)
+
+    def injects(self, kind: FaultKind, *key: str) -> bool:
+        """Pure decision: inject ``kind`` for this key under this plan?"""
+        rate = self.rate(kind)
+        if rate <= 0.0:
+            return False
+        return hash_unit(self.seed, "fault", kind.value, *key) < rate
+
+    # -- HTTP/TLS transfers -------------------------------------------------------
+
+    def fetch_fault(
+        self, scheme: str, host: str, url: str, attempt: int = 0
+    ) -> Optional[InjectedFault]:
+        """The fault (if any) injected into one fetch attempt.
+
+        Checked in fixed order so a host hit by several kinds fails the
+        same way every time: permanent faults (DNS, TLS) first, then the
+        flap window, then per-attempt transients.
+        """
+        if self.injects(FaultKind.DNS, host):
+            return InjectedFault(
+                FaultKind.DNS, ErrorClass.DNS, "injected: name not resolved"
+            )
+        if scheme == "https" and self.injects(FaultKind.TLS, host):
+            return InjectedFault(
+                FaultKind.TLS, ErrorClass.TLS, "injected: TLS handshake failed"
+            )
+        if self.injects(FaultKind.FLAP, host) and attempt < self.flap_failures:
+            return InjectedFault(
+                FaultKind.FLAP,
+                ErrorClass.CONNECTION_RESET,
+                f"injected: flapping origin (attempt {attempt + 1}/{self.flap_failures})",
+            )
+        if self.injects(FaultKind.RESET, url, str(attempt)):
+            return InjectedFault(
+                FaultKind.RESET, ErrorClass.CONNECTION_RESET, "injected: connection reset"
+            )
+        if self.injects(FaultKind.SLOW, url, str(attempt)):
+            return InjectedFault(
+                FaultKind.SLOW,
+                ErrorClass.TIMEOUT,
+                "injected: transfer stalled; timed out",
+            )
+        return None
+
+    def truncates(self, url: str) -> bool:
+        """Inject a truncated body for this URL (success, short read)."""
+        return self.injects(FaultKind.TRUNCATE, url)
+
+    # -- WebSockets ---------------------------------------------------------------
+
+    def ws_drop_after(self, ws_url: str, session_key: str) -> Optional[int]:
+        """Frames after which this session's channel drops, or ``None``."""
+        if not self.injects(FaultKind.WS_DROP, ws_url, session_key):
+            return None
+        span = max(self.ws_drop_max_frames - self.ws_drop_min_frames, 0)
+        offset = int(
+            hash_unit(self.seed, "fault", "ws-drop-frames", ws_url, session_key)
+            * (span + 1)
+        )
+        return self.ws_drop_min_frames + min(offset, span)
+
+    # -- pool polling -------------------------------------------------------------
+
+    def poll_fault(self, endpoint: str, sequence: int, attempt: int = 0) -> bool:
+        """Fail attempt ``attempt`` of the ``sequence``-th poll of ``endpoint``?"""
+        return self.injects(FaultKind.POOL_OUTAGE, endpoint, str(sequence), str(attempt))
+
+    def pool_endpoint_down(self, endpoint_key: str, now: float) -> bool:
+        """Server-side outage window check, bucketed on simulated time."""
+        if self.rate(FaultKind.POOL_OUTAGE) <= 0.0:
+            return False
+        bucket = int(now // self.pool_outage_bucket)
+        return self.injects(FaultKind.POOL_OUTAGE, endpoint_key, f"b{bucket}")
+
+
+#: Named profiles for ``--fault-profile``. "mild" is the 5% campaign in
+#: EXPERIMENTS.md; "heavy" the 20% one.
+FAULT_PROFILES: dict[str, dict[FaultKind, float]] = {
+    "none": {},
+    "mild": {
+        FaultKind.DNS: 0.01,
+        FaultKind.TLS: 0.01,
+        FaultKind.RESET: 0.05,
+        FaultKind.SLOW: 0.02,
+        FaultKind.FLAP: 0.03,
+        FaultKind.TRUNCATE: 0.02,
+        FaultKind.WS_DROP: 0.05,
+        FaultKind.POOL_OUTAGE: 0.05,
+    },
+    "heavy": {
+        FaultKind.DNS: 0.04,
+        FaultKind.TLS: 0.04,
+        FaultKind.RESET: 0.20,
+        FaultKind.SLOW: 0.08,
+        FaultKind.FLAP: 0.10,
+        FaultKind.TRUNCATE: 0.08,
+        FaultKind.WS_DROP: 0.20,
+        FaultKind.POOL_OUTAGE: 0.20,
+    },
+}
+
+
+def build_fault_plan(profile: str, seed: int = 2018) -> Optional[FaultPlan]:
+    """Build a plan from a profile name or a ``kind=rate,...`` spec string.
+
+    ``"none"`` (and ``""``) return ``None`` — no injection plane at all.
+    Examples: ``"mild"``, ``"heavy"``, ``"reset=0.2,ws-drop=0.1"``.
+    """
+    profile = (profile or "none").strip()
+    if profile in FAULT_PROFILES:
+        rates = FAULT_PROFILES[profile]
+        if not rates:
+            return None
+        return FaultPlan(seed=seed, rates=rates)
+    rates_spec: dict[str, float] = {}
+    for part in profile.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad fault profile {profile!r}: expected a profile name "
+                f"({', '.join(sorted(FAULT_PROFILES))}) or kind=rate pairs"
+            )
+        kind, _, rate_text = part.partition("=")
+        try:
+            rates_spec[kind.strip()] = float(rate_text)
+        except ValueError:
+            raise ValueError(f"bad rate {rate_text!r} for fault kind {kind!r}") from None
+    if not rates_spec:
+        return None
+    return FaultPlan(seed=seed, rates=rates_spec)

@@ -1,0 +1,181 @@
+"""Resilience policies: retries, circuit breakers, deadlines.
+
+One shared implementation for every consumer — the zgrab fetcher, the
+shard workers in :mod:`repro.analysis.parallel`, and the pool observer —
+replacing the ad-hoc backoff that used to live inside the parallel
+executor.
+
+Determinism: retry jitter is not drawn from a shared RNG but derived via
+:func:`repro.sim.rng.hash_unit` from ``(policy seed, key, attempt)``, so
+two shards retrying different domains never perturb each other's delays,
+and a resumed campaign re-derives the same backoff schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, TypeVar
+
+from repro.faults.ledger import FaultLedger
+from repro.sim.rng import hash_unit
+
+T = TypeVar("T")
+
+
+# ---------------------------------------------------------------------------
+# retry with seeded jitter
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with optional seeded jitter.
+
+    ``jitter`` stretches each delay by up to that fraction; the stretch is
+    a pure function of ``(seed, key, attempt)``, never of global RNG
+    state. ``jitter=0`` reproduces the legacy fixed schedule exactly.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def delay(self, attempt: int, key: Iterable[str] = ()) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        base = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        if self.jitter <= 0.0:
+            return base
+        stretch = hash_unit(self.seed, "retry-jitter", *key, str(attempt))
+        return base * (1.0 + self.jitter * stretch)
+
+
+def run_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy = RetryPolicy(),
+    sleep: Callable[[float], None] = time.sleep,
+    key: Iterable[str] = (),
+) -> tuple[T, int]:
+    """Call ``fn`` with retries; returns ``(result, retries_used)``.
+
+    Re-raises the last exception once ``max_attempts`` calls have failed.
+    ``key`` scopes the jitter derivation (e.g. the shard id).
+    """
+    key = tuple(key)
+    retries = 0
+    while True:
+        try:
+            return fn(), retries
+        except Exception:
+            retries += 1
+            if retries >= policy.max_attempts:
+                raise
+            sleep(policy.delay(retries, key))
+
+
+# ---------------------------------------------------------------------------
+# circuit breakers
+
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to trip and when to probe."""
+
+    #: consecutive failures that open the breaker
+    failure_threshold: int = 3
+    #: rejected calls while open before the next call probes (half-open)
+    cooldown_rejections: int = 2
+
+
+@dataclass
+class CircuitBreaker:
+    """One key's breaker: closed → open → half-open → closed/open.
+
+    The simulation has no wall clock shared across consumers, so cooldown
+    is counted in *rejected calls* rather than seconds: after
+    ``cooldown_rejections`` short-circuited calls, the next one is allowed
+    through as a half-open probe. A successful probe closes the breaker;
+    a failed one re-opens it and restarts the cooldown.
+    """
+
+    policy: BreakerPolicy = field(default_factory=BreakerPolicy)
+    ledger: Optional[FaultLedger] = None
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    rejections: int = 0
+
+    def allow(self) -> bool:
+        """May the next call proceed? (May transition open → half-open.)"""
+        if self.state == OPEN:
+            if self.rejections >= self.policy.cooldown_rejections:
+                self.state = HALF_OPEN
+                if self.ledger is not None:
+                    self.ledger.breaker_half_open += 1
+                return True
+            self.rejections += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        if self.state != CLOSED:
+            self.state = CLOSED
+            if self.ledger is not None:
+                self.ledger.breaker_closed += 1
+        self.consecutive_failures = 0
+        self.rejections = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self.state = OPEN
+            self.rejections = 0
+            if self.ledger is not None:
+                self.ledger.breaker_opened += 1
+
+
+@dataclass
+class BreakerRegistry:
+    """Per-key breakers sharing one policy and one ledger."""
+
+    policy: BreakerPolicy = field(default_factory=BreakerPolicy)
+    ledger: Optional[FaultLedger] = None
+    _breakers: dict = field(default_factory=dict)
+
+    def get(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(policy=self.policy, ledger=self.ledger)
+            self._breakers[key] = breaker
+        return breaker
+
+    def open_keys(self) -> list:
+        return sorted(k for k, b in self._breakers.items() if b.state == OPEN)
+
+
+# ---------------------------------------------------------------------------
+# the bundled policy consumers take
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Retry budget + breaker settings + per-operation deadline.
+
+    ``deadline`` is the total *simulated* seconds one operation (e.g. one
+    domain's fetch, retries and backoff included) may consume before the
+    caller stops retrying and reports a deadline failure — the deadline
+    propagates into each attempt as a shrunken per-attempt timeout.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
+    deadline: float = 40.0
+
+    def attempts(self) -> int:
+        return max(self.retry.max_attempts, 1)

@@ -1,0 +1,81 @@
+"""The structured transfer-error taxonomy.
+
+Failure reasons used to travel as bare strings (``"name not resolved"``,
+``"timed out"``) that every consumer re-parsed with substring matches.
+:class:`ErrorClass` gives each failure mode one canonical identity, and
+:func:`classify_reason` maps the legacy reason strings onto it so existing
+call sites (and their tests) keep working while new code switches to the
+enum.
+
+The split between *permanent* and *transient* classes drives the retry
+layer: a DNS miss or a TLS-less host will fail identically on every
+attempt, so retrying only burns the deadline budget; connection resets,
+timeouts, and pool outages are worth another attempt.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ErrorClass(str, Enum):
+    """Canonical failure classes of the measurement pipelines."""
+
+    DNS = "dns"
+    TLS = "tls"
+    CONNECTION_RESET = "connection-reset"
+    TIMEOUT = "timeout"
+    HTTP_ERROR = "http-error"
+    REDIRECT_LOOP = "redirect-loop"
+    TRUNCATED = "truncated"
+    INVALID_URL = "invalid-url"
+    WEBSOCKET_DROP = "websocket-drop"
+    POOL_OUTAGE = "pool-outage"
+    PROTOCOL = "protocol"
+    BREAKER_OPEN = "breaker-open"
+    DEADLINE = "deadline"
+    UNKNOWN = "unknown"
+
+
+#: Classes a retry can plausibly fix. Everything else is permanent for the
+#: duration of a campaign: retrying a dead name or an HTTP-only host only
+#: spends the deadline budget.
+TRANSIENT_CLASSES = frozenset(
+    {
+        ErrorClass.CONNECTION_RESET,
+        ErrorClass.TIMEOUT,
+        ErrorClass.POOL_OUTAGE,
+    }
+)
+
+
+#: Legacy reason-string fragments → class, checked in order. First match
+#: wins; keep the more specific fragments first.
+_REASON_PATTERNS: tuple[tuple[str, ErrorClass], ...] = (
+    ("name not resolved", ErrorClass.DNS),
+    ("no websocket endpoint", ErrorClass.DNS),
+    ("tls handshake", ErrorClass.TLS),
+    ("connection reset", ErrorClass.CONNECTION_RESET),
+    ("flapping origin", ErrorClass.CONNECTION_RESET),
+    ("timed out", ErrorClass.TIMEOUT),
+    ("stalled", ErrorClass.TIMEOUT),
+    ("deadline", ErrorClass.DEADLINE),
+    ("too many redirects", ErrorClass.REDIRECT_LOOP),
+    ("404", ErrorClass.HTTP_ERROR),
+    ("invalid url", ErrorClass.INVALID_URL),
+    ("unavailable", ErrorClass.POOL_OUTAGE),
+    ("circuit open", ErrorClass.BREAKER_OPEN),
+)
+
+
+def classify_reason(reason: str) -> ErrorClass:
+    """Map a legacy reason string onto its :class:`ErrorClass`."""
+    lowered = reason.lower()
+    for fragment, error_class in _REASON_PATTERNS:
+        if fragment in lowered:
+            return error_class
+    return ErrorClass.UNKNOWN
+
+
+def is_transient(error_class: ErrorClass) -> bool:
+    return error_class in TRANSIENT_CLASSES

@@ -229,6 +229,15 @@ class WebPopulation:
     def domains(self) -> list:
         return [site.domain for site in self.sites]
 
+    def attach_fault_plan(self, plan) -> "WebPopulation":
+        """Install a :class:`~repro.faults.plan.FaultPlan` on every surface
+        this population exposes: HTTP/WS transfers and the Coinhive pool.
+        ``None`` detaches injection entirely."""
+        self.web.fault_plan = plan
+        if self.coinhive is not None:
+            self.coinhive.pool.fault_plan = plan
+        return self
+
     def ground_truth_miners(self) -> set:
         return {site.domain for site in self.sites if site.role == "miner"}
 

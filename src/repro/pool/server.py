@@ -18,10 +18,25 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.blockchain.chain import Blockchain, Mempool
+from repro.faults.plan import FaultPlan
 from repro.pool.jobs import BlockTemplate, Job, build_template
 from repro.pool.payout import PayoutLedger
 from repro.pool.protocol import JobMessage, SubmitResult, target_hex_for_difficulty
 from repro.pool.shares import ShareLedger, ShareValidator, ShareVerdict
+
+
+class PoolUnavailable(RuntimeError):
+    """An injected endpoint outage: the backend refuses job requests.
+
+    The reason string contains "unavailable" so legacy substring handling
+    (and :func:`repro.faults.taxonomy.classify_reason`) files it under
+    ``ErrorClass.POOL_OUTAGE``.
+    """
+
+    def __init__(self, endpoint_key: str) -> None:
+        super().__init__(f"{endpoint_key} unavailable (injected outage)")
+        self.endpoint_key = endpoint_key
+        self.injected = True
 
 
 @dataclass
@@ -65,6 +80,8 @@ class PoolServer:
     max_templates_per_block: int = 8
     fee_percent: int = 30
     blob_transform: Optional[Callable[[bytes], bytes]] = None
+    #: injected outage windows (time-bucketed per backend); ``None`` = none
+    fault_plan: Optional[FaultPlan] = None
     validator: ShareValidator = field(default=None)  # type: ignore[assignment]
     shares: ShareLedger = field(default_factory=ShareLedger)
     payouts: PayoutLedger = field(default=None)  # type: ignore[assignment]
@@ -133,8 +150,16 @@ class PoolServer:
             raise KeyError(f"connection {connection_id!r} not logged in") from None
 
     def get_job(self, connection_id: str, backend_index: int, now: float) -> Job:
-        """Issue a job from a backend's current template."""
+        """Issue a job from a backend's current template.
+
+        Raises :class:`PoolUnavailable` while the fault plan has this
+        backend inside an injected outage window.
+        """
         self.token_for(connection_id)  # must be authenticated
+        if self.fault_plan is not None and self.fault_plan.pool_endpoint_down(
+            f"{self.name}/be{backend_index}", now
+        ):
+            raise PoolUnavailable(f"{self.name}/be{backend_index}")
         backend = self._backends[backend_index]
         if backend.template is None or backend.template.height != self.chain.height + 1:
             self.refresh_backend(backend_index, now)

@@ -28,6 +28,17 @@ def derive_seed(root_seed: int, *names: str) -> int:
     return int.from_bytes(digest.digest()[:8], "big")
 
 
+def hash_unit(root_seed: int, *names: str) -> float:
+    """A uniform draw in ``[0, 1)`` that is a pure function of its key.
+
+    Unlike consuming an :class:`RngStream`, the value does not depend on
+    how many draws happened before it — which is what lets the fault plan
+    make identical decisions no matter the order in which shards, threads,
+    or resumed campaigns ask.
+    """
+    return derive_seed(root_seed, *names) / 2**64
+
+
 class RngStream:
     """A named random stream rooted at an experiment seed.
 

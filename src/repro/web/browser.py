@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.faults.plan import FaultKind
 from repro.sim.events import EventLoop
 from repro.sim.rng import RngStream
 from repro.web.html import HtmlDocument, HtmlElement, parse_html
-from repro.web.http import FetchError, SyntheticWeb
+from repro.web.http import FetchError, SyntheticWeb, split_url
 from repro.web.websocket import CapturedFrame, WebSocketChannel
 
 
@@ -51,6 +52,12 @@ class PageResult:
     load_event_at: Optional[float] = None
     finished_at: float = 0.0
     dom_mutations: int = 0
+    #: taxonomy entry when ``status == "error"``
+    error_class: Optional[str] = None
+    #: injected fault kinds this visit hit (main document, subresources,
+    #: WebSocket drops) — the crawl layer settles these into its ledger
+    fault_events: list = field(default_factory=list)
+    ws_dropped: int = 0
 
     def websocket_urls(self) -> set:
         return {frame.url for frame in self.websocket_frames}
@@ -70,12 +77,21 @@ class PageContext:
     browser's capture hooks.
     """
 
-    def __init__(self, browser: "HeadlessBrowser", document: HtmlDocument, result: PageResult, rng: RngStream) -> None:
+    def __init__(
+        self,
+        browser: "HeadlessBrowser",
+        document: HtmlDocument,
+        result: PageResult,
+        rng: RngStream,
+        session_key: str = "",
+    ) -> None:
         self._browser = browser
         self.loop: EventLoop = browser.loop
         self.document = document
         self.result = result
         self.rng = rng
+        #: keys per-visit fault decisions (WS drops) — stable across shards
+        self.session_key = session_key
         self._open_channels: list[WebSocketChannel] = []
 
     def fetch(self, url: str, callback: Callable, expect_wasm: bool = False) -> None:
@@ -84,6 +100,19 @@ class PageContext:
         WebAssembly responses (by content type or magic bytes) are dumped
         into the capture, as the paper's instrumented Chrome does.
         """
+        plan = self._browser.web.fault_plan
+        if plan is not None:
+            try:
+                scheme, host, _path = split_url(url)
+            except ValueError:
+                scheme = host = None
+            if host is not None:
+                fault = plan.fetch_fault(scheme, host, url, 0)
+                if fault is not None:
+                    # failed subresource: the page sees None, like a 404
+                    self.result.fault_events.append(fault.kind.value)
+                    self.loop.call_later(0.01, callback, self, None)
+                    return
         try:
             resource = self._browser.web.lookup(url)
         except (FetchError, ValueError):
@@ -113,8 +142,18 @@ class PageContext:
             server_handler=handler,
             capture=self._browser._capture_frame,
         )
+        plan = self._browser.web.fault_plan
+        if plan is not None:
+            drop_after = plan.ws_drop_after(url, self.session_key)
+            if drop_after is not None:
+                channel.drop_after = drop_after
+                channel.on_drop = self._record_ws_drop
         self._open_channels.append(channel)
         return channel
+
+    def _record_ws_drop(self, channel: WebSocketChannel) -> None:
+        self.result.ws_dropped += 1
+        self.result.fault_events.append(FaultKind.WS_DROP.value)
 
     def append_body_element(self, element: HtmlElement) -> None:
         """Append an element to <body> (or the root) and record the mutation."""
@@ -177,14 +216,21 @@ class HeadlessBrowser:
             response = self.web.fetch(
                 url, timeout=self.config.page_timeout, follow_redirects=True
             )
-        except (FetchError, ValueError) as exc:
+        except FetchError as exc:
+            # the only expected failure: SyntheticWeb wraps malformed URLs
+            # into FetchError(INVALID_URL); anything else is a bug upstream
             result.status = "error"
             result.error = str(exc)
+            result.error_class = exc.error_class.value
+            if exc.injected and exc.fault_kind is not None:
+                result.fault_events.append(exc.fault_kind.value)
             result.finished_at = self.loop.now
             self._current = None
             return result
 
         result.final_url = response.url
+        if response.fault_truncated:
+            result.fault_events.append(FaultKind.TRUNCATE.value)
         document = parse_html(response.body.decode("utf-8", errors="replace"))
         # per-visit stream keyed by (url, nth visit of that url): distinct
         # across repeat visits, yet independent of the order in which other
@@ -192,7 +238,11 @@ class HeadlessBrowser:
         visit_count = self._visit_counts.get(url, 0) + 1
         self._visit_counts[url] = visit_count
         context = PageContext(
-            self, document, result, self.rng.substream("page", url, str(visit_count))
+            self,
+            document,
+            result,
+            self.rng.substream("page", url, str(visit_count)),
+            session_key=f"{url}#{visit_count}",
         )
         self._last_mutation = start
 

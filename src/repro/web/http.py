@@ -11,6 +11,15 @@ measurements:
 - redirects (``http://www.example.org`` → ``https://…``),
 - truncation is the *client's* job (zgrab stops at 256 kB),
 - unresponsive origins hang until the client's timeout.
+
+An optional :class:`~repro.faults.plan.FaultPlan` attached as
+``fault_plan`` turns the registry into a chaos plane: every fetch attempt
+consults the plan for injected DNS/TLS/reset/flap/slow faults (raised as
+classified :class:`FetchError`\\ s with ``injected=True``) and truncation
+faults (surfaced on the response). Every :class:`FetchError` carries an
+:class:`~repro.faults.taxonomy.ErrorClass` and the simulated seconds the
+failed transfer consumed, which is what lets callers propagate deadlines
+across retries.
 """
 
 from __future__ import annotations
@@ -18,16 +27,37 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.taxonomy import ErrorClass, classify_reason
+
 ContentProvider = Union[bytes, Callable[[], bytes]]
 
 
 class FetchError(Exception):
-    """A failed transfer (DNS, refused, TLS mismatch, timeout)."""
+    """A failed transfer (DNS, refused, TLS mismatch, timeout).
 
-    def __init__(self, url: str, reason: str) -> None:
+    ``error_class`` is the structured taxonomy entry (derived from the
+    reason string when not given), ``injected`` marks fault-plan failures,
+    ``fault_kind`` names the injected fault, and ``elapsed`` is the
+    simulated time the doomed transfer consumed before failing.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        reason: str,
+        error_class: Optional[ErrorClass] = None,
+        injected: bool = False,
+        fault_kind: Optional[FaultKind] = None,
+        elapsed: float = 0.0,
+    ) -> None:
         super().__init__(f"{url}: {reason}")
         self.url = url
         self.reason = reason
+        self.error_class = error_class if error_class is not None else classify_reason(reason)
+        self.injected = injected
+        self.fault_kind = fault_kind
+        self.elapsed = elapsed
 
 
 @dataclass
@@ -64,6 +94,9 @@ class HttpResponse:
     content_type: str
     elapsed: float
     redirects: tuple = ()
+    #: body shortened by an injected truncation fault (distinct from the
+    #: client-requested ``max_bytes`` cut, which is not a fault)
+    fault_truncated: bool = False
 
 
 def split_url(url: str) -> tuple:
@@ -92,6 +125,8 @@ class SyntheticWeb:
     https_hosts: set = field(default_factory=set)
     ws_handlers: dict = field(default_factory=dict)
     max_redirects: int = 5
+    #: the chaos plane; ``None`` disables injection entirely
+    fault_plan: Optional[FaultPlan] = None
 
     def register_ws(self, url: str, handler: Callable) -> None:
         """Register a WebSocket endpoint handler ``(channel, payload) -> None``."""
@@ -134,10 +169,14 @@ class SyntheticWeb:
         if resource is not None:
             return resource
         if not self.has_host(host):
-            raise FetchError(url, "name not resolved")
+            raise FetchError(url, "name not resolved", error_class=ErrorClass.DNS)
         if scheme == "https" and host not in self.https_hosts:
-            raise FetchError(url, "TLS handshake failed (no HTTPS endpoint)")
-        raise FetchError(url, "404 not found")
+            raise FetchError(
+                url,
+                "TLS handshake failed (no HTTPS endpoint)",
+                error_class=ErrorClass.TLS,
+            )
+        raise FetchError(url, "404 not found", error_class=ErrorClass.HTTP_ERROR)
 
     def fetch(
         self,
@@ -145,25 +184,67 @@ class SyntheticWeb:
         max_bytes: Optional[int] = None,
         timeout: float = 10.0,
         follow_redirects: bool = True,
+        attempt: int = 0,
     ) -> HttpResponse:
         """Perform a blocking simulated transfer.
 
         ``max_bytes`` truncates the body client-side (zgrab's 256 kB cut).
         ``timeout`` converts hanging origins into :class:`FetchError`.
+        ``attempt`` (0-based) keys per-attempt fault decisions, so retries
+        see transient faults clear and flapping origins recover.
         """
+        plan = self.fault_plan
         redirects: list[str] = []
         current = url
         elapsed = 0.0
         for _ in range(self.max_redirects + 1):
-            resource = self.lookup(current)
+            try:
+                scheme, host, _path = split_url(current)
+            except ValueError as exc:
+                raise FetchError(
+                    current,
+                    f"invalid URL ({exc})",
+                    error_class=ErrorClass.INVALID_URL,
+                    elapsed=elapsed,
+                ) from None
+            if plan is not None:
+                fault = plan.fetch_fault(scheme, host, current, attempt)
+                if fault is not None:
+                    failed_at = (
+                        timeout
+                        if fault.error_class is ErrorClass.TIMEOUT
+                        else elapsed + fault.elapsed
+                    )
+                    raise FetchError(
+                        current,
+                        fault.reason,
+                        error_class=fault.error_class,
+                        injected=True,
+                        fault_kind=fault.kind,
+                        elapsed=failed_at,
+                    )
+            try:
+                resource = self.lookup(current)
+            except FetchError as exc:
+                exc.elapsed = elapsed
+                raise
             elapsed += resource.latency
             if resource.hang or elapsed > timeout:
-                raise FetchError(current, "timed out")
+                raise FetchError(
+                    current,
+                    "timed out",
+                    error_class=ErrorClass.TIMEOUT,
+                    elapsed=timeout,
+                )
             if resource.redirect_to is not None and follow_redirects:
                 redirects.append(current)
                 current = resource.redirect_to
                 continue
             body = resource.body()
+            fault_truncated = False
+            if plan is not None and body and plan.truncates(current):
+                body = body[: max(int(len(body) * plan.truncate_keep_fraction), 1)]
+                fault_truncated = True
             if max_bytes is not None:
                 body = body[:max_bytes]
             return HttpResponse(
@@ -173,5 +254,8 @@ class SyntheticWeb:
                 content_type=resource.content_type,
                 elapsed=elapsed,
                 redirects=tuple(redirects),
+                fault_truncated=fault_truncated,
             )
-        raise FetchError(url, "too many redirects")
+        raise FetchError(
+            url, "too many redirects", error_class=ErrorClass.REDIRECT_LOOP, elapsed=elapsed
+        )

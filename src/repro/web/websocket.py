@@ -44,6 +44,11 @@ class WebSocketChannel:
     closed: bool = False
     frames_sent: int = 0
     frames_received: int = 0
+    #: injected mid-session drop: the connection dies after this many
+    #: total frames (either direction); ``None`` = healthy channel
+    drop_after: Optional[int] = None
+    dropped: bool = False
+    on_drop: Optional[Callable[["WebSocketChannel"], None]] = None
     _pending_events: list = field(default_factory=list)
 
     def send(self, payload: str) -> None:
@@ -54,6 +59,7 @@ class WebSocketChannel:
         self._capture("sent", payload)
         event = self.loop.call_later(self.latency, self._deliver_to_server, payload)
         self._pending_events.append(event)
+        self._maybe_drop()
 
     def _deliver_to_server(self, payload: str) -> None:
         if not self.closed:
@@ -73,6 +79,23 @@ class WebSocketChannel:
         self._capture("received", payload)
         if self.on_message is not None:
             self.on_message(payload)
+        self._maybe_drop()
+
+    def _maybe_drop(self) -> None:
+        """Enforce an injected mid-session drop once the frame budget hits.
+
+        The frame that crossed the threshold is still delivered/captured —
+        a real connection dies *after* the bytes it managed to carry.
+        """
+        if (
+            self.drop_after is not None
+            and not self.closed
+            and self.frames_sent + self.frames_received >= self.drop_after
+        ):
+            self.dropped = True
+            if self.on_drop is not None:
+                self.on_drop(self)
+            self.close()
 
     def close(self) -> None:
         self.closed = True

@@ -4,13 +4,28 @@ The paper's first pass visits every domain prefixed with ``www.`` over TLS
 and downloads the first 256 kB of the landing page with zgrab; the HTML is
 then matched against the NoCoin list. This module reproduces that client:
 TLS-only, fixed byte budget, no script execution.
+
+With a :class:`~repro.faults.resilience.ResiliencePolicy` attached, each
+domain's fetch runs under a retry budget with seeded jitter, a per-domain
+circuit breaker, and a propagated deadline: every failed attempt's
+simulated elapsed time (plus backoff) is charged against the domain's
+deadline, and the remaining budget shrinks the next attempt's timeout.
+All fault accounting lands in the supplied
+:class:`~repro.faults.ledger.FaultLedger`.
+
+Only :class:`FetchError` is handled here — anything else (a ``ValueError``
+out of a buggy content provider, say) is a bug in the simulation and must
+propagate, not be booked as a failed transfer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.faults.ledger import FaultLedger
+from repro.faults.resilience import BreakerRegistry, ResiliencePolicy
+from repro.faults.taxonomy import ErrorClass, is_transient
 from repro.web.http import FetchError, SyntheticWeb
 
 DEFAULT_MAX_BYTES = 256 * 1024
@@ -26,6 +41,8 @@ class ZgrabResult:
     body: str = ""
     error: Optional[str] = None
     truncated: bool = False
+    error_class: Optional[str] = None
+    attempts: int = 1
 
 
 @dataclass
@@ -35,20 +52,124 @@ class ZgrabFetcher:
     web: SyntheticWeb
     max_bytes: int = DEFAULT_MAX_BYTES
     timeout: float = 10.0
+    resilience: Optional[ResiliencePolicy] = None
+    ledger: Optional[FaultLedger] = None
+    _breakers: Optional[BreakerRegistry] = field(default=None, repr=False)
 
-    def fetch_domain(self, domain: str) -> ZgrabResult:
+    def __post_init__(self) -> None:
+        if self.resilience is not None and self.resilience.breaker is not None:
+            self._breakers = BreakerRegistry(
+                policy=self.resilience.breaker, ledger=self.ledger
+            )
+
+    def fetch_domain(self, domain: str, ledger: Optional[FaultLedger] = None) -> ZgrabResult:
+        """Fetch one domain under the configured resilience policy.
+
+        ``ledger`` overrides the fetcher-level one for this call (the
+        campaigns pass a per-site ledger so checkpointed sites carry their
+        own fault accounting).
+        """
         url = f"https://www.{domain}/"
-        try:
-            response = self.web.fetch(url, max_bytes=self.max_bytes, timeout=self.timeout)
-        except (FetchError, ValueError) as exc:
-            return ZgrabResult(domain=domain, url=url, ok=False, error=str(exc))
-        body = response.body.decode("utf-8", errors="replace")
+        ledger = ledger if ledger is not None else self.ledger
+        policy = self.resilience
+        breaker = self._breakers.get(domain) if self._breakers is not None else None
+        if breaker is not None and self._breakers.ledger is not ledger:
+            breaker.ledger = ledger  # route this call's transitions correctly
+
+        if breaker is not None and not breaker.allow():
+            if ledger is not None:
+                ledger.record_observed(ErrorClass.BREAKER_OPEN)
+            return ZgrabResult(
+                domain=domain,
+                url=url,
+                ok=False,
+                error=f"{url}: circuit open",
+                error_class=ErrorClass.BREAKER_OPEN.value,
+                attempts=0,
+            )
+
+        max_attempts = policy.attempts() if policy is not None else 1
+        deadline = policy.deadline if policy is not None else float("inf")
+        spent = 0.0
+        injected_kinds: list = []
+        last_error: Optional[FetchError] = None
+        attempt = 0
+        while attempt < max_attempts:
+            remaining = deadline - spent
+            if remaining <= 0:
+                break
+            try:
+                response = self.web.fetch(
+                    url,
+                    max_bytes=self.max_bytes,
+                    timeout=min(self.timeout, remaining),
+                    attempt=attempt,
+                )
+            except FetchError as exc:
+                attempt += 1
+                spent += exc.elapsed
+                last_error = exc
+                if exc.injected and exc.fault_kind is not None:
+                    injected_kinds.append(exc.fault_kind)
+                    if ledger is not None:
+                        ledger.record_injection(exc.fault_kind)
+                if breaker is not None:
+                    breaker.record_failure()
+                    if breaker.state == "open":
+                        break
+                if not is_transient(exc.error_class):
+                    break  # permanent: retrying cannot help
+                if attempt < max_attempts and policy is not None:
+                    backoff = policy.retry.delay(attempt, key=(domain,))
+                    spent += backoff
+                    if ledger is not None:
+                        ledger.retries += 1
+                continue
+            # success
+            if breaker is not None:
+                breaker.record_success()
+            if ledger is not None:
+                ledger.settle(injected_kinds, recovered=True)
+                if response.fault_truncated:
+                    # truncation is a fault that *succeeded* short: injected
+                    # and immediately recovered-with-degradation
+                    from repro.faults.plan import FaultKind
+
+                    ledger.record_injection(FaultKind.TRUNCATE)
+                    ledger.settle([FaultKind.TRUNCATE], recovered=True)
+                    ledger.record_observed(ErrorClass.TRUNCATED)
+            body = response.body.decode("utf-8", errors="replace")
+            return ZgrabResult(
+                domain=domain,
+                url=response.url,
+                ok=True,
+                body=body,
+                truncated=len(response.body) >= self.max_bytes
+                or response.fault_truncated,
+                attempts=attempt + 1,
+            )
+
+        # terminal failure
+        if last_error is None:
+            # deadline consumed before the first attempt could run
+            error_class = ErrorClass.DEADLINE
+            message = f"{url}: deadline exhausted"
+        elif spent >= deadline and is_transient(last_error.error_class):
+            error_class = ErrorClass.DEADLINE
+            message = f"{url}: deadline exhausted after {attempt} attempts"
+        else:
+            error_class = last_error.error_class
+            message = str(last_error)
+        if ledger is not None:
+            ledger.settle(injected_kinds, recovered=False)
+            ledger.record_observed(error_class)
         return ZgrabResult(
             domain=domain,
-            url=response.url,
-            ok=True,
-            body=body,
-            truncated=len(response.body) >= self.max_bytes,
+            url=url,
+            ok=False,
+            error=message,
+            error_class=error_class.value,
+            attempts=attempt,
         )
 
     def fetch_many(self, domains: Iterable[str]) -> list[ZgrabResult]:

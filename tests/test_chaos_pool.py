@@ -1,0 +1,157 @@
+"""Chaos campaigns: the pool observer under injected endpoint outages.
+
+The paper's association method polls 32 endpoints every 500 ms and is a
+lower bound by construction — it stays *correct* (attributed blocks are
+really the pool's; recall only degrades) as long as some poll per template
+window succeeds. These tests drive the observer against a Coinhive service
+whose backends suffer deterministic outage windows, up to the acceptance
+threshold of 20% failed polls, and audit the fault ledger throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pool_association import BlockAttributor, PoolObserver
+from repro.faults.ledger import FaultLedger
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.resilience import BreakerPolicy, RetryPolicy
+from repro.pool.protocol import LoginMessage, encode_message
+from repro.sim.events import EventLoop
+from repro.web.websocket import WebSocketChannel
+
+pytestmark = pytest.mark.chaos
+
+SEED = 2018
+
+
+def _observer(service, plan, ledger, endpoints=None, retry_attempts=3):
+    return PoolObserver(
+        fetch_input=service.pow_input_for_endpoint,
+        endpoints=endpoints if endpoints is not None else service.endpoints(),
+        detransform=service.obfuscator.revert,
+        fault_plan=plan,
+        retry=RetryPolicy(max_attempts=retry_attempts, backoff_base=0.0),
+        breaker=BreakerPolicy(),
+        ledger=ledger,
+    )
+
+
+class TestAssociationUnderOutages:
+    def test_correct_with_20_percent_outages(self, coinhive_service):
+        """Server-side outage windows at rate 0.20: association still
+        proves the pool's blocks from the surviving polls."""
+        plan = FaultPlan(seed=SEED, rates={FaultKind.POOL_OUTAGE: 0.20})
+        coinhive_service.pool.fault_plan = plan
+        ledger = FaultLedger()
+        observer = _observer(coinhive_service, plan, ledger)
+        loop = EventLoop()
+        observer.run(loop, duration=60.0)
+
+        assert observer.failures > 0  # the chaos plane really fired
+        tip = coinhive_service.chain.tip.block_id()
+        assert tip in observer.clusters  # polling survived the outages
+
+        # mine the next block from a backend template the observer saw
+        roots = observer.clusters[tip]
+        template = next(
+            backend.template
+            for backend in coinhive_service.pool._backends
+            if backend.template is not None and backend.template.merkle_root() in roots
+        )
+        coinhive_service.chain.force_append(template.to_block(nonce=99))
+        attributed = BlockAttributor(chain=coinhive_service.chain).attribute(
+            observer.clusters
+        )
+        assert [block.height for block in attributed] == [1]
+        assert attributed[0].merkle_root in roots
+        assert ledger.balanced()
+
+    def test_client_side_blips_recover_under_retry(self, coinhive_service):
+        """Client-side poll faults are keyed per attempt, so the in-tick
+        retry budget masks most of them."""
+        plan = FaultPlan(seed=SEED, rates={FaultKind.POOL_OUTAGE: 0.30})
+        # plan drives only the observer's client side; the server is healthy
+        ledger = FaultLedger()
+        observer = _observer(
+            coinhive_service, plan, ledger,
+            endpoints=coinhive_service.endpoints()[:8],
+            retry_attempts=4,
+        )
+        loop = EventLoop()
+        observer.run(loop, duration=30.0)
+        assert ledger.total_injected > 0
+        assert ledger.recovered["pool-outage"] > 0
+        assert ledger.retries > 0
+        assert ledger.balanced()
+        # a 30% per-attempt blip with 4 attempts leaves ~1% terminal loss
+        assert observer.failures < observer.polls * 0.1
+
+    def test_total_outage_never_crashes_and_breakers_open(self, coinhive_service):
+        plan = FaultPlan(seed=SEED, rates={FaultKind.POOL_OUTAGE: 1.0})
+        coinhive_service.pool.fault_plan = plan
+        ledger = FaultLedger()
+        observer = _observer(
+            coinhive_service, plan, ledger, endpoints=coinhive_service.endpoints()[:4]
+        )
+        loop = EventLoop()
+        observer.run(loop, duration=20.0)
+        assert observer.observations == []
+        assert observer.failures == observer.polls
+        assert ledger.breaker_opened >= 4          # every endpoint tripped
+        assert ledger.breaker_half_open > 0        # and kept probing
+        assert ledger.observed["breaker-open"] > 0
+        assert ledger.balanced()
+
+    def test_poll_counters_stay_pinned(self, coinhive_service):
+        """polls counts every endpoint tick regardless of chaos."""
+        plan = FaultPlan(seed=SEED, rates={FaultKind.POOL_OUTAGE: 0.5})
+        coinhive_service.pool.fault_plan = plan
+        observer = _observer(
+            coinhive_service, plan, FaultLedger(),
+            endpoints=coinhive_service.endpoints()[:2],
+        )
+        loop = EventLoop()
+        observer.run(loop, duration=5.0)
+        assert observer.polls == 22  # 11 ticks × 2 endpoints, chaos or not
+
+
+class TestMinerFacingOutage:
+    def test_login_during_outage_drops_connection_not_loop(self, coinhive_service):
+        """An injected backend outage mid-login closes the miner's channel
+        (what a real outage looks like) instead of crashing the handler."""
+        coinhive_service.pool.fault_plan = FaultPlan(
+            seed=SEED, rates={FaultKind.POOL_OUTAGE: 1.0}
+        )
+        endpoint = coinhive_service.endpoints()[0]
+        loop = EventLoop()
+        channel = WebSocketChannel(
+            url=endpoint,
+            loop=loop,
+            server_handler=coinhive_service.websocket_handler(endpoint),
+        )
+        channel.send(encode_message(LoginMessage(token="SITEKEY")))
+        loop.run_until(2.0)
+        assert channel.closed
+
+
+class TestInjectedWsDrop:
+    def test_channel_drops_after_frame_budget(self):
+        loop = EventLoop()
+        received = []
+        channel = WebSocketChannel(
+            url="wss://pool.example/proxy",
+            loop=loop,
+            server_handler=lambda ch, payload: ch.server_send("pong"),
+            on_message=received.append,
+        )
+        channel.drop_after = 3
+        drops = []
+        channel.on_drop = drops.append
+        channel.send("ping-1")  # 1 sent
+        loop.run_until(1.0)     # +1 received = 2
+        channel.send("ping-2")  # 3 → threshold crossed on send
+        loop.run_until(2.0)
+        assert channel.dropped and channel.closed
+        assert drops == [channel]
+        assert received == ["pong"]  # the reply to ping-2 never arrives

@@ -1,0 +1,224 @@
+"""Unit tests for the fault plan, error taxonomy, and fault ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.ledger import FaultLedger
+from repro.faults.plan import (
+    FAULT_PROFILES,
+    FaultKind,
+    FaultPlan,
+    KIND_TO_CLASS,
+    build_fault_plan,
+)
+from repro.faults.taxonomy import (
+    TRANSIENT_CLASSES,
+    ErrorClass,
+    classify_reason,
+    is_transient,
+)
+
+
+class TestFaultPlanDecisions:
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(seed=7, rates={FaultKind.RESET: 0.5})
+        first = [plan.injects(FaultKind.RESET, f"u{i}") for i in range(200)]
+        second = [plan.injects(FaultKind.RESET, f"u{i}") for i in range(200)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=1, rates={FaultKind.RESET: 0.5})
+        b = FaultPlan(seed=2, rates={FaultKind.RESET: 0.5})
+        keys = [f"u{i}" for i in range(200)]
+        assert [a.injects(FaultKind.RESET, k) for k in keys] != [
+            b.injects(FaultKind.RESET, k) for k in keys
+        ]
+
+    def test_rate_zero_never_and_rate_one_always(self):
+        never = FaultPlan(seed=3, rates={})
+        always = FaultPlan(seed=3, rates={FaultKind.DNS: 1.0})
+        for i in range(50):
+            assert not never.injects(FaultKind.DNS, f"h{i}")
+            assert always.injects(FaultKind.DNS, f"h{i}")
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan(seed=11, rates={FaultKind.RESET: 0.2})
+        hits = sum(plan.injects(FaultKind.RESET, f"u{i}") for i in range(2000))
+        assert 300 < hits < 500  # 20% ± generous tolerance
+
+    def test_rejects_unknown_kind_and_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rates={"meteor-strike": 0.1})
+        with pytest.raises(ValueError):
+            FaultPlan(rates={FaultKind.DNS: 1.5})
+
+    def test_every_kind_maps_to_an_error_class(self):
+        assert set(KIND_TO_CLASS) == set(FaultKind)
+
+
+class TestFetchFaultSemantics:
+    def test_dns_fault_is_permanent_per_host(self):
+        plan = FaultPlan(seed=5, rates={FaultKind.DNS: 1.0})
+        for attempt in range(4):
+            fault = plan.fetch_fault("https", "www.example.org", "https://www.example.org/", attempt)
+            assert fault is not None and fault.kind is FaultKind.DNS
+
+    def test_tls_fault_only_on_https(self):
+        plan = FaultPlan(seed=5, rates={FaultKind.TLS: 1.0})
+        assert plan.fetch_fault("https", "h", "https://h/", 0).kind is FaultKind.TLS
+        assert plan.fetch_fault("http", "h", "http://h/", 0) is None
+
+    def test_flapping_origin_recovers_after_flap_failures(self):
+        plan = FaultPlan(seed=5, rates={FaultKind.FLAP: 1.0}, flap_failures=2)
+        assert plan.fetch_fault("http", "h", "http://h/", 0).kind is FaultKind.FLAP
+        assert plan.fetch_fault("http", "h", "http://h/", 1).kind is FaultKind.FLAP
+        assert plan.fetch_fault("http", "h", "http://h/", 2) is None
+
+    def test_reset_is_keyed_per_attempt(self):
+        plan = FaultPlan(seed=12, rates={FaultKind.RESET: 0.5})
+        urls = [f"http://site{i}/" for i in range(100)]
+        first = [plan.fetch_fault("http", f"site{i}", u, 0) is not None for i, u in enumerate(urls)]
+        second = [plan.fetch_fault("http", f"site{i}", u, 1) is not None for i, u in enumerate(urls)]
+        assert first != second  # a retry sees fresh transient decisions
+
+    def test_permanent_faults_shadow_transients(self):
+        plan = FaultPlan(seed=5, rates={FaultKind.DNS: 1.0, FaultKind.RESET: 1.0})
+        fault = plan.fetch_fault("http", "h", "http://h/", 0)
+        assert fault.kind is FaultKind.DNS
+
+
+class TestWsDropAndPoolOutage:
+    def test_ws_drop_frames_within_bounds(self):
+        plan = FaultPlan(
+            seed=9,
+            rates={FaultKind.WS_DROP: 1.0},
+            ws_drop_min_frames=2,
+            ws_drop_max_frames=5,
+        )
+        for i in range(100):
+            after = plan.ws_drop_after("wss://x/p", f"s{i}")
+            assert 2 <= after <= 5
+
+    def test_ws_drop_none_without_injection(self):
+        plan = FaultPlan(seed=9, rates={})
+        assert plan.ws_drop_after("wss://x/p", "s") is None
+
+    def test_pool_outage_buckets_are_contiguous(self):
+        plan = FaultPlan(seed=4, rates={FaultKind.POOL_OUTAGE: 0.5}, pool_outage_bucket=30.0)
+        # every instant within one bucket gets the same verdict
+        for t in (0.0, 10.0, 29.9):
+            assert plan.pool_endpoint_down("p/be0", t) == plan.pool_endpoint_down("p/be0", 0.0)
+        # across many buckets both states occur
+        states = {plan.pool_endpoint_down("p/be0", 30.0 * b) for b in range(50)}
+        assert states == {True, False}
+
+    def test_poll_fault_clears_under_retry(self):
+        plan = FaultPlan(seed=21, rates={FaultKind.POOL_OUTAGE: 0.5})
+        outcomes = {
+            plan.poll_fault("e1", seq, attempt)
+            for seq in range(40)
+            for attempt in range(3)
+        }
+        assert outcomes == {True, False}
+
+
+class TestBuildFaultPlan:
+    def test_none_and_empty_disable_injection(self):
+        assert build_fault_plan("") is None
+        assert build_fault_plan("none") is None
+
+    def test_named_profiles(self):
+        for name in ("mild", "heavy"):
+            plan = build_fault_plan(name, seed=99)
+            assert plan is not None and plan.seed == 99
+            assert plan.rates == {k.value: r for k, r in FAULT_PROFILES[name].items()}
+
+    def test_spec_string(self):
+        plan = build_fault_plan("reset=0.2, ws-drop=0.1")
+        assert plan.rate(FaultKind.RESET) == 0.2
+        assert plan.rate(FaultKind.WS_DROP) == 0.1
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError):
+            build_fault_plan("sharknado")
+        with pytest.raises(ValueError):
+            build_fault_plan("reset=lots")
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "reason, expected",
+        [
+            ("name not resolved", ErrorClass.DNS),
+            ("TLS handshake failed (no HTTPS endpoint)", ErrorClass.TLS),
+            ("injected: connection reset", ErrorClass.CONNECTION_RESET),
+            ("timed out", ErrorClass.TIMEOUT),
+            ("404 not found", ErrorClass.HTTP_ERROR),
+            ("too many redirects", ErrorClass.REDIRECT_LOOP),
+            ("coinhive/be3 unavailable (injected outage)", ErrorClass.POOL_OUTAGE),
+            ("https://x/: circuit open", ErrorClass.BREAKER_OPEN),
+            ("injected: flapping origin (attempt 1/2)", ErrorClass.CONNECTION_RESET),
+            ("something nobody anticipated", ErrorClass.UNKNOWN),
+        ],
+    )
+    def test_classify_reason(self, reason, expected):
+        assert classify_reason(reason) is expected
+
+    def test_transient_set(self):
+        for cls in TRANSIENT_CLASSES:
+            assert is_transient(cls)
+        assert not is_transient(ErrorClass.DNS)
+        assert not is_transient(ErrorClass.TLS)
+
+
+class TestFaultLedger:
+    def test_balance_invariant(self):
+        ledger = FaultLedger()
+        ledger.record_injection(FaultKind.RESET)
+        ledger.record_injection(FaultKind.RESET)
+        ledger.record_injection(FaultKind.DNS)
+        ledger.settle([FaultKind.RESET, FaultKind.RESET], recovered=True)
+        ledger.settle([FaultKind.DNS], recovered=False)
+        assert ledger.balanced()
+        assert ledger.total_injected == 3
+        assert ledger.total_recovered == 2
+
+    def test_unbalanced_detected(self):
+        ledger = FaultLedger()
+        ledger.record_injection(FaultKind.RESET)
+        assert not ledger.balanced()
+
+    def test_merge_is_additive(self):
+        a, b = FaultLedger(), FaultLedger()
+        for ledger in (a, b):
+            ledger.record_injection(FaultKind.SLOW)
+            ledger.settle([FaultKind.SLOW], recovered=False)
+            ledger.record_observed(ErrorClass.TIMEOUT)
+            ledger.retries += 2
+        a.merge(b)
+        assert a.injected["slow"] == 2
+        assert a.observed["timeout"] == 2
+        assert a.retries == 4
+        assert a.balanced()
+
+    def test_summary_rows_and_status_line(self):
+        ledger = FaultLedger()
+        for _ in range(3):
+            ledger.record_injection(FaultKind.RESET)
+        ledger.record_injection(FaultKind.DNS)
+        ledger.settle([FaultKind.RESET] * 3, recovered=True)
+        ledger.settle([FaultKind.DNS], recovered=False)
+        ledger.record_observed(ErrorClass.DNS)
+        rows = ledger.summary_rows()
+        assert rows[0][0] == "reset"  # count-descending order
+        assert rows == [["reset", 3, 3, 0], ["dns", 1, 0, 1]]
+        line = ledger.status_line()
+        assert "injected=4" in line and "dns:1" in line
+
+    def test_has_events(self):
+        assert not FaultLedger().has_events()
+        ledger = FaultLedger()
+        ledger.checkpoint_resumed += 1
+        assert ledger.has_events()

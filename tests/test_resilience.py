@@ -1,0 +1,253 @@
+"""Resilience layer: retries with seeded jitter, circuit breakers,
+checkpoint journals — plus the fetcher-level regression tests riding on
+this PR (narrowed exception handling, hang/timeout and redirect budgets).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.checkpoint import CheckpointJournal, shard_journal
+from repro.faults.ledger import FaultLedger
+from repro.faults.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    BreakerRegistry,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    run_with_retry,
+)
+from repro.web.http import FetchError, Resource, SyntheticWeb
+from repro.web.zgrab import ZgrabFetcher
+
+
+class TestRetryPolicy:
+    def test_zero_jitter_reproduces_legacy_schedule(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.01)
+        assert [policy.delay(a) for a in (1, 2, 3)] == [0.01, 0.02, 0.04]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.5, seed=3)
+        first = [policy.delay(a, key=("k",)) for a in (1, 2, 3)]
+        second = [policy.delay(a, key=("k",)) for a in (1, 2, 3)]
+        assert first == second
+        for attempt, delay in zip((1, 2, 3), first):
+            base = 2.0 ** (attempt - 1)
+            assert base <= delay <= base * 1.5
+
+    def test_jitter_scoped_by_key(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.9, seed=3)
+        assert policy.delay(1, key=("a",)) != policy.delay(1, key=("b",))
+
+    def test_run_with_retry_counts_retries(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("nope")
+            return 42
+
+        result, retries = run_with_retry(
+            flaky, RetryPolicy(max_attempts=5, backoff_base=0), sleep=lambda _: None
+        )
+        assert (result, retries) == (42, 2)
+
+    def test_run_with_retry_reraises(self):
+        with pytest.raises(ValueError):
+            run_with_retry(
+                lambda: (_ for _ in ()).throw(ValueError("bad")),
+                RetryPolicy(max_attempts=2, backoff_base=0),
+                sleep=lambda _: None,
+            )
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(policy=BreakerPolicy(failure_threshold=3))
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(policy=BreakerPolicy(failure_threshold=2))
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_after_cooldown_rejections(self):
+        ledger = FaultLedger()
+        breaker = CircuitBreaker(
+            policy=BreakerPolicy(failure_threshold=1, cooldown_rejections=2),
+            ledger=ledger,
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # rejection 1
+        assert not breaker.allow()  # rejection 2
+        assert breaker.allow()      # the half-open probe
+        assert breaker.state == HALF_OPEN
+        assert ledger.breaker_opened == 1
+        assert ledger.breaker_half_open == 1
+
+    def test_successful_probe_closes(self):
+        breaker = CircuitBreaker(policy=BreakerPolicy(failure_threshold=1, cooldown_rejections=0))
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(policy=BreakerPolicy(failure_threshold=3, cooldown_rejections=0))
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()  # single failure re-opens from half-open
+        assert breaker.state == OPEN
+
+    def test_registry_keys_are_independent(self):
+        registry = BreakerRegistry(policy=BreakerPolicy(failure_threshold=1))
+        registry.get("a").record_failure()
+        assert registry.get("a").state == OPEN
+        assert registry.get("b").state == CLOSED
+        assert registry.open_keys() == ["a"]
+
+
+class TestCheckpointJournal:
+    def test_roundtrip(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "shard.journal")
+        journal.record(3, {"x": 1})
+        journal.record(7, ("a", "b"))
+        journal.close()
+        assert CheckpointJournal(tmp_path / "shard.journal").load() == {
+            3: {"x": 1},
+            7: ("a", "b"),
+        }
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "shard.journal"
+        journal = CheckpointJournal(path)
+        journal.record(1, "done")
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write('{"i": 2, "d": "truncat')  # the kill mid-write
+        assert CheckpointJournal(path).load() == {1: "done"}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CheckpointJournal(tmp_path / "absent.journal").load() == {}
+
+    def test_shard_journal_naming(self, tmp_path):
+        journal = shard_journal(str(tmp_path), "zgrab0", 7)
+        assert journal.path.name == "zgrab0-shard0007.journal"
+        assert shard_journal(None, "zgrab0", 7) is None
+
+
+# ---------------------------------------------------------------------------
+# fetcher-level regressions
+
+
+def _single_site_web(url: str, resource: Resource) -> SyntheticWeb:
+    web = SyntheticWeb()
+    web.register(url, resource)
+    return web
+
+
+class TestFetcherExceptionNarrowing:
+    def test_simulation_bugs_propagate(self):
+        """Only FetchError is a transfer failure; a ValueError out of a
+        content provider is a bug and must not be booked as one."""
+
+        def buggy_content() -> bytes:
+            raise ValueError("broken content provider")
+
+        web = _single_site_web(
+            "https://www.bug.example/", Resource(content=buggy_content)
+        )
+        fetcher = ZgrabFetcher(web)
+        with pytest.raises(ValueError, match="broken content provider"):
+            fetcher.fetch_domain("bug.example")
+
+    def test_fetch_errors_still_reported_not_raised(self):
+        fetcher = ZgrabFetcher(SyntheticWeb())
+        result = fetcher.fetch_domain("nowhere.example")
+        assert not result.ok
+        assert result.error_class == "dns"
+
+
+class TestHangAndTimeout:
+    def test_hanging_origin_times_out_with_budgeted_elapsed(self):
+        web = _single_site_web("https://www.slow.example/", Resource(hang=True))
+        with pytest.raises(FetchError) as info:
+            web.fetch("https://www.slow.example/", timeout=4.0)
+        assert info.value.error_class.value == "timeout"
+        assert info.value.elapsed == 4.0
+
+    def test_accumulated_latency_exceeding_timeout(self):
+        web = SyntheticWeb()
+        web.register(
+            "https://www.a.example/",
+            Resource(redirect_to="https://www.b.example/", latency=3.0),
+        )
+        web.register("https://www.b.example/", Resource(content=b"hi", latency=3.0))
+        with pytest.raises(FetchError) as info:
+            web.fetch("https://www.a.example/", timeout=5.0)
+        assert info.value.error_class.value == "timeout"
+
+    def test_fetcher_deadline_beats_hang(self):
+        web = _single_site_web("https://www.hang.example/", Resource(hang=True))
+        fetcher = ZgrabFetcher(
+            web,
+            timeout=10.0,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=5, backoff_base=0.0),
+                breaker=None,
+                deadline=25.0,
+            ),
+        )
+        result = fetcher.fetch_domain("hang.example")
+        assert not result.ok
+        assert result.error_class == "deadline"
+        # 10 s + 10 s + (5 s remaining) — the deadline shrank attempt 3
+        assert result.attempts == 3
+
+
+class TestRedirectBudgets:
+    def test_redirect_loop_hits_max_redirects(self):
+        web = SyntheticWeb(max_redirects=3)
+        web.register(
+            "https://www.ping.example/", Resource(redirect_to="https://www.pong.example/")
+        )
+        web.register(
+            "https://www.pong.example/", Resource(redirect_to="https://www.ping.example/")
+        )
+        with pytest.raises(FetchError) as info:
+            web.fetch("https://www.ping.example/")
+        assert info.value.error_class.value == "redirect-loop"
+
+    def test_chain_at_the_limit_succeeds(self):
+        web = SyntheticWeb(max_redirects=3)
+        for i in range(3):
+            web.register(
+                f"https://www.r{i}.example/",
+                Resource(redirect_to=f"https://www.r{i + 1}.example/"),
+            )
+        web.register("https://www.r3.example/", Resource(content=b"landed"))
+        response = web.fetch("https://www.r0.example/")
+        assert response.body == b"landed"
+        assert len(response.redirects) == 3
+
+    def test_byte_budget_applies_to_final_hop(self):
+        web = SyntheticWeb()
+        web.register(
+            "https://www.start.example/", Resource(redirect_to="https://www.end.example/")
+        )
+        web.register("https://www.end.example/", Resource(content=b"x" * 1000))
+        response = web.fetch("https://www.start.example/", max_bytes=64)
+        assert len(response.body) == 64
+        assert response.url == "https://www.end.example/"
