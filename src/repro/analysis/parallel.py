@@ -196,6 +196,22 @@ def _worker_population(recipe: PopulationRecipe) -> WebPopulation:
 # shard work (shared by every execution mode)
 
 
+def _campaign_fingerprint(*parts: object) -> str:
+    """Stable digest pinning a checkpoint journal to one configuration.
+
+    The shard's ``(population index, domain)`` assignment is included, so
+    any change to dataset, seed, scale, or shard count — all of which
+    reshape that list — invalidates the journal; the fault plan and
+    per-site policy objects cover the rest. A mismatched journal is
+    discarded and its sites re-run (see :mod:`repro.faults.checkpoint`).
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
 def _zgrab_shard_work(
     population: WebPopulation,
     shard_id: int,
@@ -205,7 +221,25 @@ def _zgrab_shard_work(
     checkpoint_dir: Optional[str] = None,
 ) -> tuple[ZgrabScanPartial, ShardMetrics]:
     campaign = ZgrabCampaign(population=population, resilience=resilience)
-    journal = shard_journal(checkpoint_dir, f"zgrab{scan_index}", shard_id)
+    journal = None
+    if checkpoint_dir is not None:
+        # the journal name carries the dataset — run_reproduction loops
+        # four datasets over one checkpoint_dir, and an unqualified name
+        # would replay one dataset's outcomes into another's shards
+        dataset = population.spec.name
+        journal = shard_journal(
+            checkpoint_dir,
+            f"{dataset}-zgrab{scan_index}",
+            shard_id,
+            fingerprint=_campaign_fingerprint(
+                dataset,
+                f"zgrab{scan_index}",
+                shard_id,
+                [(i, population.sites[i].domain) for i in indices],
+                population.web.fault_plan,
+                resilience,
+            ),
+        )
     started = time.perf_counter()
     try:
         partial = campaign.scan_sites_indexed(
@@ -240,7 +274,22 @@ def _chrome_shard_work(
         browser_config=browser_config,
         rulespace=RuleSpaceEngine(),
     )
-    journal = shard_journal(checkpoint_dir, "chrome", shard_id)
+    journal = None
+    if checkpoint_dir is not None:
+        dataset = population.spec.name
+        journal = shard_journal(
+            checkpoint_dir,
+            f"{dataset}-chrome",
+            shard_id,
+            fingerprint=_campaign_fingerprint(
+                dataset,
+                "chrome",
+                shard_id,
+                [(i, population.sites[i].domain) for i in indices],
+                population.web.fault_plan,
+                browser_config,
+            ),
+        )
     started = time.perf_counter()
     try:
         partial = campaign.run_sites(

@@ -323,7 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume-from",
         default=None,
         metavar="DIR",
-        help="checkpoint-journal directory; a rerun resumes completed sites from it",
+        help="checkpoint-journal directory; a rerun resumes completed sites from it "
+        "(journals are unpickled on load — use only directories this tool wrote)",
     )
     p.set_defaults(func=_cmd_crawl)
 

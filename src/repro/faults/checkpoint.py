@@ -1,17 +1,33 @@
 """Append-only checkpoint journals for campaign shards.
 
-Each shard writes one journal: a line per completed site carrying the
-site's population index and its pickled per-site outcome. A shard process
+Each shard writes one journal: a header line identifying the campaign
+configuration, then a line per completed site carrying the site's
+population index and its pickled per-site outcome. A shard process
 killed mid-run leaves a valid prefix (plus at most one torn final line,
 which the loader discards); on resume the shard replays the recorded
 outcomes instead of re-fetching, then continues from the first unrecorded
 site. Because per-site outcomes are additive and order-independent, the
 merged campaign result is bit-identical to an uninterrupted run.
 
-Format: one JSON object per line, ``{"i": <index>, "d": <base64 pickle>}``.
-JSON framing makes torn-write detection trivial; pickle carries arbitrary
-outcome dataclasses (detection reports included) without a parallel
-serialization schema.
+Format: one JSON object per line. The first line is the header,
+``{"v": 1, "fp": <fingerprint>}``; every following line is
+``{"i": <index>, "d": <base64 pickle>}``. JSON framing makes torn-write
+detection trivial; pickle carries arbitrary outcome dataclasses
+(detection reports included) without a parallel serialization schema.
+
+The fingerprint pins the journal to one campaign configuration (dataset,
+seed, scale, fault plan, shard partition — see
+``repro.analysis.parallel``). A journal whose header does not match the
+resuming run is *stale* — written under a different configuration — and
+is discarded wholesale rather than replayed: its sites re-run, and the
+first ``record()`` truncates the file under the new header. Without this
+check, resuming with, say, a different seed would silently splice the old
+run's outcomes into the new run's results.
+
+.. warning::
+   ``load()`` unpickles journal contents. Only point ``--resume-from``
+   (or ``checkpoint_dir``) at directories this tool wrote and that you
+   trust; unpickling data of unknown origin can execute arbitrary code.
 """
 
 from __future__ import annotations
@@ -23,41 +39,95 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Optional
 
+JOURNAL_VERSION = 1
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A journal has an undecodable line *before* its final line.
+
+    Append-and-flush writes can only tear the tail, so damage anywhere
+    else is genuine corruption (or the wrong file) — surfaced instead of
+    silently skipped, because skipping would merge a partial replay as if
+    it were complete.
+    """
+
 
 @dataclass
 class CheckpointJournal:
     """One shard's crash-safe progress journal."""
 
     path: Path
+    #: campaign fingerprint written to (and checked against) the header;
+    #: a mismatch marks the journal stale and ``load()`` returns nothing
+    fingerprint: str = ""
     _handle: Optional[IO[str]] = field(default=None, repr=False)
+    _stale: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         self.path = Path(self.path)
 
     def load(self) -> dict[int, object]:
-        """Completed ``index → outcome``; silently drops a torn tail."""
+        """Completed ``index → outcome``; drops at most a torn tail.
+
+        A missing, header-less, or fingerprint-mismatched journal loads
+        empty (and is truncated by the next ``record()``). Corruption
+        before the final line raises :class:`CheckpointCorruptError`.
+        """
         if not self.path.exists():
             return {}
+        lines = self.path.read_text().splitlines()
+        if not self._header_matches(lines):
+            self._stale = True
+            return {}
         done: dict[int, object] = {}
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
+        body = lines[1:]
+        for position, raw in enumerate(body):
+            line = raw.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
                 index = int(record["i"])
                 outcome = pickle.loads(base64.b64decode(record["d"]))
-            except Exception:
-                continue  # torn or corrupt line: the site will simply re-run
+            except Exception as exc:
+                if any(later.strip() for later in body[position + 1:]):
+                    raise CheckpointCorruptError(
+                        f"{self.path}: undecodable journal line "
+                        f"{position + 2} is not a torn tail"
+                    ) from exc
+                break  # torn final line from a mid-write kill: the site re-runs
             done[index] = outcome
         return done
+
+    def _header_matches(self, lines: list[str]) -> bool:
+        if not lines:
+            return False
+        try:
+            header = json.loads(lines[0])
+            return (
+                isinstance(header, dict)
+                and header.get("v") == JOURNAL_VERSION
+                and header.get("fp") == self.fingerprint
+            )
+        except Exception:
+            return False  # torn or foreign header: treat the file as stale
 
     def record(self, index: int, outcome: object) -> None:
         """Append one completed site; flushed so a kill loses at most the
         lines still in the OS page cache (which the loader tolerates)."""
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a")
+            fresh = (
+                self._stale
+                or not self.path.exists()
+                or self.path.stat().st_size == 0
+            )
+            self._handle = open(self.path, "w" if fresh else "a")
+            if fresh:
+                self._handle.write(
+                    json.dumps({"v": JOURNAL_VERSION, "fp": self.fingerprint}) + "\n"
+                )
+                self._stale = False
         payload = base64.b64encode(pickle.dumps(outcome)).decode("ascii")
         self._handle.write(json.dumps({"i": index, "d": payload}) + "\n")
         self._handle.flush()
@@ -75,9 +145,17 @@ class CheckpointJournal:
 
 
 def shard_journal(
-    directory: Optional[str], campaign: str, shard_id: int
+    directory: Optional[str], campaign: str, shard_id: int, fingerprint: str = ""
 ) -> Optional[CheckpointJournal]:
-    """The journal for one shard of one campaign pass, or ``None``."""
+    """The journal for one shard of one campaign pass, or ``None``.
+
+    ``campaign`` must identify the pass uniquely within the directory —
+    the sharded campaigns prefix it with the dataset name so the four
+    datasets of a ``reproduce`` run never share a journal file.
+    """
     if directory is None:
         return None
-    return CheckpointJournal(Path(directory) / f"{campaign}-shard{shard_id:04d}.journal")
+    return CheckpointJournal(
+        Path(directory) / f"{campaign}-shard{shard_id:04d}.journal",
+        fingerprint=fingerprint,
+    )

@@ -122,6 +122,8 @@ class ZgrabFetcher:
                 if attempt < max_attempts and policy is not None:
                     backoff = policy.retry.delay(attempt, key=(domain,))
                     spent += backoff
+                    if spent >= deadline:
+                        break  # the backoff outlives the deadline: no retry runs
                     if ledger is not None:
                         ledger.retries += 1
                 continue

@@ -252,6 +252,50 @@ class TestKillAndResume:
         assert _fault_counters(resumed_ledger) == _fault_counters(baseline_ledger)
         assert resumed_ledger.checkpoint_resumed > 0
 
+    def test_datasets_sharing_a_checkpoint_dir_stay_isolated(self, tmp_path):
+        """``reproduce`` loops several datasets over one checkpoint
+        directory; each dataset's shards must journal under their own
+        names and never replay another dataset's outcomes for
+        overlapping population indices."""
+
+        def run(dataset, checkpoint_dir=None):
+            population = build_population(dataset, seed=SEED, scale=SCALE)
+            campaign = ShardedZgrabCampaign(
+                population=population,
+                config=ParallelConfig(
+                    shards=4, workers=1, mode="serial", checkpoint_dir=checkpoint_dir
+                ),
+            )
+            return campaign.scan(0)
+
+        baseline_alexa = run("alexa")
+        baseline_com = run("com")
+        assert run("alexa", str(tmp_path)) == baseline_alexa
+        assert run("com", str(tmp_path)) == baseline_com  # same dir, fresh journals
+        # reruns replay each dataset's own journal, not the other's
+        assert run("alexa", str(tmp_path)) == baseline_alexa
+        assert run("com", str(tmp_path)) == baseline_com
+
+    def test_stale_journal_from_other_config_is_discarded(self, tmp_path):
+        """Resuming with a different seed must re-run every site instead
+        of replaying the old configuration's outcomes."""
+
+        def run(seed, checkpoint_dir=None):
+            population = build_population("alexa", seed=seed, scale=SCALE)
+            campaign = ShardedZgrabCampaign(
+                population=population,
+                config=ParallelConfig(
+                    shards=2, workers=1, mode="serial", checkpoint_dir=checkpoint_dir
+                ),
+            )
+            return campaign.scan(0), campaign.metrics.fault_ledger
+
+        run(seed=1, checkpoint_dir=str(tmp_path))
+        resumed, ledger = run(seed=2, checkpoint_dir=str(tmp_path))
+        clean, _ = run(seed=2)
+        assert resumed == clean
+        assert ledger.checkpoint_resumed == 0  # nothing crossed the seeds
+
     def test_chrome_full_replay_is_identical(self, tmp_path):
         recipe = PopulationRecipe("alexa", seed=SEED, scale=SCALE, fault_profile="mild")
         config = ParallelConfig(

@@ -7,7 +7,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.faults.checkpoint import CheckpointJournal, shard_journal
+from repro.faults.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointJournal,
+    shard_journal,
+)
 from repro.faults.ledger import FaultLedger
 from repro.faults.resilience import (
     CLOSED,
@@ -142,10 +146,47 @@ class TestCheckpointJournal:
     def test_missing_file_loads_empty(self, tmp_path):
         assert CheckpointJournal(tmp_path / "absent.journal").load() == {}
 
+    def test_fingerprint_mismatch_discards_journal(self, tmp_path):
+        """A journal written under one configuration must not replay into
+        a run with another: the stale file loads empty and is truncated
+        under the new header by the next record."""
+        path = tmp_path / "shard.journal"
+        with CheckpointJournal(path, fingerprint="config-a") as journal:
+            journal.record(1, "from config a")
+        stale = CheckpointJournal(path, fingerprint="config-b")
+        assert stale.load() == {}
+        stale.record(2, "from config b")
+        stale.close()
+        assert CheckpointJournal(path, fingerprint="config-b").load() == {
+            2: "from config b"
+        }
+        assert CheckpointJournal(path, fingerprint="config-a").load() == {}
+
+    def test_headerless_file_is_stale_not_replayed(self, tmp_path):
+        path = tmp_path / "shard.journal"
+        path.write_text('{"i": 1, "d": "bm90IGEgcGlja2xl"}\n')
+        assert CheckpointJournal(path).load() == {}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        """Append-and-flush can only tear the tail; damage before the
+        final line is genuine corruption and must surface, not be skipped
+        (a skipped line would merge a partial replay as complete)."""
+        path = tmp_path / "shard.journal"
+        journal = CheckpointJournal(path)
+        journal.record(1, "one")
+        journal.record(2, "two")
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines[1] = '{"i": 1, "d": "gar'  # damage a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointCorruptError):
+            CheckpointJournal(path).load()
+
     def test_shard_journal_naming(self, tmp_path):
-        journal = shard_journal(str(tmp_path), "zgrab0", 7)
-        assert journal.path.name == "zgrab0-shard0007.journal"
-        assert shard_journal(None, "zgrab0", 7) is None
+        journal = shard_journal(str(tmp_path), "alexa-zgrab0", 7, fingerprint="abc")
+        assert journal.path.name == "alexa-zgrab0-shard0007.journal"
+        assert journal.fingerprint == "abc"
+        assert shard_journal(None, "alexa-zgrab0", 7) is None
 
 
 # ---------------------------------------------------------------------------
@@ -215,6 +256,28 @@ class TestHangAndTimeout:
         assert result.error_class == "deadline"
         # 10 s + 10 s + (5 s remaining) — the deadline shrank attempt 3
         assert result.attempts == 3
+
+    def test_backoff_past_deadline_is_not_a_ledger_retry(self):
+        """A retry whose backoff wait already outlives the deadline never
+        executes, so it must not be booked in the ledger."""
+        web = _single_site_web("https://www.hang.example/", Resource(hang=True))
+        ledger = FaultLedger()
+        fetcher = ZgrabFetcher(
+            web,
+            timeout=10.0,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=5, backoff_base=5.0),
+                breaker=None,
+                deadline=21.0,
+            ),
+        )
+        result = fetcher.fetch_domain("hang.example", ledger=ledger)
+        assert not result.ok
+        assert result.error_class == "deadline"
+        # attempt 1 (10 s) + backoff (5 s) + attempt 2 (6 s remaining);
+        # the next backoff (10 s) blows the deadline, so only one retry ran
+        assert result.attempts == 2
+        assert ledger.retries == 1
 
 
 class TestRedirectBudgets:
