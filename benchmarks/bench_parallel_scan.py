@@ -25,6 +25,7 @@ from conftest import emit
 from repro.analysis.crawl import ZgrabCampaign
 from repro.analysis.parallel import ParallelConfig, ShardedZgrabCampaign
 from repro.analysis.reporting import render_table
+from repro.obs.profile import PROFILE_HEADER, make_obs, profile_rows
 
 WORKERS = 4
 SHARDS = 8
@@ -85,6 +86,25 @@ def test_parallel_scan_speedup(benchmark, populations):
         f"(host cores: {cores})",
     )
     emit("parallel_scan", table)
+
+    # per-stage attribution: where the scan's wall clock goes, from an
+    # obs-instrumented serial run (uncontended, so stage shares are clean)
+    obs = make_obs(prefix="bench")
+    profiled = ShardedZgrabCampaign(
+        population=population,
+        config=ParallelConfig(shards=SHARDS, workers=1, mode="serial"),
+        obs=obs,
+    )
+    profiled_result = profiled.scan(0)
+    emit(
+        "parallel_scan_stages",
+        render_table(
+            PROFILE_HEADER,
+            profile_rows(obs.registry),
+            title=f"per-stage latency, sharded/serial ({SHARDS} shards)",
+        ),
+    )
+    assert profiled_result == sequential_result, "obs instrumentation changed the result"
 
     # correctness first: every mode merged to the sequential result
     for mode, result in results.items():

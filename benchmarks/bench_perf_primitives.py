@@ -80,6 +80,41 @@ def test_perf_dynamic_profile(benchmark):
     benchmark(profile_execution, _WASM, 16)
 
 
+def test_perf_obs_span_disabled(benchmark):
+    """The guarded no-op path: observability off must cost ~nothing.
+
+    ``NULL_OBS.span()`` returns one shared pre-built context manager —
+    the benchmark pins that, and the TickClock assertion proves the
+    disabled path performs zero clock reads (the expensive part).
+    """
+    from repro.obs.clock import TickClock, use_clock
+    from repro.obs.profile import NULL_OBS
+
+    def spin():
+        for _ in range(1000):
+            with NULL_OBS.span("fetch", domain="example.org"):
+                pass
+
+    clock = TickClock()
+    with use_clock(clock):
+        benchmark(spin)
+    assert clock.reads == 0, "disabled obs path read the clock"
+
+
+def test_perf_obs_span_enabled(benchmark):
+    """The enabled path, for comparison against the disabled baseline."""
+    from repro.obs.profile import make_obs
+
+    obs = make_obs(prefix="bench")
+
+    def spin():
+        for _ in range(1000):
+            with obs.span("fetch", domain="example.org"):
+                pass
+
+    benchmark(spin)
+
+
 def test_perf_browser_visit(benchmark):
     from repro.web.browser import HeadlessBrowser
     from repro.web.http import SyntheticWeb

@@ -32,6 +32,7 @@ from repro.faults.plan import FaultKind
 from repro.faults.resilience import ResiliencePolicy
 from repro.faults.taxonomy import ErrorClass
 from repro.internet.population import SiteSpec, WebPopulation
+from repro.obs.profile import NULL_OBS, Obs
 from repro.rulespace.engine import RuleSpaceEngine
 from repro.web.browser import BrowserConfig, HeadlessBrowser
 from repro.web.zgrab import ZgrabFetcher
@@ -113,6 +114,8 @@ class ZgrabCampaign:
     #: retry/breaker/deadline settings for the fetcher; ``None`` keeps the
     #: legacy single-attempt behaviour
     resilience: Optional[ResiliencePolicy] = None
+    #: observability hook (spans + stage histograms); defaults to disabled
+    obs: Obs = field(default=NULL_OBS, repr=False)
 
     def scan_sites(self, sites: Iterable[SiteSpec], scan_index: int = 0) -> ZgrabScanPartial:
         """Fetch-and-match a subset of sites; returns the additive tallies."""
@@ -132,21 +135,27 @@ class ZgrabCampaign:
         the exact uninterrupted result (fault decisions are keyed on
         domains, never on execution position).
         """
-        fetcher = ZgrabFetcher(self.population.web, resilience=self.resilience)
+        fetcher = ZgrabFetcher(
+            self.population.web, resilience=self.resilience, obs=self.obs
+        )
         partial = ZgrabScanPartial()
         done = journal.load() if journal is not None else {}
         for index, site in indexed_sites:
             if scan_index == 1 and not site.present_scan2:
                 continue  # site dropped its tag between the scans
-            outcome = done.get(index)
-            if outcome is not None:
-                partial.fault_ledger.checkpoint_resumed += 1
-            else:
-                outcome = self._scan_site(fetcher, site)
-                if journal is not None:
-                    journal.record(index, outcome)
-                    partial.fault_ledger.checkpoint_recorded += 1
-            self._apply_outcome(partial, outcome)
+            with self.obs.span("site", domain=site.domain) as span:
+                outcome = done.get(index)
+                if outcome is not None:
+                    span.set_tag("resumed", 1)
+                    partial.fault_ledger.checkpoint_resumed += 1
+                else:
+                    outcome = self._scan_site(fetcher, site)
+                    if journal is not None:
+                        journal.record(index, outcome)
+                        partial.fault_ledger.checkpoint_recorded += 1
+                if outcome.failed:
+                    span.set_tag("failed", 1)
+                self._apply_outcome(partial, outcome)
         return partial
 
     def _scan_site(self, fetcher: ZgrabFetcher, site: SiteSpec) -> ZgrabSiteOutcome:
@@ -154,7 +163,8 @@ class ZgrabCampaign:
         result = fetcher.fetch_domain(site.domain, ledger=ledger)
         if not result.ok:
             return ZgrabSiteOutcome(failed=True, ledger=ledger)
-        report = self.detector.detect_static(site.domain, result.body)
+        with self.obs.span("detect"):
+            report = self.detector.detect_static(site.domain, result.body)
         return ZgrabSiteOutcome(
             nocoin_hit=report.nocoin_hit,
             labels=tuple(report.nocoin_rule_labels),
@@ -270,6 +280,8 @@ class ChromeCampaign:
     detector: Optional[PageDetector] = None
     browser_config: BrowserConfig = field(default_factory=BrowserConfig)
     rulespace: RuleSpaceEngine = field(default_factory=RuleSpaceEngine)
+    #: observability hook (spans + stage histograms); defaults to disabled
+    obs: Obs = field(default=NULL_OBS, repr=False)
 
     def __post_init__(self) -> None:
         if self.detector is None:
@@ -293,25 +305,31 @@ class ChromeCampaign:
             self.population.web,
             config=self.browser_config,
             behavior_registry=self.population.behavior_registry,
+            obs=self.obs,
         )
         partial = ChromeRunPartial()
         done = journal.load() if journal is not None else {}
         for index, site in indexed_sites:
-            outcome = done.get(index)
-            if outcome is not None:
-                partial.fault_ledger.checkpoint_resumed += 1
-            else:
-                outcome = self._visit_site(browser, site)
-                if journal is not None:
-                    journal.record(index, outcome)
-                    partial.fault_ledger.checkpoint_recorded += 1
-            self._apply_outcome(partial, index, site, outcome)
+            with self.obs.span("site", domain=site.domain) as span:
+                outcome = done.get(index)
+                if outcome is not None:
+                    span.set_tag("resumed", 1)
+                    partial.fault_ledger.checkpoint_resumed += 1
+                else:
+                    outcome = self._visit_site(browser, site)
+                    if journal is not None:
+                        journal.record(index, outcome)
+                        partial.fault_ledger.checkpoint_recorded += 1
+                if outcome.report.status != "ok":
+                    span.set_tag("status", outcome.report.status)
+                self._apply_outcome(partial, index, site, outcome)
         return partial
 
     def _visit_site(self, browser: HeadlessBrowser, site: SiteSpec) -> ChromeSiteOutcome:
         ledger = FaultLedger()
         page = browser.visit(f"http://www.{site.domain}/")
-        report = self.detector.detect_page(site.domain, page)
+        with self.obs.span("detect"):
+            report = self.detector.detect_page(site.domain, page)
         kinds = [FaultKind(value) for value in page.fault_events]
         for kind in kinds:
             ledger.record_injection(kind)

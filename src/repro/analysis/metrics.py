@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.faults.ledger import FaultLedger
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -29,6 +30,31 @@ class ShardMetrics:
     error: Optional[str] = None
     #: fault accounting for this shard (``None`` when no chaos plane ran)
     ledger: Optional[FaultLedger] = None
+    #: unified obs registry for this shard (``None`` when obs is off)
+    registry: Optional[MetricsRegistry] = None
+    #: spans traced inside this shard (``None`` when obs is off)
+    spans: Optional[list] = None
+
+    def as_registry(self) -> MetricsRegistry:
+        """This shard's tallies under the unified merge law.
+
+        Starts from the obs registry (stage histograms, counters recorded
+        during the shard run) and folds in the dataclass fields plus the
+        fault ledger, so one ``MetricsRegistry.merge`` chain reproduces
+        every aggregate ``CampaignMetrics`` computes field-by-field.
+        """
+        registry = MetricsRegistry()
+        if self.registry is not None:
+            registry.merge(self.registry)
+        registry.inc("shard.sites", self.sites)
+        registry.inc("shard.domains_probed", self.domains_probed)
+        registry.inc("shard.fetch_failures", self.fetch_failures)
+        registry.inc("shard.detector_hits", self.detector_hits)
+        registry.inc("shard.retries", self.retries)
+        registry.inc("shard.failed", 0 if self.ok else 1)
+        if self.ledger is not None:
+            registry.merge(self.ledger.as_registry())
+        return registry
 
     @property
     def ok(self) -> bool:
@@ -82,6 +108,28 @@ class CampaignMetrics:
             if shard.ledger is not None:
                 merged.merge(shard.ledger)
         return merged
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Every shard's registry folded under the single merge law.
+
+        Because counter addition is associative and commutative with the
+        empty registry as identity, the result is independent of shard
+        order, worker count, and execution mode — the property the
+        determinism suite pins (serial == thread == process == resumed
+        for the ``fault.*`` and ``shard.*`` planes).
+        """
+        merged = MetricsRegistry()
+        for shard in self.shards:
+            merged.merge(shard.as_registry())
+        return merged
+
+    def all_spans(self) -> list:
+        """Spans from every shard, in shard order."""
+        spans: list = []
+        for shard in self.shards:
+            if shard.spans:
+                spans.extend(shard.spans)
+        return spans
 
     @property
     def aggregate_rate(self) -> float:

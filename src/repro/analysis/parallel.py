@@ -38,7 +38,6 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import threading
-import time
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -58,6 +57,8 @@ from repro.faults.checkpoint import shard_journal
 from repro.faults.plan import build_fault_plan
 from repro.faults.resilience import ResiliencePolicy, RetryPolicy, run_with_retry
 from repro.internet.population import SiteSpec, WebPopulation, build_population
+from repro.obs.clock import get_clock
+from repro.obs.profile import NULL_OBS, Obs, make_obs
 from repro.rulespace.engine import RuleSpaceEngine
 from repro.web.browser import BrowserConfig
 
@@ -219,8 +220,12 @@ def _zgrab_shard_work(
     scan_index: int,
     resilience: Optional[ResiliencePolicy] = None,
     checkpoint_dir: Optional[str] = None,
+    observe: bool = False,
 ) -> tuple[ZgrabScanPartial, ShardMetrics]:
-    campaign = ZgrabCampaign(population=population, resilience=resilience)
+    # each shard traces into its own context; the id prefix is derived from
+    # the shard id, so the merged trace is identical across executor modes
+    obs = make_obs(prefix=f"z{scan_index}s{shard_id}") if observe else NULL_OBS
+    campaign = ZgrabCampaign(population=population, resilience=resilience, obs=obs)
     journal = None
     if checkpoint_dir is not None:
         # the journal name carries the dataset — run_reproduction loops
@@ -240,15 +245,17 @@ def _zgrab_shard_work(
                 resilience,
             ),
         )
-    started = time.perf_counter()
+    clock = get_clock()
+    started = clock.now()
     try:
-        partial = campaign.scan_sites_indexed(
-            ((i, population.sites[i]) for i in indices), scan_index, journal=journal
-        )
+        with obs.span("shard", shard=shard_id, kind=f"zgrab{scan_index}"):
+            partial = campaign.scan_sites_indexed(
+                ((i, population.sites[i]) for i in indices), scan_index, journal=journal
+            )
     finally:
         if journal is not None:
             journal.close()
-    wall = time.perf_counter() - started
+    wall = clock.now() - started
     metrics = ShardMetrics(
         shard_id=shard_id,
         sites=len(indices),
@@ -257,6 +264,8 @@ def _zgrab_shard_work(
         fetch_failures=partial.fetch_failures,
         detector_hits=partial.nocoin_domains,
         ledger=partial.fault_ledger,
+        registry=obs.registry if observe else None,
+        spans=obs.tracer.spans if observe else None,
     )
     return partial, metrics
 
@@ -267,12 +276,15 @@ def _chrome_shard_work(
     indices: list[int],
     browser_config: BrowserConfig,
     checkpoint_dir: Optional[str] = None,
+    observe: bool = False,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
+    obs = make_obs(prefix=f"cs{shard_id}") if observe else NULL_OBS
     campaign = ChromeCampaign(
         population=population,
         detector=_worker_chrome_detector(),
         browser_config=browser_config,
         rulespace=RuleSpaceEngine(),
+        obs=obs,
     )
     journal = None
     if checkpoint_dir is not None:
@@ -290,15 +302,17 @@ def _chrome_shard_work(
                 browser_config,
             ),
         )
-    started = time.perf_counter()
+    clock = get_clock()
+    started = clock.now()
     try:
-        partial = campaign.run_sites(
-            ((i, population.sites[i]) for i in indices), journal=journal
-        )
+        with obs.span("shard", shard=shard_id, kind="chrome"):
+            partial = campaign.run_sites(
+                ((i, population.sites[i]) for i in indices), journal=journal
+            )
     finally:
         if journal is not None:
             journal.close()
-    wall = time.perf_counter() - started
+    wall = clock.now() - started
     metrics = ShardMetrics(
         shard_id=shard_id,
         sites=len(indices),
@@ -307,6 +321,8 @@ def _chrome_shard_work(
         fetch_failures=sum(1 for _, report in partial.reports if report.status == "error"),
         detector_hits=partial.miner_wasm_sites,
         ledger=partial.fault_ledger,
+        registry=obs.registry if observe else None,
+        spans=obs.tracer.spans if observe else None,
     )
     return partial, metrics
 
@@ -318,13 +334,14 @@ def _call_zgrab_work(
     scan_index: int,
     resilience: Optional[ResiliencePolicy],
     checkpoint_dir: Optional[str],
+    observe: bool = False,
 ) -> tuple[ZgrabScanPartial, ShardMetrics]:
-    # keep the legacy positional call when the chaos/checkpoint plane is
-    # off — callers (and tests) may substitute a 4-arg _zgrab_shard_work
-    if resilience is None and checkpoint_dir is None:
+    # keep the legacy positional call when the chaos/checkpoint/obs planes
+    # are off — callers (and tests) may substitute a 4-arg _zgrab_shard_work
+    if resilience is None and checkpoint_dir is None and not observe:
         return _zgrab_shard_work(population, shard_id, indices, scan_index)
     return _zgrab_shard_work(
-        population, shard_id, indices, scan_index, resilience, checkpoint_dir
+        population, shard_id, indices, scan_index, resilience, checkpoint_dir, observe
     )
 
 
@@ -334,11 +351,12 @@ def _call_chrome_work(
     indices: list[int],
     browser_config: BrowserConfig,
     checkpoint_dir: Optional[str],
+    observe: bool = False,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
-    if checkpoint_dir is None:
+    if checkpoint_dir is None and not observe:
         return _chrome_shard_work(population, shard_id, indices, browser_config)
     return _chrome_shard_work(
-        population, shard_id, indices, browser_config, checkpoint_dir
+        population, shard_id, indices, browser_config, checkpoint_dir, observe
     )
 
 
@@ -349,11 +367,12 @@ def _zgrab_process_entry(
     retry: RetryPolicy,
     resilience: Optional[ResiliencePolicy] = None,
     checkpoint_dir: Optional[str] = None,
+    observe: bool = False,
 ) -> tuple[ZgrabScanPartial, ShardMetrics]:
     population = _FORK_STATE["population"]
     result, retries = run_with_retry(
         lambda: _call_zgrab_work(
-            population, shard_id, indices, scan_index, resilience, checkpoint_dir
+            population, shard_id, indices, scan_index, resilience, checkpoint_dir, observe
         ),
         retry,
         key=(f"zgrab{scan_index}", f"shard{shard_id}"),
@@ -368,11 +387,12 @@ def _chrome_process_entry(
     browser_config: BrowserConfig,
     retry: RetryPolicy,
     checkpoint_dir: Optional[str] = None,
+    observe: bool = False,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
     population = _FORK_STATE["population"]
     result, retries = run_with_retry(
         lambda: _call_chrome_work(
-            population, shard_id, indices, browser_config, checkpoint_dir
+            population, shard_id, indices, browser_config, checkpoint_dir, observe
         ),
         retry,
         key=("chrome", f"shard{shard_id}"),
@@ -461,43 +481,58 @@ class _ShardedCampaignBase:
 
     population: WebPopulation
     config: ParallelConfig
+    obs: Obs
 
     def _partition(self) -> tuple[list[list[int]], dict[int, int]]:
         shard_indices = partition_indices(self.population.sites, self.config.shards)
         sizes = {shard_id: len(idx) for shard_id, idx in enumerate(shard_indices)}
         return shard_indices, sizes
 
-    def _execute(self, submit_local, submit_process) -> tuple[dict[int, object], CampaignMetrics]:
+    def _execute(self, submit_local, submit_process, kind: str = "campaign") -> tuple[dict[int, object], CampaignMetrics]:
         """Run all shards under the configured mode.
 
         ``submit_local(pool_or_none, shard_id)`` runs/submits a shard in
         serial or thread mode; ``submit_process(pool, shard_id)`` submits
-        the module-level fork entry point.
+        the module-level fork entry point. All wall clocks come from the
+        injectable obs clock, so a ``TickClock`` makes the derived rates
+        (``domains_per_sec``, ``parallel_efficiency``) reproducible.
         """
         config = self.config
+        obs = self.obs
         _, sizes = self._partition()
-        started = time.perf_counter()
-        if config.mode == "serial":
-            partials, shard_metrics = _collect_shards(submit_local, sizes, None, config)
-        elif config.mode == "thread":
-            with ThreadPoolExecutor(max_workers=config.workers) as pool:
-                partials, shard_metrics = _collect_shards(submit_local, sizes, pool, config)
-        else:  # process
-            _FORK_STATE["population"] = self.population
-            try:
-                with _fork_pool(config.workers) as pool:
-                    partials, shard_metrics = _collect_shards(
-                        submit_process, sizes, pool, config
-                    )
-            finally:
-                _FORK_STATE.pop("population", None)
-        wall = time.perf_counter() - started
+        clock = get_clock()
+        started = clock.now()
+        with obs.span("campaign", kind=kind, mode=config.mode, shards=config.shards) as campaign_span:
+            if config.mode == "serial":
+                partials, shard_metrics = _collect_shards(submit_local, sizes, None, config)
+            elif config.mode == "thread":
+                with ThreadPoolExecutor(max_workers=config.workers) as pool:
+                    partials, shard_metrics = _collect_shards(submit_local, sizes, pool, config)
+            else:  # process
+                _FORK_STATE["population"] = self.population
+                try:
+                    with _fork_pool(config.workers) as pool:
+                        partials, shard_metrics = _collect_shards(
+                            submit_process, sizes, pool, config
+                        )
+                finally:
+                    _FORK_STATE.pop("population", None)
+        wall = clock.now() - started
         metrics = CampaignMetrics(
             shards=shard_metrics,
             wall_seconds=wall,
             mode=config.mode,
             workers=config.workers if config.mode != "serial" else 1,
         )
+        if obs.enabled:
+            # fold the shard-local traces/registries into the campaign
+            # context: shard root spans re-root under the campaign span,
+            # stage histograms merge under the single registry law
+            for shard in metrics.shards:
+                if shard.spans:
+                    obs.tracer.adopt(shard.spans, parent_id=campaign_span.span_id)
+                if shard.registry is not None:
+                    obs.registry.merge(shard.registry)
         return partials, metrics
 
 
@@ -513,12 +548,15 @@ class ShardedZgrabCampaign(_ShardedCampaignBase):
     population: WebPopulation
     config: ParallelConfig = field(default_factory=ParallelConfig)
     metrics: Optional[CampaignMetrics] = None
+    #: observability context; shard traces and registries merge into it
+    obs: Obs = field(default=NULL_OBS, repr=False)
 
     def scan(self, scan_index: int = 0) -> ZgrabScanResult:
         shard_indices, _ = self._partition()
         retry = self.config.retry
         resilience = self.config.resilience
         checkpoint_dir = self.config.checkpoint_dir
+        observe = self.obs.enabled
 
         def submit_local(pool, shard_id):
             def attempt():
@@ -529,6 +567,7 @@ class ShardedZgrabCampaign(_ShardedCampaignBase):
                     scan_index,
                     resilience,
                     checkpoint_dir,
+                    observe,
                 )
 
             def entry():
@@ -549,9 +588,12 @@ class ShardedZgrabCampaign(_ShardedCampaignBase):
                 retry,
                 resilience,
                 checkpoint_dir,
+                observe,
             )
 
-        partials, self.metrics = self._execute(submit_local, submit_process)
+        partials, self.metrics = self._execute(
+            submit_local, submit_process, kind=f"zgrab{scan_index}"
+        )
         merged = ZgrabScanPartial()
         for shard_id in sorted(partials):
             merged.merge(partials[shard_id])
@@ -578,6 +620,8 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
     config: ParallelConfig = field(default_factory=ParallelConfig)
     browser_config: BrowserConfig = field(default_factory=BrowserConfig)
     metrics: Optional[CampaignMetrics] = None
+    #: observability context; shard traces and registries merge into it
+    obs: Obs = field(default=NULL_OBS, repr=False)
 
     def __post_init__(self) -> None:
         if self.population is None:
@@ -595,6 +639,7 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
         retry = self.config.retry
         browser_config = self.browser_config
         checkpoint_dir = self.config.checkpoint_dir
+        observe = self.obs.enabled
 
         def submit_local(pool, shard_id):
             def attempt():
@@ -604,6 +649,7 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
                     shard_indices[shard_id],
                     browser_config,
                     checkpoint_dir,
+                    observe,
                 )
 
             def entry():
@@ -623,9 +669,10 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
                 browser_config,
                 retry,
                 checkpoint_dir,
+                observe,
             )
 
-        partials, self.metrics = self._execute(submit_local, submit_process)
+        partials, self.metrics = self._execute(submit_local, submit_process, kind="chrome")
         merged = ChromeRunPartial()
         for shard_id in sorted(partials):
             merged.merge(partials[shard_id])

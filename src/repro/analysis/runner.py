@@ -8,7 +8,6 @@ from scripts, notebooks, or ``repro-mining reproduce``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -24,6 +23,8 @@ from repro.analysis.parallel import (
 from repro.analysis.reporting import render_day_hour_heatmap, render_table
 from repro.analysis.shortlink import ShortLinkStudy
 from repro.faults.ledger import FaultLedger
+from repro.obs.clock import get_clock
+from repro.obs.profile import NULL_OBS, PROFILE_HEADER, make_obs, profile_rows
 from repro.faults.plan import build_fault_plan
 from repro.faults.resilience import ResiliencePolicy
 from repro.internet.population import build_population
@@ -56,6 +57,10 @@ class ReproductionConfig:
     fault_profile: str = ""
     #: checkpoint-journal directory for the crawls (also implies sharded)
     checkpoint_dir: Optional[str] = None
+    #: write the campaign trace (span JSONL) here after the run
+    trace_out: Optional[str] = None
+    #: append a per-stage latency table to the report
+    profile: bool = False
 
 
 @dataclass
@@ -84,7 +89,10 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     """Run every experiment; returns the assembled report."""
     config = config if config is not None else ReproductionConfig()
     report = ReproductionReport(config=config)
-    started = time.monotonic()
+    observe = bool(config.trace_out) or config.profile
+    obs = make_obs(prefix="repro") if observe else NULL_OBS
+    clock = get_clock()
+    started = clock.now()
 
     # ---- Figure 2 + Tables 1-3 ------------------------------------------------
     fault_plan = (
@@ -116,14 +124,17 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         if fault_plan is not None:
             population.attach_fault_plan(fault_plan)
         if parallel_crawl:
-            zgrab = ShardedZgrabCampaign(population=population, config=parallel_config)
+            zgrab = ShardedZgrabCampaign(
+                population=population, config=parallel_config, obs=obs
+            )
             zgrab_scans = []
             for scan_index in (0, 1):  # metrics hold the most recent scan only
                 zgrab_scans.append(zgrab.scan(scan_index))
                 if zgrab.metrics is not None:
                     fault_ledger.merge(zgrab.metrics.fault_ledger)
         else:
-            zgrab_scans = ZgrabCampaign(population=population).both_scans()
+            with obs.span("campaign", kind="zgrab", mode="sequential", dataset=dataset):
+                zgrab_scans = ZgrabCampaign(population=population, obs=obs).both_scans()
         for scan in zgrab_scans:
             fig2_rows.append(
                 [dataset, scan.scan_date, scan.nocoin_domains, f"{scan.prevalence:.4%}"]
@@ -139,12 +150,14 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
                         fault_profile=config.fault_profile,
                     ),
                     config=parallel_config,
+                    obs=obs,
                 )
                 result = chrome.run()
                 if chrome.metrics is not None:
                     fault_ledger.merge(chrome.metrics.fault_ledger)
             else:
-                result = ChromeCampaign(population=population).run()
+                with obs.span("campaign", kind="chrome", mode="sequential", dataset=dataset):
+                    result = ChromeCampaign(population=population, obs=obs).run()
             tab = result.cross_tab
             top = ", ".join(f"{f}:{c}" for f, c in result.signature_counts.most_common(3))
             chrome_rows.append(
@@ -168,11 +181,12 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
 
     # ---- Figures 3-4 + Tables 4-5 ------------------------------------------------
     log(f"[shortlinks] scale {config.shortlink_scale}")
-    population = build_shortlink_population(seed=config.seed, scale=config.shortlink_scale)
-    study = ShortLinkStudy(population=population, sample_per_top_user=config.shortlink_samples)
-    ranks = study.links_per_token()
-    hashes = study.hash_requirements()
-    destinations = study.destinations()
+    with obs.span("shortlinks", scale=config.shortlink_scale):
+        population = build_shortlink_population(seed=config.seed, scale=config.shortlink_scale)
+        study = ShortLinkStudy(population=population, sample_per_top_user=config.shortlink_samples)
+        ranks = study.links_per_token()
+        hashes = study.hash_requirements()
+        destinations = study.destinations()
     report.sections["Figures 3–4 — short links"] = render_table(
         ["quantity", "value"],
         [
@@ -191,9 +205,10 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     # ---- Figure 5 + Table 6 ----------------------------------------------------------
     log(f"[network] {config.network_days} days")
     start = utc_timestamp(2018, 4, 26)
-    observation = simulate_network(
-        NetworkSimConfig(seed=config.seed, start=start, end=start + config.network_days * 86400)
-    )
+    with obs.span("network-sim", days=config.network_days):
+        observation = simulate_network(
+            NetworkSimConfig(seed=config.seed, start=start, end=start + config.network_days * 86400)
+        )
     economics = EconomicsReport.from_attributed(observation.attributed)
     median_difficulty = observation.chain.median_difficulty(last=5000)
     pool_rate = observation.overall_share() * median_difficulty / 120
@@ -214,5 +229,14 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         ],
     )
 
-    report.elapsed_seconds = time.monotonic() - started
+    if config.profile:
+        rows = profile_rows(obs.registry)
+        report.sections["Stage profile"] = (
+            render_table(PROFILE_HEADER, rows) if rows else "(no stages recorded)"
+        )
+    if config.trace_out:
+        obs.tracer.write_jsonl(config.trace_out)
+        log(f"[trace] {len(obs.tracer.spans)} spans -> {config.trace_out}")
+
+    report.elapsed_seconds = clock.now() - started
     return report

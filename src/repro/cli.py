@@ -109,7 +109,10 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     from repro.faults.plan import build_fault_plan
     from repro.faults.resilience import ResiliencePolicy
     from repro.internet.population import build_population
+    from repro.obs.profile import NULL_OBS, make_obs, render_profile
 
+    observe = bool(args.trace_out) or args.profile
+    obs = make_obs(prefix="crawl") if observe else NULL_OBS
     plan = build_fault_plan(args.fault_profile, seed=args.seed)
     # chaos and checkpoint/resume need the sharded executor (it carries the
     # fault ledgers and the per-shard journals), even with one serial shard
@@ -131,15 +134,16 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             resilience=ResiliencePolicy() if plan is not None else None,
             checkpoint_dir=args.resume_from,
         )
-        zgrab = ShardedZgrabCampaign(population=population, config=config)
+        zgrab = ShardedZgrabCampaign(population=population, config=config, obs=obs)
         scans = []
         for scan_index in (0, 1):
             scans.append(zgrab.scan(scan_index))
             if zgrab.metrics is not None:
                 population_ledger.merge(zgrab.metrics.fault_ledger)
     else:
-        zgrab = ZgrabCampaign(population=population)
-        scans = zgrab.both_scans()
+        zgrab = ZgrabCampaign(population=population, obs=obs)
+        with obs.span("campaign", kind="zgrab", mode="sequential"):
+            scans = zgrab.both_scans()
     rows = [[s.scan_date, s.nocoin_domains, f"{s.prevalence:.4%}"] for s in scans]
     print(render_table(["scan", "NoCoin domains", "prevalence"], rows, title="\nzgrab pass"))
     if parallel and zgrab.metrics is not None:
@@ -155,13 +159,15 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                     fault_profile=args.fault_profile or "",
                 ),
                 config=config,
+                obs=obs,
             )
             result = chrome.run()
             if chrome.metrics is not None:
                 population_ledger.merge(chrome.metrics.fault_ledger)
         else:
             chrome = None
-            result = ChromeCampaign(population=population).run()
+            with obs.span("campaign", kind="chrome", mode="sequential"):
+                result = ChromeCampaign(population=population, obs=obs).run()
         tab = result.cross_tab
         rows = [
             ["Wasm miner sites", tab.wasm_miner_hits],
@@ -176,6 +182,12 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             _print_shard_metrics(chrome.metrics, "\nChrome shard metrics")
     if plan is not None or args.resume_from is not None:
         _print_fault_ledger(population_ledger)
+    if args.profile:
+        print()
+        print(render_profile(obs.registry, title="stage profile"))
+    if args.trace_out:
+        obs.tracer.write_jsonl(args.trace_out)
+        print(f"trace: {len(obs.tracer.spans)} spans -> {args.trace_out}")
     return 0
 
 
@@ -236,6 +248,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         crawl_executor=args.executor,
         fault_profile=args.fault_profile or "",
         checkpoint_dir=args.resume_from,
+        trace_out=args.trace_out,
+        profile=args.profile,
     )
     report = run_reproduction(config)
     markdown = report.to_markdown()
@@ -277,6 +291,20 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         count += 1
     print(f"wrote {count} modules to {out}")
     return 0
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the campaign trace (one span per line, JSONL) here",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage latency table after the run",
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -326,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint-journal directory; a rerun resumes completed sites from it "
         "(journals are unpickled on load — use only directories this tool wrote)",
     )
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_crawl)
 
     p = sub.add_parser("shortlinks", help="run the cnhv.co study")
@@ -357,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="crawl checkpoint-journal directory (see `crawl --resume-from`)",
     )
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_reproduce)
 
     p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")

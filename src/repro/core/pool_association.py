@@ -27,6 +27,7 @@ from repro.faults.ledger import FaultLedger
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.faults.resilience import BreakerPolicy, BreakerRegistry, RetryPolicy
 from repro.faults.taxonomy import ErrorClass, classify_reason, is_transient
+from repro.obs.profile import NULL_OBS, Obs
 from repro.pool.jobs import parse_blob
 from repro.pool.server import PoolUnavailable
 
@@ -83,6 +84,8 @@ class PoolObserver:
     retry: Optional[RetryPolicy] = None
     breaker: Optional[BreakerPolicy] = None
     ledger: Optional[FaultLedger] = None
+    #: observability hook — each poll tick is one ``ws-poll`` span
+    obs: Obs = field(default=NULL_OBS, repr=False)
     observations: list = field(default_factory=list)
     #: prev_id → {merkle_root, ...}
     clusters: dict = field(default_factory=dict)
@@ -100,6 +103,18 @@ class PoolObserver:
 
     def poll_once(self, now: float) -> list:
         """Poll every endpoint once; returns new observations."""
+        if not self.obs.enabled:
+            return self._poll_once(now)
+        failures_before = self.failures
+        with self.obs.span("ws-poll") as span:
+            new = self._poll_once(now)
+            span.set_tag("observations", len(new))
+        self.obs.inc("poll.ticks")
+        self.obs.inc("poll.observations", len(new))
+        self.obs.inc("poll.failures", self.failures - failures_before)
+        return new
+
+    def _poll_once(self, now: float) -> list:
         new: list[PowObservation] = []
         for endpoint in self.endpoints:
             self.polls += 1

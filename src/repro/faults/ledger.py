@@ -89,6 +89,38 @@ class FaultLedger:
             self.injected[k] == self.recovered[k] + self.unrecovered[k] for k in kinds
         )
 
+    def as_registry(self):
+        """Export into the unified :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Per-fault accounting lands under ``fault.*``; campaign-health
+        counters (retries, breaker transitions, checkpoint events — the
+        ones resumed runs legitimately differ in) land under ``health.*``
+        so mode-invariance checks can compare the fault plane alone.
+
+        The export is a merge homomorphism:
+        ``a.merge(b).as_registry() == a.as_registry().merge(b.as_registry())``
+        (pinned by the property suite) — which is what lets the registry
+        subsume the ledger's aggregation without changing any total.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for bucket, counter in (
+            ("fault.injected", self.injected),
+            ("fault.observed", self.observed),
+            ("fault.recovered", self.recovered),
+            ("fault.unrecovered", self.unrecovered),
+        ):
+            for kind, count in counter.items():
+                registry.inc(f"{bucket}.{kind}", count)
+        registry.inc("health.retries", self.retries)
+        registry.inc("health.breaker.opened", self.breaker_opened)
+        registry.inc("health.breaker.half_open", self.breaker_half_open)
+        registry.inc("health.breaker.closed", self.breaker_closed)
+        registry.inc("health.checkpoint.recorded", self.checkpoint_recorded)
+        registry.inc("health.checkpoint.resumed", self.checkpoint_resumed)
+        return registry
+
     def has_events(self) -> bool:
         return bool(
             self.injected

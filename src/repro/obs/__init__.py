@@ -1,0 +1,40 @@
+"""Campaign observability: tracing, unified metrics, stage profiling.
+
+The three legs of production-scale campaign accounting:
+
+- :mod:`repro.obs.clock` — the injectable wall clock (``PerfClock`` in
+  real runs, ``TickClock`` in tests) every duration is read from,
+- :mod:`repro.obs.trace` — structured spans
+  (``campaign → shard → site → fetch/parse/detect/ws-poll``) exported as
+  JSONL via ``--trace-out``,
+- :mod:`repro.obs.metrics` — the counters/gauges/histograms registry
+  whose single ``merge()`` law keeps sharded aggregation bit-identical
+  and mode-invariant,
+- :mod:`repro.obs.profile` — the :class:`Obs` facade pipelines hook into,
+  plus the ``--profile`` per-stage latency table.
+"""
+
+from repro.obs.clock import PerfClock, TickClock, get_clock, set_clock, use_clock
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.profile import NULL_OBS, Obs, make_obs, profile_rows, render_profile
+from repro.obs.trace import Span, Tracer, parse_jsonl, read_jsonl
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Obs",
+    "PerfClock",
+    "Span",
+    "TickClock",
+    "Tracer",
+    "get_clock",
+    "make_obs",
+    "parse_jsonl",
+    "profile_rows",
+    "read_jsonl",
+    "render_profile",
+    "set_clock",
+    "use_clock",
+]

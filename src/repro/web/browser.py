@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.faults.plan import FaultKind
+from repro.obs.profile import NULL_OBS, Obs
 from repro.sim.events import EventLoop
 from repro.sim.rng import RngStream
 from repro.web.html import HtmlDocument, HtmlElement, parse_html
@@ -185,10 +186,12 @@ class HeadlessBrowser:
         config: BrowserConfig = BrowserConfig(),
         rng: Optional[RngStream] = None,
         behavior_registry: Optional[dict] = None,
+        obs: Obs = NULL_OBS,
     ) -> None:
         self.web = web
         self.loop = loop if loop is not None else EventLoop()
         self.config = config
+        self.obs = obs
         self.rng = rng if rng is not None else RngStream(0, "browser")
         #: script-src URL → ScriptBehavior; how the browser "executes" JS.
         self.behavior_registry = behavior_registry if behavior_registry is not None else {}
@@ -213,9 +216,14 @@ class HeadlessBrowser:
         self._current = result
         start = self.loop.now
         try:
-            response = self.web.fetch(
-                url, timeout=self.config.page_timeout, follow_redirects=True
-            )
+            with self.obs.span("fetch", url=url) as fetch_span:
+                try:
+                    response = self.web.fetch(
+                        url, timeout=self.config.page_timeout, follow_redirects=True
+                    )
+                except FetchError as exc:
+                    fetch_span.set_tag("error_class", exc.error_class.value)
+                    raise
         except FetchError as exc:
             # the only expected failure: SyntheticWeb wraps malformed URLs
             # into FetchError(INVALID_URL); anything else is a bug upstream
@@ -231,7 +239,8 @@ class HeadlessBrowser:
         result.final_url = response.url
         if response.fault_truncated:
             result.fault_events.append(FaultKind.TRUNCATE.value)
-        document = parse_html(response.body.decode("utf-8", errors="replace"))
+        with self.obs.span("parse"):
+            document = parse_html(response.body.decode("utf-8", errors="replace"))
         # per-visit stream keyed by (url, nth visit of that url): distinct
         # across repeat visits, yet independent of the order in which other
         # URLs are visited — sharded crawls replay identical page behaviour
@@ -275,7 +284,8 @@ class HeadlessBrowser:
         else:
             self.loop.call_later(load_at - self.loop.now, self._fire_load, result)
 
-        self._run_page(result, context, start, load_at)
+        with self.obs.span("execute"):
+            self._run_page(result, context, start, load_at)
         self._current = None
         return result
 

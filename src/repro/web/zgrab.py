@@ -26,6 +26,7 @@ from typing import Iterable, Optional
 from repro.faults.ledger import FaultLedger
 from repro.faults.resilience import BreakerRegistry, ResiliencePolicy
 from repro.faults.taxonomy import ErrorClass, is_transient
+from repro.obs.profile import NULL_OBS, Obs
 from repro.web.http import FetchError, SyntheticWeb
 
 DEFAULT_MAX_BYTES = 256 * 1024
@@ -54,6 +55,8 @@ class ZgrabFetcher:
     timeout: float = 10.0
     resilience: Optional[ResiliencePolicy] = None
     ledger: Optional[FaultLedger] = None
+    #: observability hook; the disabled singleton costs nothing per fetch
+    obs: Obs = field(default=NULL_OBS, repr=False)
     _breakers: Optional[BreakerRegistry] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -69,6 +72,17 @@ class ZgrabFetcher:
         campaigns pass a per-site ledger so checkpointed sites carry their
         own fault accounting).
         """
+        if not self.obs.enabled:
+            return self._fetch_domain(domain, ledger)
+        with self.obs.span("fetch", domain=domain) as span:
+            result = self._fetch_domain(domain, ledger)
+            if result.attempts > 1:
+                span.set_tag("attempts", result.attempts)
+            if not result.ok and result.error_class:
+                span.set_tag("error_class", result.error_class)
+            return result
+
+    def _fetch_domain(self, domain: str, ledger: Optional[FaultLedger]) -> ZgrabResult:
         url = f"https://www.{domain}/"
         ledger = ledger if ledger is not None else self.ledger
         policy = self.resilience

@@ -7,6 +7,9 @@ share them, and dominate collection time otherwise.
 
 from __future__ import annotations
 
+import difflib
+import pathlib
+
 import pytest
 
 from repro.blockchain.chain import Blockchain
@@ -15,6 +18,57 @@ from repro.blockchain.hashing import FAST_PARAMS
 from repro.coinhive.service import CoinhiveService
 from repro.core.signatures import build_reference_database
 from repro.wasm.builder import ModuleBlueprint, WasmCorpusBuilder
+
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/*.txt snapshot fixtures instead of comparing",
+    )
+
+
+@pytest.fixture()
+def golden(request):
+    """Snapshot comparator: ``golden("name", rendered_text)``.
+
+    Compares against ``tests/golden/<name>.txt`` and fails with a unified
+    diff on mismatch; ``pytest --update-golden`` rewrites the fixtures.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, text: str) -> None:
+        path = GOLDEN_DIR / f"{name}.txt"
+        if update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(text)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden fixture {path} is missing — "
+                "run `pytest --update-golden` once to create it"
+            )
+        expected = path.read_text()
+        if text != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    text.splitlines(),
+                    fromfile=f"golden/{name}.txt",
+                    tofile="measured",
+                    lineterm="",
+                )
+            )
+            pytest.fail(
+                f"golden snapshot mismatch for {name!r}:\n{diff}\n"
+                "(if the change is intentional, refresh with `pytest --update-golden`)"
+            )
+
+    return check
 
 
 @pytest.fixture(scope="session")

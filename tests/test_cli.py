@@ -85,6 +85,48 @@ class TestCampaignCommands:
         out = capsys.readouterr().out
         assert "attributed to Coinhive" in out
 
+    def test_crawl_profile_prints_stage_table(self, capsys):
+        assert main(
+            ["--seed", "3", "crawl", "--dataset", "alexa", "--scale", "0.03", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stage profile" in out
+        for stage in ("site", "fetch", "detect"):
+            assert stage in out
+
+    def test_crawl_trace_out_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs.trace import read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "--seed", "3", "crawl", "--dataset", "net", "--scale", "0.03",
+                "--shards", "2", "--executor", "serial", "--trace-out", str(trace),
+            ]
+        ) == 0
+        assert f"-> {trace}" in capsys.readouterr().out
+        spans = read_jsonl(trace)
+        names = {span.name for span in spans}
+        assert {"campaign", "shard", "site", "fetch"} <= names
+        # every non-root span links to a span in the same file
+        ids = {span.span_id for span in spans}
+        assert all(span.parent_id in ids for span in spans if span.parent_id)
+
+    def test_reproduce_profile_section(self, tmp_path, capsys):
+        trace = tmp_path / "r.jsonl"
+        out_file = tmp_path / "report.md"
+        assert main(
+            [
+                "reproduce", "--crawl-scale", "0.02", "--shortlink-scale", "0.0005",
+                "--days", "1", "--profile", "--trace-out", str(trace),
+                "--out", str(out_file),
+            ]
+        ) == 0
+        report = out_file.read_text()
+        assert "## Stage profile" in report
+        assert "network-sim" in report
+        assert trace.exists()
+
 
 class TestCorpus:
     def test_dump_family(self, tmp_path, capsys):

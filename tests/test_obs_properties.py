@@ -1,0 +1,191 @@
+"""Property tests (Hypothesis) for the observability merge laws.
+
+The whole point of :class:`~repro.obs.metrics.MetricsRegistry` is that
+every aggregation path in the codebase — serial fold, thread pool, process
+pool, resumed run — is the *same* algebra. That only holds if merge is
+exactly associative and commutative with the empty registry as identity,
+which in turn only holds because histogram durations are stored as integer
+nanoseconds. These tests pin the laws; the executor determinism tests
+(``test_obs_determinism.py``) then get them for free.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.ledger import FaultLedger
+from repro.faults.plan import FaultKind
+from repro.faults.taxonomy import ErrorClass
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer, parse_jsonl
+
+
+# ---------------------------------------------------------------------------
+# strategies
+
+_names = st.sampled_from(
+    ["shard.sites", "stage.fetch", "stage.detect", "poll.ticks", "fault.dns", "x"]
+)
+
+_registries = st.builds(
+    lambda counters, gauges, observations: _build_registry(counters, gauges, observations),
+    counters=st.dictionaries(_names, st.integers(min_value=0, max_value=10**9), max_size=5),
+    gauges=st.dictionaries(
+        _names, st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=4
+    ),
+    observations=st.dictionaries(
+        _names,
+        st.lists(st.integers(min_value=0, max_value=120 * 10**9), max_size=8),
+        max_size=4,
+    ),
+)
+
+
+def _build_registry(counters, gauges, observations) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, n in counters.items():
+        registry.inc(name, n)
+    for name, value in gauges.items():
+        registry.gauge_max(name, value)
+    for name, series in observations.items():
+        for ns in series:
+            registry.observe_ns(name, ns)
+    return registry
+
+
+def _merged(*registries: MetricsRegistry) -> MetricsRegistry:
+    out = MetricsRegistry()
+    for registry in registries:
+        out.merge(registry)
+    return out
+
+
+_tag_text = st.text(max_size=20)
+
+_spans = st.builds(
+    Span,
+    span_id=st.text(min_size=1, max_size=12),
+    name=st.sampled_from(["campaign", "shard", "site", "fetch", "detect", "ws-poll"]),
+    start=st.floats(min_value=0, max_value=10**6, allow_nan=False),
+    end=st.floats(min_value=0, max_value=10**6, allow_nan=False),
+    parent_id=st.text(max_size=12),
+    tags=st.dictionaries(_tag_text, _tag_text, max_size=4),
+)
+
+_ledgers = st.builds(
+    lambda injections, observed, recoveries, ints: _build_ledger(
+        injections, observed, recoveries, ints
+    ),
+    injections=st.lists(st.sampled_from(list(FaultKind)), max_size=10),
+    observed=st.lists(st.sampled_from(list(ErrorClass)), max_size=10),
+    recoveries=st.lists(
+        st.tuples(st.sampled_from(list(FaultKind)), st.booleans()), max_size=10
+    ),
+    ints=st.lists(st.integers(min_value=0, max_value=50), min_size=6, max_size=6),
+)
+
+
+def _build_ledger(injections, observed, recoveries, ints) -> FaultLedger:
+    ledger = FaultLedger()
+    for kind in injections:
+        ledger.record_injection(kind)
+    for error_class in observed:
+        ledger.record_observed(error_class)
+    for kind, recovered in recoveries:
+        ledger.settle([kind], recovered=recovered)
+    (
+        ledger.retries,
+        ledger.breaker_opened,
+        ledger.breaker_half_open,
+        ledger.breaker_closed,
+        ledger.checkpoint_recorded,
+        ledger.checkpoint_resumed,
+    ) = ints
+    return ledger
+
+
+# ---------------------------------------------------------------------------
+# registry merge laws
+
+
+@settings(max_examples=200)
+@given(a=_registries, b=_registries, c=_registries)
+def test_merge_is_associative(a, b, c):
+    left = _merged(_merged(a, b), c)
+    right = _merged(a, _merged(b, c))
+    assert left.to_dict() == right.to_dict()
+
+
+@settings(max_examples=200)
+@given(a=_registries, b=_registries)
+def test_merge_is_commutative(a, b):
+    assert _merged(a, b).to_dict() == _merged(b, a).to_dict()
+
+
+@given(a=_registries)
+def test_empty_registry_is_identity(a):
+    assert _merged(a, MetricsRegistry()).to_dict() == a.to_dict()
+    assert _merged(MetricsRegistry(), a).to_dict() == a.to_dict()
+
+
+@given(a=_registries, b=_registries)
+def test_merge_does_not_mutate_operand(a, b):
+    before = b.to_dict()
+    _merged(a, b)
+    assert b.to_dict() == before
+
+
+@given(a=_registries)
+def test_registry_serialization_round_trips(a):
+    assert MetricsRegistry.from_dict(a.to_dict()) == a
+
+
+# ---------------------------------------------------------------------------
+# trace serialization + aggregation
+
+
+@settings(max_examples=200)
+@given(spans=st.lists(_spans, max_size=10))
+def test_span_jsonl_round_trip_is_lossless(spans):
+    tracer = Tracer(prefix="p")
+    tracer.adopt(copy.deepcopy(spans))
+    restored = parse_jsonl(tracer.to_jsonl())
+    assert [s.to_dict() for s in restored] == [s.to_dict() for s in spans]
+
+
+@given(a=st.lists(_spans, max_size=8), b=st.lists(_spans, max_size=8))
+def test_span_counts_are_additive_under_adoption(a, b):
+    merged = Tracer(prefix="m")
+    merged.adopt(copy.deepcopy(a))
+    merged.adopt(copy.deepcopy(b))
+    counts_a = Tracer(prefix="a")
+    counts_a.adopt(copy.deepcopy(a))
+    counts_b = Tracer(prefix="b")
+    counts_b.adopt(copy.deepcopy(b))
+    expected = counts_a.counts_by_name()
+    for name, n in counts_b.counts_by_name().items():
+        expected[name] = expected.get(name, 0) + n
+    assert merged.counts_by_name() == expected
+
+
+# ---------------------------------------------------------------------------
+# fault-ledger homomorphism: export-then-merge == merge-then-export
+
+
+@settings(max_examples=200)
+@given(a=_ledgers, b=_ledgers)
+def test_ledger_export_is_a_merge_homomorphism(a, b):
+    merged_first = copy.deepcopy(a).merge(b).as_registry()
+    exported_first = _merged(a.as_registry(), b.as_registry())
+    assert merged_first.to_dict() == exported_first.to_dict()
+
+
+@given(a=_ledgers)
+def test_ledger_export_matches_totals(a):
+    registry = a.as_registry()
+    assert sum(registry.counters_with_prefix("fault.injected.").values()) == a.total_injected
+    assert sum(registry.counters_with_prefix("fault.observed.").values()) == a.total_observed
+    assert registry.counter("health.retries") == a.retries
