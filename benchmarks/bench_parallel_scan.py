@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 
-from conftest import emit
+from conftest import emit, emit_json
 from repro.analysis.crawl import ZgrabCampaign
 from repro.analysis.parallel import ParallelConfig, ShardedZgrabCampaign
 from repro.analysis.reporting import render_table
@@ -86,6 +86,21 @@ def test_parallel_scan_speedup(benchmark, populations):
         f"(host cores: {cores})",
     )
     emit("parallel_scan", table)
+    emit_json(
+        "parallel_scan",
+        {
+            "sites": len(population.sites),
+            "shards": SHARDS,
+            "workers": WORKERS,
+            "host_cores": cores,
+            "sequential_wall_s": sequential_wall,
+            "wall_s": dict(walls),
+            "speedup": {mode: sequential_wall / wall for mode, wall in walls.items()},
+            "shard_walls_s": shard_walls,
+            "modeled_makespan_s": makespan,
+            "modeled_speedup": modeled_speedup,
+        },
+    )
 
     # per-stage attribution: where the scan's wall clock goes, from an
     # obs-instrumented serial run (uncontended, so stage shares are clean)

@@ -101,6 +101,25 @@ def test_perf_obs_span_disabled(benchmark):
     assert clock.reads == 0, "disabled obs path read the clock"
 
 
+def test_perf_campaign_without_run_dir_reads_no_clock(benchmark):
+    """The no-``--run-dir``/no-heartbeat campaign path stays zero-cost.
+
+    A plain sequential scan with the disabled obs singleton and no
+    progress reporter must perform **zero** obs-clock reads — persisting
+    run artifacts and heartbeats are strictly opt-in overhead.
+    """
+    from repro.analysis.crawl import ZgrabCampaign
+    from repro.internet.population import build_population
+    from repro.obs.clock import TickClock, use_clock
+
+    population = build_population("net", seed=7, scale=0.02)
+    campaign = ZgrabCampaign(population=population)
+    clock = TickClock()
+    with use_clock(clock):
+        benchmark.pedantic(lambda: campaign.scan(0), rounds=1, iterations=1)
+    assert clock.reads == 0, "no-run-dir campaign path read the obs clock"
+
+
 def test_perf_obs_span_enabled(benchmark):
     """The enabled path, for comparison against the disabled baseline."""
     from repro.obs.profile import make_obs

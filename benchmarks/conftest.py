@@ -7,11 +7,16 @@ their own aggregation step on top of it.
 
 Every benchmark prints the regenerated table/figure and appends it to
 ``benchmarks/results/<name>.txt`` so paper-vs-measured comparisons survive
-the run.
+the run. Benchmarks with machine-readable payloads additionally call
+:func:`emit_json`; at session end every ``results/*.json`` (plus the
+pytest-benchmark timing stats collected by the autouse fixture) is merged
+into ``results/BENCH_SUMMARY.json`` — one artifact CI or ``repro obs
+diff``-style tooling can consume without scraping tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -37,6 +42,55 @@ def emit(name: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result under benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+#: test name → pytest-benchmark timing stats, collected by the autouse
+#: fixture below and folded into BENCH_SUMMARY.json at session end
+_BENCH_TIMINGS: dict = {}
+
+
+@pytest.fixture(autouse=True)
+def _capture_benchmark_timings(request):
+    yield
+    benchmark = getattr(request.node, "funcargs", {}).get("benchmark")
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return
+    try:
+        _BENCH_TIMINGS[request.node.name] = {
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "max_s": stats.max,
+            "stddev_s": stats.stddev,
+            "rounds": stats.rounds,
+        }
+    except (AttributeError, ValueError):  # fewer rounds than a stat needs
+        pass
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _BENCH_TIMINGS:
+        emit_json("bench_timings", {"benchmarks": dict(sorted(_BENCH_TIMINGS.items()))})
+    merged = {}
+    for path in sorted(RESULTS_DIR.glob("*.json")) if RESULTS_DIR.exists() else []:
+        if path.name == "BENCH_SUMMARY.json":
+            continue
+        try:
+            merged[path.stem] = json.loads(path.read_text())
+        except ValueError:
+            continue
+    if merged:
+        (RESULTS_DIR / "BENCH_SUMMARY.json").write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -21,7 +21,7 @@ to the sequential one.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from repro.core.detector import CrossTabulation, DetectionReport, PageDetector, cross_tabulate
@@ -36,6 +36,31 @@ from repro.obs.profile import NULL_OBS, Obs
 from repro.rulespace.engine import RuleSpaceEngine
 from repro.web.browser import BrowserConfig, HeadlessBrowser
 from repro.web.zgrab import ZgrabFetcher
+
+
+def _captured_stage_spans(spans: list, mark: int) -> tuple:
+    """Snapshot the child spans a site visit finished since ``mark``.
+
+    Stored on the checkpointed outcome as ``(name, tags)`` pairs so a
+    resumed run can replay them — all per-site stages are flat children
+    of the site span and finish before it does, so finish order equals
+    open order and the slice is exactly this site's children.
+    """
+    return tuple((span.name, tuple(span.tags.items())) for span in spans[mark:])
+
+
+def _replay_stage_spans(obs: Obs, stage_spans: tuple) -> None:
+    """Re-open the recorded child spans of a checkpointed site.
+
+    The replay makes the same ``span()`` calls (and therefore the same
+    clock reads) the original visit made around its inner work, so a
+    resumed run keeps the fresh run's span-id set and, under a
+    ``TickClock``, its exact stage histograms.
+    """
+    for name, tags in stage_spans:
+        with obs.span(name) as span:
+            for key, value in tags:
+                span.set_tag(key, value)
 
 
 def _canonical_order(counter: Counter) -> Counter:
@@ -103,6 +128,9 @@ class ZgrabSiteOutcome:
     nocoin_hit: bool = False
     labels: tuple = ()
     ledger: FaultLedger = field(default_factory=FaultLedger)
+    #: ``(name, tags)`` of the stage spans the visit opened, recorded only
+    #: on observed journaled runs so a resume can replay the trace shape
+    stage_spans: tuple = ()
 
 
 @dataclass
@@ -126,6 +154,7 @@ class ZgrabCampaign:
         indexed_sites: Iterable[tuple[int, SiteSpec]],
         scan_index: int = 0,
         journal: Optional[CheckpointJournal] = None,
+        progress=None,
     ) -> ZgrabScanPartial:
         """Scan ``(population index, site)`` pairs, optionally journaled.
 
@@ -133,29 +162,51 @@ class ZgrabCampaign:
         re-fetched, and every fresh site is recorded as it completes — a
         shard killed mid-run resumes from the journal and still merges to
         the exact uninterrupted result (fault decisions are keyed on
-        domains, never on execution position).
+        domains, never on execution position). Resumed sites replay their
+        recorded stage spans so the trace keeps the fresh run's shape.
         """
         fetcher = ZgrabFetcher(
             self.population.web, resilience=self.resilience, obs=self.obs
         )
+        record_spans = journal is not None and self.obs.enabled
         partial = ZgrabScanPartial()
         done = journal.load() if journal is not None else {}
         for index, site in indexed_sites:
             if scan_index == 1 and not site.present_scan2:
-                continue  # site dropped its tag between the scans
+                if progress is not None:
+                    progress.advance(1)  # churned between the scans
+                continue
             with self.obs.span("site", domain=site.domain) as span:
                 outcome = done.get(index)
                 if outcome is not None:
                     span.set_tag("resumed", 1)
                     partial.fault_ledger.checkpoint_resumed += 1
+                    if self.obs.enabled:
+                        _replay_stage_spans(self.obs, getattr(outcome, "stage_spans", ()))
                 else:
+                    mark = len(self.obs.tracer.spans) if record_spans else 0
                     outcome = self._scan_site(fetcher, site)
                     if journal is not None:
+                        if record_spans:
+                            outcome = replace(
+                                outcome,
+                                stage_spans=_captured_stage_spans(
+                                    self.obs.tracer.spans, mark
+                                ),
+                            )
                         journal.record(index, outcome)
                         partial.fault_ledger.checkpoint_recorded += 1
                 if outcome.failed:
                     span.set_tag("failed", 1)
                 self._apply_outcome(partial, outcome)
+            if progress is not None:
+                progress.advance(
+                    1,
+                    failed=1 if outcome.failed else 0,
+                    faults=outcome.ledger.total_injected,
+                    breakers_opened=outcome.ledger.breaker_opened,
+                    breakers_closed=outcome.ledger.breaker_closed,
+                )
         return partial
 
     def _scan_site(self, fetcher: ZgrabFetcher, site: SiteSpec) -> ZgrabSiteOutcome:
@@ -270,6 +321,9 @@ class ChromeSiteOutcome:
 
     report: DetectionReport
     ledger: FaultLedger = field(default_factory=FaultLedger)
+    #: ``(name, tags)`` of the stage spans the visit opened, recorded only
+    #: on observed journaled runs so a resume can replay the trace shape
+    stage_spans: tuple = ()
 
 
 @dataclass
@@ -292,6 +346,7 @@ class ChromeCampaign:
         self,
         indexed_sites: Iterable[tuple[int, SiteSpec]],
         journal: Optional[CheckpointJournal] = None,
+        progress=None,
     ) -> ChromeRunPartial:
         """Visit a subset of ``(population index, site)`` pairs.
 
@@ -307,6 +362,7 @@ class ChromeCampaign:
             behavior_registry=self.population.behavior_registry,
             obs=self.obs,
         )
+        record_spans = journal is not None and self.obs.enabled
         partial = ChromeRunPartial()
         done = journal.load() if journal is not None else {}
         for index, site in indexed_sites:
@@ -315,14 +371,32 @@ class ChromeCampaign:
                 if outcome is not None:
                     span.set_tag("resumed", 1)
                     partial.fault_ledger.checkpoint_resumed += 1
+                    if self.obs.enabled:
+                        _replay_stage_spans(self.obs, getattr(outcome, "stage_spans", ()))
                 else:
+                    mark = len(self.obs.tracer.spans) if record_spans else 0
                     outcome = self._visit_site(browser, site)
                     if journal is not None:
+                        if record_spans:
+                            outcome = replace(
+                                outcome,
+                                stage_spans=_captured_stage_spans(
+                                    self.obs.tracer.spans, mark
+                                ),
+                            )
                         journal.record(index, outcome)
                         partial.fault_ledger.checkpoint_recorded += 1
                 if outcome.report.status != "ok":
                     span.set_tag("status", outcome.report.status)
                 self._apply_outcome(partial, index, site, outcome)
+            if progress is not None:
+                progress.advance(
+                    1,
+                    failed=1 if outcome.report.status == "error" else 0,
+                    faults=outcome.ledger.total_injected,
+                    breakers_opened=outcome.ledger.breaker_opened,
+                    breakers_closed=outcome.ledger.breaker_closed,
+                )
         return partial
 
     def _visit_site(self, browser: HeadlessBrowser, site: SiteSpec) -> ChromeSiteOutcome:

@@ -221,10 +221,17 @@ def _zgrab_shard_work(
     resilience: Optional[ResiliencePolicy] = None,
     checkpoint_dir: Optional[str] = None,
     observe: bool = False,
+    progress=None,
 ) -> tuple[ZgrabScanPartial, ShardMetrics]:
     # each shard traces into its own context; the id prefix is derived from
-    # the shard id, so the merged trace is identical across executor modes
-    obs = make_obs(prefix=f"z{scan_index}s{shard_id}") if observe else NULL_OBS
+    # the dataset, scan, and shard, so the merged trace is identical across
+    # executor modes and span ids stay unique when run_reproduction merges
+    # several datasets' shard traces into one run directory
+    obs = (
+        make_obs(prefix=f"{population.spec.name}-z{scan_index}s{shard_id}")
+        if observe
+        else NULL_OBS
+    )
     campaign = ZgrabCampaign(population=population, resilience=resilience, obs=obs)
     journal = None
     if checkpoint_dir is not None:
@@ -250,7 +257,10 @@ def _zgrab_shard_work(
     try:
         with obs.span("shard", shard=shard_id, kind=f"zgrab{scan_index}"):
             partial = campaign.scan_sites_indexed(
-                ((i, population.sites[i]) for i in indices), scan_index, journal=journal
+                ((i, population.sites[i]) for i in indices),
+                scan_index,
+                journal=journal,
+                progress=progress,
             )
     finally:
         if journal is not None:
@@ -277,8 +287,9 @@ def _chrome_shard_work(
     browser_config: BrowserConfig,
     checkpoint_dir: Optional[str] = None,
     observe: bool = False,
+    progress=None,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
-    obs = make_obs(prefix=f"cs{shard_id}") if observe else NULL_OBS
+    obs = make_obs(prefix=f"{population.spec.name}-cs{shard_id}") if observe else NULL_OBS
     campaign = ChromeCampaign(
         population=population,
         detector=_worker_chrome_detector(),
@@ -307,7 +318,9 @@ def _chrome_shard_work(
     try:
         with obs.span("shard", shard=shard_id, kind="chrome"):
             partial = campaign.run_sites(
-                ((i, population.sites[i]) for i in indices), journal=journal
+                ((i, population.sites[i]) for i in indices),
+                journal=journal,
+                progress=progress,
             )
     finally:
         if journal is not None:
@@ -335,13 +348,15 @@ def _call_zgrab_work(
     resilience: Optional[ResiliencePolicy],
     checkpoint_dir: Optional[str],
     observe: bool = False,
+    progress=None,
 ) -> tuple[ZgrabScanPartial, ShardMetrics]:
     # keep the legacy positional call when the chaos/checkpoint/obs planes
     # are off — callers (and tests) may substitute a 4-arg _zgrab_shard_work
-    if resilience is None and checkpoint_dir is None and not observe:
+    if resilience is None and checkpoint_dir is None and not observe and progress is None:
         return _zgrab_shard_work(population, shard_id, indices, scan_index)
     return _zgrab_shard_work(
-        population, shard_id, indices, scan_index, resilience, checkpoint_dir, observe
+        population, shard_id, indices, scan_index, resilience, checkpoint_dir, observe,
+        progress,
     )
 
 
@@ -352,11 +367,12 @@ def _call_chrome_work(
     browser_config: BrowserConfig,
     checkpoint_dir: Optional[str],
     observe: bool = False,
+    progress=None,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
-    if checkpoint_dir is None and not observe:
+    if checkpoint_dir is None and not observe and progress is None:
         return _chrome_shard_work(population, shard_id, indices, browser_config)
     return _chrome_shard_work(
-        population, shard_id, indices, browser_config, checkpoint_dir, observe
+        population, shard_id, indices, browser_config, checkpoint_dir, observe, progress
     )
 
 
@@ -421,8 +437,14 @@ def _collect_shards(
     shard_sizes: dict[int, int],
     pool: Optional[Executor],
     config: ParallelConfig,
+    progress=None,
 ) -> tuple[dict[int, object], list[ShardMetrics]]:
-    """Run every shard, gathering partials and metrics (failures included)."""
+    """Run every shard, gathering partials and metrics (failures included).
+
+    ``progress`` is only passed here in process mode, where per-site
+    advances cannot cross the fork boundary — the parent advances one
+    whole shard at a time as results come back.
+    """
     partials: dict[int, object] = {}
     failures: list[ShardMetrics] = []
     metrics_by_shard: dict[int, ShardMetrics] = {}
@@ -431,6 +453,15 @@ def _collect_shards(
         partial, shard_metrics = outcome
         partials[shard_id] = partial
         metrics_by_shard[shard_id] = shard_metrics
+        if progress is not None:
+            ledger = shard_metrics.ledger
+            progress.advance(
+                shard_sizes[shard_id],
+                failed=shard_metrics.fetch_failures,
+                faults=ledger.total_injected if ledger is not None else 0,
+                breakers_opened=ledger.breaker_opened if ledger is not None else 0,
+                breakers_closed=ledger.breaker_closed if ledger is not None else 0,
+            )
 
     if pool is None:  # serial
         for shard_id in shard_sizes:
@@ -500,9 +531,15 @@ class _ShardedCampaignBase:
         config = self.config
         obs = self.obs
         _, sizes = self._partition()
+        dataset = self.population.spec.name
+        progress = getattr(self, "progress", None)
+        if progress is not None:
+            progress.begin(total=sum(sizes.values()), label=f"{dataset}-{kind}")
         clock = get_clock()
         started = clock.now()
-        with obs.span("campaign", kind=kind, mode=config.mode, shards=config.shards) as campaign_span:
+        with obs.span(
+            "campaign", kind=kind, mode=config.mode, shards=config.shards, dataset=dataset
+        ) as campaign_span:
             if config.mode == "serial":
                 partials, shard_metrics = _collect_shards(submit_local, sizes, None, config)
             elif config.mode == "thread":
@@ -513,11 +550,13 @@ class _ShardedCampaignBase:
                 try:
                     with _fork_pool(config.workers) as pool:
                         partials, shard_metrics = _collect_shards(
-                            submit_process, sizes, pool, config
+                            submit_process, sizes, pool, config, progress
                         )
                 finally:
                     _FORK_STATE.pop("population", None)
         wall = clock.now() - started
+        if progress is not None:
+            progress.finish()
         metrics = CampaignMetrics(
             shards=shard_metrics,
             wall_seconds=wall,
@@ -550,6 +589,8 @@ class ShardedZgrabCampaign(_ShardedCampaignBase):
     metrics: Optional[CampaignMetrics] = None
     #: observability context; shard traces and registries merge into it
     obs: Obs = field(default=NULL_OBS, repr=False)
+    #: live heartbeat reporter (``--heartbeat``); ``None`` costs nothing
+    progress: Optional[object] = field(default=None, repr=False)
 
     def scan(self, scan_index: int = 0) -> ZgrabScanResult:
         shard_indices, _ = self._partition()
@@ -557,6 +598,9 @@ class ShardedZgrabCampaign(_ShardedCampaignBase):
         resilience = self.config.resilience
         checkpoint_dir = self.config.checkpoint_dir
         observe = self.obs.enabled
+        # per-site advances in serial/thread; process advances per shard
+        # in the parent (see _collect_shards)
+        progress = self.progress if self.config.mode != "process" else None
 
         def submit_local(pool, shard_id):
             def attempt():
@@ -568,6 +612,7 @@ class ShardedZgrabCampaign(_ShardedCampaignBase):
                     resilience,
                     checkpoint_dir,
                     observe,
+                    progress,
                 )
 
             def entry():
@@ -622,6 +667,8 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
     metrics: Optional[CampaignMetrics] = None
     #: observability context; shard traces and registries merge into it
     obs: Obs = field(default=NULL_OBS, repr=False)
+    #: live heartbeat reporter (``--heartbeat``); ``None`` costs nothing
+    progress: Optional[object] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.population is None:
@@ -640,6 +687,7 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
         browser_config = self.browser_config
         checkpoint_dir = self.config.checkpoint_dir
         observe = self.obs.enabled
+        progress = self.progress if self.config.mode != "process" else None
 
         def submit_local(pool, shard_id):
             def attempt():
@@ -650,6 +698,7 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
                     browser_config,
                     checkpoint_dir,
                     observe,
+                    progress,
                 )
 
             def entry():

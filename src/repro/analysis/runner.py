@@ -24,6 +24,9 @@ from repro.analysis.reporting import render_day_hour_heatmap, render_table
 from repro.analysis.shortlink import ShortLinkStudy
 from repro.faults.ledger import FaultLedger
 from repro.obs.clock import get_clock
+from repro.obs.heartbeat import ProgressReporter
+from repro.obs.ledger import RunManifest, write_run
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import NULL_OBS, PROFILE_HEADER, make_obs, profile_rows
 from repro.faults.plan import build_fault_plan
 from repro.faults.resilience import ResiliencePolicy
@@ -61,6 +64,11 @@ class ReproductionConfig:
     trace_out: Optional[str] = None
     #: append a per-stage latency table to the report
     profile: bool = False
+    #: persist run artifacts (manifest/metrics/trace/profile/ledger) here;
+    #: implies observability and the sharded executor
+    run_dir: Optional[str] = None
+    #: emit live progress snapshots every N seconds (0 = off)
+    heartbeat: float = 0.0
 
 
 @dataclass
@@ -89,8 +97,9 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     """Run every experiment; returns the assembled report."""
     config = config if config is not None else ReproductionConfig()
     report = ReproductionReport(config=config)
-    observe = bool(config.trace_out) or config.profile
+    observe = bool(config.trace_out) or config.profile or config.run_dir is not None
     obs = make_obs(prefix="repro") if observe else NULL_OBS
+    progress = ProgressReporter(config.heartbeat) if config.heartbeat > 0 else None
     clock = get_clock()
     started = clock.now()
 
@@ -102,11 +111,15 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     )
     # chaos and checkpointing ride on the sharded executor (which carries
     # the per-shard fault ledgers), even with a single serial shard
+    # a run dir and heartbeats also imply it: the persisted metrics carry
+    # the shard plane, and the reporter hooks the executor's site loop
     parallel_crawl = (
         config.crawl_shards > 1
         or config.crawl_workers > 1
         or fault_plan is not None
         or config.checkpoint_dir is not None
+        or config.run_dir is not None
+        or progress is not None
     )
     parallel_config = ParallelConfig(
         shards=max(config.crawl_shards, config.crawl_workers),
@@ -125,7 +138,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
             population.attach_fault_plan(fault_plan)
         if parallel_crawl:
             zgrab = ShardedZgrabCampaign(
-                population=population, config=parallel_config, obs=obs
+                population=population, config=parallel_config, obs=obs, progress=progress
             )
             zgrab_scans = []
             for scan_index in (0, 1):  # metrics hold the most recent scan only
@@ -135,10 +148,16 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         else:
             with obs.span("campaign", kind="zgrab", mode="sequential", dataset=dataset):
                 zgrab_scans = ZgrabCampaign(population=population, obs=obs).both_scans()
-        for scan in zgrab_scans:
+        for scan_index, scan in enumerate(zgrab_scans):
             fig2_rows.append(
                 [dataset, scan.scan_date, scan.nocoin_domains, f"{scan.prevalence:.4%}"]
             )
+            # campaign-level summary counters: schedule-independent, so
+            # persisted runs diff on them (and CI can gate on ratios)
+            prefix = f"crawl.{dataset}.zgrab{scan_index}"
+            obs.inc(f"{prefix}.domains_probed", scan.domains_probed)
+            obs.inc(f"{prefix}.nocoin_domains", scan.nocoin_domains)
+            obs.inc(f"{prefix}.fetch_failures", scan.fetch_failures)
         if population.spec.chrome_crawl:
             if parallel_crawl:
                 chrome = ShardedChromeCampaign(
@@ -151,6 +170,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
                     ),
                     config=parallel_config,
                     obs=obs,
+                    progress=progress,
                 )
                 result = chrome.run()
                 if chrome.metrics is not None:
@@ -164,6 +184,8 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
                 [dataset, tab.wasm_miner_hits, tab.nocoin_hits,
                  f"{tab.missed_fraction:.0%}", f"{tab.detection_factor:.1f}x", top]
             )
+            obs.inc(f"crawl.{dataset}.chrome.wasm_miners", tab.wasm_miner_hits)
+            obs.inc(f"crawl.{dataset}.chrome.nocoin_hits", tab.nocoin_hits)
     report.sections["Figure 2 — NoCoin prevalence"] = render_table(
         ["dataset", "scan", "NoCoin domains", "prevalence"], fig2_rows
     )
@@ -237,6 +259,28 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     if config.trace_out:
         obs.tracer.write_jsonl(config.trace_out)
         log(f"[trace] {len(obs.tracer.spans)} spans -> {config.trace_out}")
+    if config.run_dir is not None:
+        manifest = RunManifest.build(
+            "reproduce",
+            {
+                "seed": config.seed,
+                "crawl_scale": config.crawl_scale,
+                "shortlink_scale": config.shortlink_scale,
+                "shortlink_samples": config.shortlink_samples,
+                "network_days": config.network_days,
+                "datasets": ",".join(config.datasets),
+                "shards": config.crawl_shards,
+                "workers": config.crawl_workers,
+                "executor": config.crawl_executor,
+                "fault_profile": config.fault_profile,
+                "heartbeat": config.heartbeat,
+            },
+        )
+        registry = MetricsRegistry()
+        registry.merge(obs.registry)
+        registry.merge(fault_ledger.as_registry())
+        write_run(config.run_dir, manifest, registry, obs.tracer.spans, fault_ledger)
+        log(f"[run] artifacts ({manifest.run_id}) -> {config.run_dir}")
 
     report.elapsed_seconds = clock.now() - started
     return report

@@ -7,7 +7,10 @@ Installed as ``repro-mining``. Subcommands mirror the paper's workflows:
 - ``crawl``       — run a scaled zgrab+Chrome campaign over a dataset,
 - ``shortlinks``  — the cnhv.co study summary,
 - ``attribute``   — simulate the network and attribute Coinhive blocks,
-- ``corpus``      — dump the synthetic Wasm corpus to disk.
+- ``corpus``      — dump the synthetic Wasm corpus to disk,
+- ``obs``         — analyze persisted run directories: ``obs report RUN``
+  (critical paths, slowest sites, Chrome-trace export) and
+  ``obs diff BASE HEAD`` (counter/latency deltas, ``--fail-on`` gates).
 
 Every command is deterministic given ``--seed``.
 """
@@ -109,16 +112,20 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     from repro.faults.plan import build_fault_plan
     from repro.faults.resilience import ResiliencePolicy
     from repro.internet.population import build_population
+    from repro.obs.heartbeat import ProgressReporter
     from repro.obs.profile import NULL_OBS, make_obs, render_profile
 
-    observe = bool(args.trace_out) or args.profile
+    observe = bool(args.trace_out) or args.profile or args.run_dir is not None
     obs = make_obs(prefix="crawl") if observe else NULL_OBS
+    progress = ProgressReporter(args.heartbeat) if args.heartbeat > 0 else None
     plan = build_fault_plan(args.fault_profile, seed=args.seed)
     # chaos and checkpoint/resume need the sharded executor (it carries the
-    # fault ledgers and the per-shard journals), even with one serial shard
+    # fault ledgers and the per-shard journals), even with one serial shard;
+    # run dirs and heartbeats ride on it for the same reason
     parallel = (
         args.shards > 1 or args.workers > 1
         or plan is not None or args.resume_from is not None
+        or args.run_dir is not None or progress is not None
     )
     population = build_population(args.dataset, seed=args.seed, scale=args.scale)
     if plan is not None:
@@ -134,7 +141,9 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             resilience=ResiliencePolicy() if plan is not None else None,
             checkpoint_dir=args.resume_from,
         )
-        zgrab = ShardedZgrabCampaign(population=population, config=config, obs=obs)
+        zgrab = ShardedZgrabCampaign(
+            population=population, config=config, obs=obs, progress=progress
+        )
         scans = []
         for scan_index in (0, 1):
             scans.append(zgrab.scan(scan_index))
@@ -144,6 +153,12 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         zgrab = ZgrabCampaign(population=population, obs=obs)
         with obs.span("campaign", kind="zgrab", mode="sequential"):
             scans = zgrab.both_scans()
+    for scan_index, scan in enumerate(scans):
+        # campaign-level summary counters land in the persisted metrics, so
+        # run diffs (and CI --fail-on gates) can compare detection outcomes
+        obs.inc(f"crawl.zgrab{scan_index}.domains_probed", scan.domains_probed)
+        obs.inc(f"crawl.zgrab{scan_index}.nocoin_domains", scan.nocoin_domains)
+        obs.inc(f"crawl.zgrab{scan_index}.fetch_failures", scan.fetch_failures)
     rows = [[s.scan_date, s.nocoin_domains, f"{s.prevalence:.4%}"] for s in scans]
     print(render_table(["scan", "NoCoin domains", "prevalence"], rows, title="\nzgrab pass"))
     if parallel and zgrab.metrics is not None:
@@ -160,6 +175,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 ),
                 config=config,
                 obs=obs,
+                progress=progress,
             )
             result = chrome.run()
             if chrome.metrics is not None:
@@ -169,6 +185,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             with obs.span("campaign", kind="chrome", mode="sequential"):
                 result = ChromeCampaign(population=population, obs=obs).run()
         tab = result.cross_tab
+        obs.inc("crawl.chrome.wasm_miners", tab.wasm_miner_hits)
+        obs.inc("crawl.chrome.nocoin_hits", tab.nocoin_hits)
         rows = [
             ["Wasm miner sites", tab.wasm_miner_hits],
             ["NoCoin hits", tab.nocoin_hits],
@@ -188,6 +206,28 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if args.trace_out:
         obs.tracer.write_jsonl(args.trace_out)
         print(f"trace: {len(obs.tracer.spans)} spans -> {args.trace_out}")
+    if args.run_dir is not None:
+        from repro.obs.ledger import RunManifest, write_run
+        from repro.obs.metrics import MetricsRegistry
+
+        manifest = RunManifest.build(
+            "crawl",
+            {
+                "dataset": args.dataset,
+                "seed": args.seed,
+                "scale": args.scale,
+                "shards": args.shards,
+                "workers": args.workers,
+                "executor": args.executor,
+                "fault_profile": args.fault_profile or "",
+                "heartbeat": args.heartbeat,
+            },
+        )
+        registry = MetricsRegistry()
+        registry.merge(obs.registry)
+        registry.merge(population_ledger.as_registry())
+        write_run(args.run_dir, manifest, registry, obs.tracer.spans, population_ledger)
+        print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
 
 
@@ -250,6 +290,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         checkpoint_dir=args.resume_from,
         trace_out=args.trace_out,
         profile=args.profile,
+        run_dir=args.run_dir,
+        heartbeat=args.heartbeat,
     )
     report = run_reproduction(config)
     markdown = report.to_markdown()
@@ -259,6 +301,236 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     else:
         print(markdown)
     return 0
+
+
+def _fmt_ns(ns: int) -> str:
+    if abs(ns) >= 1_000_000_000:
+        return f"{ns / 1e9:.3f}s"
+    return f"{ns / 1e6:.2f}ms"
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.reporting import render_table
+    from repro.faults.ledger import FaultLedger
+    from repro.obs import analyze
+    from repro.obs.ledger import TornRunError, load_run
+
+    try:
+        artifacts = load_run(args.run, allow_torn=args.allow_torn)
+    except (TornRunError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    manifest = artifacts.manifest
+    print(
+        f"run {manifest.run_id} command={manifest.command} "
+        f"git={manifest.git_describe} spans={len(artifacts.spans)}"
+    )
+    print("  " + " ".join(f"{k}={v}" for k, v in sorted(manifest.params.items())))
+    if not artifacts.complete:
+        print("WARNING: torn run (no COMPLETE marker) — artifacts may be partial")
+
+    # which shard bounded each campaign, and which stage bounded that shard
+    path_rows = []
+    for path in analyze.critical_paths(artifacts.spans):
+        root_label = path.root.tags.get("kind", path.root.name)
+        dataset = path.root.tags.get("dataset", "")
+        if dataset:
+            root_label = f"{dataset}/{root_label}"
+        bounding_label = (
+            f"shard {path.bounding.tags.get('shard', '?')}"
+            if path.bounding is not None
+            else "(unsharded)"
+        )
+        share = path.path_ns / path.wall_ns if path.wall_ns else 0.0
+        path_rows.append(
+            [
+                root_label,
+                _fmt_ns(path.wall_ns),
+                bounding_label,
+                _fmt_ns(path.path_ns),
+                f"{share:.0%}",
+                path.bounding_stage,
+            ]
+        )
+    if path_rows:
+        print(
+            render_table(
+                ["campaign", "wall", "critical path", "path time", "share", "bounded by"],
+                path_rows,
+                title="\ncritical paths",
+            )
+        )
+
+    attribution = analyze.stage_attribution(artifacts.spans)
+    total_ns = sum(attribution.values())
+    stage_rows = [
+        [stage, _fmt_ns(ns), f"{ns / total_ns:.1%}" if total_ns else "-"]
+        for stage, ns in sorted(attribution.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    if stage_rows:
+        print(
+            render_table(
+                ["stage", "self time", "share"], stage_rows, title="\nstage attribution"
+            )
+        )
+
+    slow_rows = [
+        [span.tags.get("domain", span.span_id), _fmt_ns(analyze.span_ns(span)), span.span_id]
+        for span in analyze.slowest_spans(artifacts.spans, name="site", k=args.top)
+    ]
+    if slow_rows:
+        print(
+            render_table(
+                ["domain", "duration", "span"], slow_rows,
+                title=f"\nslowest sites (top {args.top})",
+            )
+        )
+
+    error_rows = analyze.error_breakdown(artifacts.spans, artifacts.registry)
+    if error_rows:
+        print(
+            render_table(
+                ["error class", "spans", "observed", "injected", "unrecovered"],
+                error_rows,
+                title="\nerror classes",
+            )
+        )
+    if artifacts.fault_ledger.has_events():
+        print(
+            render_table(
+                FaultLedger.SUMMARY_HEADER,
+                artifacts.fault_ledger.summary_rows(),
+                title="\nfault ledger",
+            )
+        )
+
+    if artifacts.profile:
+        profile_rows = [
+            [
+                entry["stage"], entry["count"], entry["errors"],
+                _fmt_ns(entry["total_ns"]), _fmt_ns(entry["mean_ns"]),
+                _fmt_ns(entry["p50_ns"]), _fmt_ns(entry["p90_ns"]),
+                _fmt_ns(entry["max_ns"]),
+            ]
+            for entry in artifacts.profile
+        ]
+        print(
+            render_table(
+                ["stage", "count", "errors", "total", "mean", "p50", "p90", "max"],
+                profile_rows,
+                title="\nstage profile",
+            )
+        )
+
+    if args.chrome_trace:
+        payload = analyze.chrome_trace(artifacts.spans, run_id=manifest.run_id)
+        pathlib.Path(args.chrome_trace).write_text(json.dumps(payload, sort_keys=True))
+        print(
+            f"\nchrome trace: {len(payload['traceEvents'])} events -> "
+            f"{args.chrome_trace} (open in chrome://tracing or ui.perfetto.dev)"
+        )
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.obs import analyze
+    from repro.obs.ledger import TornRunError, load_run
+
+    try:
+        base = load_run(args.base)
+        head = load_run(args.head)
+    except (TornRunError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+
+    mismatches = [
+        f"  {key}: {base_value!r} != {head_value!r}"
+        for key, (base_value, head_value) in _identity_mismatches(
+            base.manifest.identity(), head.manifest.identity()
+        ).items()
+    ]
+    if mismatches and not args.force:
+        print(
+            f"error: runs are not comparable "
+            f"({base.manifest.run_id} vs {head.manifest.run_id}):"
+        )
+        print("\n".join(mismatches))
+        print("pass --force to diff anyway")
+        return 2
+
+    diff = analyze.diff_runs(
+        base.registry, head.registry,
+        base_id=base.manifest.run_id, head_id=head.manifest.run_id,
+    )
+    print(f"diff {diff.base_id} (base) vs {diff.head_id} (head)")
+    if diff.counter_deltas:
+        rows = [
+            [name, base_n, head_n, head_n - base_n]
+            for name, base_n, head_n in diff.counter_deltas
+        ]
+        print(render_table(["counter", "base", "head", "delta"], rows, title="\ncounter deltas"))
+    else:
+        print("(no counter deltas)")
+    if diff.histogram_count_deltas:
+        rows = [
+            [name, base_n, head_n, head_n - base_n]
+            for name, base_n, head_n in diff.histogram_count_deltas
+        ]
+        print(
+            render_table(
+                ["histogram", "base obs", "head obs", "delta"], rows,
+                title="\nhistogram count deltas",
+            )
+        )
+    if diff.stage_shifts:
+        rows = [
+            [
+                shift.stage,
+                f"{shift.base_count}->{shift.head_count}",
+                f"{_fmt_ns(shift.base_mean_ns)}->{_fmt_ns(shift.head_mean_ns)}",
+                f"{_fmt_ns(shift.base_p50_ns)}->{_fmt_ns(shift.head_p50_ns)}",
+                f"{_fmt_ns(shift.base_p90_ns)}->{_fmt_ns(shift.head_p90_ns)}",
+            ]
+            for shift in diff.stage_shifts
+        ]
+        print(
+            render_table(
+                ["stage", "count", "mean", "p50", "p90"], rows, title="\nstage shifts"
+            )
+        )
+    if diff.new_error_classes:
+        print(f"\nnew error classes: {', '.join(diff.new_error_classes)}")
+    if diff.vanished_error_classes:
+        print(f"vanished error classes: {', '.join(diff.vanished_error_classes)}")
+
+    violations = 0
+    for expression in args.fail_on or []:
+        try:
+            threshold = analyze.parse_fail_on(expression)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        violated, detail = analyze.evaluate_threshold(threshold, base.registry, head.registry)
+        print(detail)
+        if violated:
+            violations += 1
+    if violations:
+        print(f"{violations} threshold(s) violated")
+        return 1
+    return 0
+
+
+def _identity_mismatches(base_identity: dict, head_identity: dict) -> dict:
+    mismatches = {}
+    for key in sorted(set(base_identity) | set(head_identity)):
+        base_value = base_identity.get(key)
+        head_value = head_identity.get(key)
+        if base_value != head_value:
+            mismatches[key] = (base_value, head_value)
+    return mismatches
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -304,6 +576,20 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         "--profile",
         action="store_true",
         help="print a per-stage latency table after the run",
+    )
+    p.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="persist run artifacts (manifest/metrics/trace/profile/ledger) "
+        "here for `repro-mining obs report/diff`",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="emit a live progress line every SECS seconds (0 = off)",
     )
 
 
@@ -388,6 +674,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser("obs", help="analyze persisted run directories")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    p_report = obs_sub.add_parser("report", help="critical paths, slowest sites, errors")
+    p_report.add_argument("run", metavar="RUN", help="run directory written by --run-dir")
+    p_report.add_argument("--top", type=_positive_int, default=10, help="top-K slowest sites")
+    p_report.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="export the span tree as Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
+    p_report.add_argument(
+        "--allow-torn",
+        action="store_true",
+        help="analyze a run directory without a COMPLETE marker",
+    )
+    p_report.set_defaults(func=_cmd_obs_report)
+
+    p_diff = obs_sub.add_parser("diff", help="compare two runs; optional CI perf gates")
+    p_diff.add_argument("base", metavar="BASE", help="baseline run directory")
+    p_diff.add_argument("head", metavar="HEAD", help="candidate run directory")
+    p_diff.add_argument(
+        "--force",
+        action="store_true",
+        help="diff even when the run identities (seed, dataset, scale...) differ",
+    )
+    p_diff.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="exit non-zero when EXPR holds on head, e.g. 'stage.fetch.p90>1.2x' "
+        "(trailing x = head/base ratio) or 'fault.observed.timeout>10' (absolute); "
+        "repeatable",
+    )
+    p_diff.set_defaults(func=_cmd_obs_diff)
 
     p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")
     p.add_argument("files", nargs="+")

@@ -121,6 +121,34 @@ class FaultLedger:
         registry.inc("health.checkpoint.resumed", self.checkpoint_resumed)
         return registry
 
+    # -- serialization -------------------------------------------------------------
+
+    _COUNTER_FIELDS = ("injected", "observed", "recovered", "unrecovered")
+    _INT_FIELDS = (
+        "retries",
+        "breaker_opened",
+        "breaker_half_open",
+        "breaker_closed",
+        "checkpoint_recorded",
+        "checkpoint_resumed",
+    )
+
+    def to_dict(self) -> dict:
+        """Plain-dict export (sorted keys) for ``ledger.json``."""
+        payload: dict = {
+            name: dict(sorted(getattr(self, name).items())) for name in self._COUNTER_FIELDS
+        }
+        for name in self._INT_FIELDS:
+            payload[name] = getattr(self, name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultLedger":
+        return cls(
+            **{name: Counter(payload.get(name, {})) for name in cls._COUNTER_FIELDS},
+            **{name: int(payload.get(name, 0)) for name in cls._INT_FIELDS},
+        )
+
     def has_events(self) -> bool:
         return bool(
             self.injected

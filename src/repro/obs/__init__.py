@@ -11,30 +11,71 @@ The three legs of production-scale campaign accounting:
   whose single ``merge()`` law keeps sharded aggregation bit-identical
   and mode-invariant,
 - :mod:`repro.obs.profile` — the :class:`Obs` facade pipelines hook into,
-  plus the ``--profile`` per-stage latency table.
+  plus the ``--profile`` per-stage latency table,
+- :mod:`repro.obs.ledger` — persisted run directories (``--run-dir``):
+  manifest, metrics, trace, profile, fault ledger, atomic ``COMPLETE``,
+- :mod:`repro.obs.analyze` — critical-path attribution, Chrome-trace
+  export, and cross-run diffing with ``--fail-on`` regression gates,
+- :mod:`repro.obs.heartbeat` — live campaign progress snapshots
+  (``--heartbeat``), exactly reproducible under ``TickClock``.
 """
 
 from repro.obs.clock import PerfClock, TickClock, get_clock, set_clock, use_clock
+from repro.obs.heartbeat import ProgressReporter
+from repro.obs.ledger import (
+    OBS_SCHEMA_VERSION,
+    RunArtifacts,
+    RunManifest,
+    TornRunError,
+    load_run,
+    write_run,
+)
 from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, MetricsRegistry
-from repro.obs.profile import NULL_OBS, Obs, make_obs, profile_rows, render_profile
-from repro.obs.trace import Span, Tracer, parse_jsonl, read_jsonl
+from repro.obs.profile import (
+    NULL_OBS,
+    Obs,
+    make_obs,
+    profile_payload,
+    profile_rows,
+    render_profile,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    Span,
+    TraceSchemaError,
+    Tracer,
+    parse_jsonl,
+    read_jsonl,
+    spans_to_jsonl,
+)
 
 __all__ = [
     "DEFAULT_BOUNDS",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBS",
+    "OBS_SCHEMA_VERSION",
     "Obs",
     "PerfClock",
+    "ProgressReporter",
+    "RunArtifacts",
+    "RunManifest",
     "Span",
+    "TRACE_SCHEMA_VERSION",
     "TickClock",
+    "TornRunError",
+    "TraceSchemaError",
     "Tracer",
     "get_clock",
+    "load_run",
     "make_obs",
     "parse_jsonl",
+    "profile_payload",
     "profile_rows",
     "read_jsonl",
     "render_profile",
     "set_clock",
+    "spans_to_jsonl",
     "use_clock",
+    "write_run",
 ]

@@ -1,0 +1,229 @@
+"""Persisted run artifacts — the durable write side of campaign telemetry.
+
+A *run directory* makes one ``crawl``/``reproduce`` invocation
+self-describing and comparable after the process exits:
+
+    run-dir/
+      manifest.json   campaign fingerprint, params, git describe, schema
+      metrics.json    lossless MetricsRegistry export (counters, gauges,
+                      integer-ns histogram buckets)
+      trace.jsonl     versioned span JSONL (schema header line)
+      profile.json    numeric per-stage latency stats
+      ledger.json     fault-ledger counters
+      COMPLETE        atomic completion marker
+
+The ``COMPLETE`` marker is written last via ``os.replace`` and names the
+run id, so a torn run (crash mid-write, or a marker left over from a
+different configuration) is detected on load rather than silently
+analyzed. The run id derives from the campaign fingerprint alone — no
+wall clock, no pid — so the same seed + config always lands on the same
+id and two runs of one configuration diff byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.faults.ledger import FaultLedger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import profile_payload
+from repro.obs.trace import Span, read_jsonl, spans_to_jsonl
+
+#: Version of the run-directory layout (manifest/metrics/profile schemas).
+OBS_SCHEMA_VERSION = 1
+
+COMPLETE_MARKER = "COMPLETE"
+
+#: Campaign parameters that select an execution *strategy* rather than a
+#: workload. Two runs that differ only here are still comparable in
+#: ``repro obs diff`` — that is the whole point of diffing (e.g. a heavy
+#: fault profile against a clean baseline, or 8 shards against 1).
+EXECUTION_PARAMS = frozenset({"shards", "workers", "executor", "fault_profile", "heartbeat"})
+
+
+class TornRunError(RuntimeError):
+    """The run directory has no (or a mismatched) ``COMPLETE`` marker."""
+
+
+class RunSchemaError(ValueError):
+    """The run directory was written by a newer obs schema."""
+
+
+def campaign_fingerprint(params: dict) -> str:
+    """Deterministic digest of a campaign configuration."""
+    canonical = json.dumps(params, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _git_describe() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return proc.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Identity card of one persisted run."""
+
+    run_id: str
+    fingerprint: str
+    command: str
+    params: dict
+    git_describe: str = "unknown"
+    schema_version: int = OBS_SCHEMA_VERSION
+
+    @classmethod
+    def build(cls, command: str, params: dict, git_describe: Optional[str] = None) -> "RunManifest":
+        fingerprint = campaign_fingerprint({"command": command, **params})
+        return cls(
+            run_id="run-" + fingerprint[:12],
+            fingerprint=fingerprint,
+            command=command,
+            params=dict(params),
+            git_describe=git_describe if git_describe is not None else _git_describe(),
+        )
+
+    def identity(self) -> dict:
+        """The workload identity two runs must share to be comparable."""
+        return {
+            "command": self.command,
+            "schema_version": self.schema_version,
+            **{k: v for k, v in self.params.items() if k not in EXECUTION_PARAMS},
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "run_id": self.run_id,
+            "fingerprint": self.fingerprint,
+            "command": self.command,
+            "params": dict(sorted(self.params.items())),
+            "git_describe": self.git_describe,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        version = payload.get("schema_version", 1)
+        if not isinstance(version, int) or version > OBS_SCHEMA_VERSION:
+            raise RunSchemaError(
+                f"run manifest uses obs schema v{version}, but this reader only "
+                f"understands up to v{OBS_SCHEMA_VERSION} — upgrade repro"
+            )
+        return cls(
+            run_id=payload["run_id"],
+            fingerprint=payload["fingerprint"],
+            command=payload["command"],
+            params=dict(payload.get("params", {})),
+            git_describe=payload.get("git_describe", "unknown"),
+            schema_version=version,
+        )
+
+
+@dataclass
+class RunArtifacts:
+    """Everything :func:`load_run` recovers from a run directory."""
+
+    path: pathlib.Path
+    manifest: RunManifest
+    registry: MetricsRegistry
+    spans: list
+    fault_ledger: FaultLedger = field(default_factory=FaultLedger)
+    profile: list = field(default_factory=list)
+    complete: bool = True
+
+
+def _dump_json(path: pathlib.Path, payload) -> None:
+    path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+
+
+def write_run(
+    run_dir,
+    manifest: RunManifest,
+    registry: MetricsRegistry,
+    spans: Iterable[Span],
+    fault_ledger: Optional[FaultLedger] = None,
+) -> pathlib.Path:
+    """Persist one run's artifacts; the ``COMPLETE`` marker lands last."""
+    directory = pathlib.Path(run_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    marker = directory / COMPLETE_MARKER
+    if marker.exists():
+        # Re-running into a dir must not leave a stale marker covering a
+        # half-finished rewrite: drop it first, restore it last.
+        marker.unlink()
+    _dump_json(directory / "manifest.json", manifest.to_dict())
+    _dump_json(directory / "metrics.json", registry.to_dict())
+    (directory / "trace.jsonl").write_text(spans_to_jsonl(spans))
+    _dump_json(directory / "profile.json", profile_payload(registry))
+    _dump_json(directory / "ledger.json", (fault_ledger or FaultLedger()).to_dict())
+    tmp = directory / (COMPLETE_MARKER + ".tmp")
+    tmp.write_text(manifest.run_id + "\n")
+    os.replace(tmp, marker)
+    return directory
+
+
+def load_run(run_dir, allow_torn: bool = False) -> RunArtifacts:
+    """Load a run directory back; torn runs raise unless ``allow_torn``."""
+    directory = pathlib.Path(run_dir)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"{directory} is not a run directory (no manifest.json)")
+    manifest = RunManifest.from_dict(json.loads(manifest_path.read_text()))
+
+    marker = directory / COMPLETE_MARKER
+    complete = False
+    if marker.exists():
+        marked_id = marker.read_text().strip()
+        if marked_id != manifest.run_id:
+            if not allow_torn:
+                raise TornRunError(
+                    f"{directory}: COMPLETE marker names {marked_id!r} but the "
+                    f"manifest says {manifest.run_id!r} — artifacts are from "
+                    f"mixed runs"
+                )
+        else:
+            complete = True
+    elif not allow_torn:
+        raise TornRunError(
+            f"{directory}: no COMPLETE marker — the run is torn or still in "
+            f"flight (pass allow_torn/--allow-torn to inspect anyway)"
+        )
+
+    metrics_path = directory / "metrics.json"
+    registry = (
+        MetricsRegistry.from_dict(json.loads(metrics_path.read_text()))
+        if metrics_path.exists()
+        else MetricsRegistry()
+    )
+    trace_path = directory / "trace.jsonl"
+    spans = read_jsonl(trace_path) if trace_path.exists() else []
+    ledger_path = directory / "ledger.json"
+    fault_ledger = (
+        FaultLedger.from_dict(json.loads(ledger_path.read_text()))
+        if ledger_path.exists()
+        else FaultLedger()
+    )
+    profile_path = directory / "profile.json"
+    profile = json.loads(profile_path.read_text()) if profile_path.exists() else []
+    return RunArtifacts(
+        path=directory,
+        manifest=manifest,
+        registry=registry,
+        spans=spans,
+        fault_ledger=fault_ledger,
+        profile=profile,
+        complete=complete,
+    )

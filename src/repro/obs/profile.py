@@ -140,6 +140,36 @@ def profile_rows(registry: MetricsRegistry) -> list:
     return rows
 
 
+def profile_payload(registry: MetricsRegistry) -> list:
+    """Numeric per-stage stats (integer ns) for ``profile.json``.
+
+    Same ordering as :func:`profile_rows` (total time desc, then name) but
+    machine-readable — the run ledger persists this so ``repro obs
+    report`` can render a profile without re-deriving it.
+    """
+    _NS = 1_000_000_000
+    names = sorted(
+        registry.stage_names(),
+        key=lambda name: (-registry.histograms["stage." + name].total_ns, name),
+    )
+    payload = []
+    for name in names:
+        histogram = registry.histograms["stage." + name]
+        payload.append(
+            {
+                "stage": name,
+                "count": histogram.count,
+                "errors": registry.counter("stage." + name + ".errors"),
+                "total_ns": histogram.total_ns,
+                "mean_ns": int(round(histogram.mean_seconds * _NS)),
+                "p50_ns": int(round(histogram.quantile(0.5) * _NS)),
+                "p90_ns": int(round(histogram.quantile(0.9) * _NS)),
+                "max_ns": histogram.max_ns or 0,
+            }
+        )
+    return payload
+
+
 def render_profile(registry: MetricsRegistry, title: str = "stage profile") -> str:
     from repro.analysis.reporting import render_table
 

@@ -13,6 +13,11 @@ run is independent of worker count and completion order — only the
 durations reflect the real schedule. :func:`read_jsonl` inverts
 :meth:`Tracer.write_jsonl` losslessly (floats round-trip exactly through
 JSON's shortest-repr encoding).
+
+File format: the first line is a ``{"schema_version": 1}`` header, then
+one span object per line. Headerless files (written before the header
+existed) still parse; a file from a *newer* schema raises
+:class:`TraceSchemaError` instead of being half-read.
 """
 
 from __future__ import annotations
@@ -24,7 +29,14 @@ from typing import Iterable, Optional
 
 from repro.obs.clock import get_clock
 
+#: Version of the on-disk trace format this module reads and writes.
+TRACE_SCHEMA_VERSION = 1
+
 _FIELDS = ("span_id", "parent_id", "name", "start", "end", "tags")
+
+
+class TraceSchemaError(ValueError):
+    """A trace file declares a schema this reader does not understand."""
 
 
 @dataclass
@@ -151,20 +163,43 @@ class Tracer:
     # -- serialization ---------------------------------------------------------------
 
     def to_jsonl(self) -> str:
-        return "".join(
-            json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
-            for span in self.spans
-        )
+        return spans_to_jsonl(self.spans)
 
     def write_jsonl(self, path) -> int:
-        """Write every span as one JSON object per line; returns the count."""
+        """Write a header + one span object per line; returns the span count."""
         pathlib.Path(path).write_text(self.to_jsonl())
         return len(self.spans)
 
 
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Serialize spans as versioned JSONL (header line first)."""
+    header = json.dumps({"schema_version": TRACE_SCHEMA_VERSION}, separators=(",", ":"))
+    return header + "\n" + "".join(
+        json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+        for span in spans
+    )
+
+
 def parse_jsonl(text: str) -> list:
-    """Inverse of :meth:`Tracer.to_jsonl` (lossless round-trip)."""
-    return [Span.from_dict(json.loads(line)) for line in text.splitlines() if line.strip()]
+    """Inverse of :func:`spans_to_jsonl` (lossless round-trip).
+
+    Accepts both headered files and legacy headerless ones — a span line
+    always carries ``span_id``, so the header is unambiguous.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if lines:
+        first = json.loads(lines[0])
+        if isinstance(first, dict) and "schema_version" in first and "span_id" not in first:
+            version = first["schema_version"]
+            if not isinstance(version, int) or version < 1:
+                raise TraceSchemaError(f"malformed trace schema header: {lines[0]!r}")
+            if version > TRACE_SCHEMA_VERSION:
+                raise TraceSchemaError(
+                    f"trace file uses schema v{version}, but this reader only "
+                    f"understands up to v{TRACE_SCHEMA_VERSION} — upgrade repro"
+                )
+            lines = lines[1:]
+    return [Span.from_dict(json.loads(line)) for line in lines]
 
 
 def read_jsonl(path) -> list:

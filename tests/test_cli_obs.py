@@ -1,0 +1,196 @@
+"""CLI-level run ledger and ``repro obs`` toolkit tests.
+
+Covers the acceptance criteria end to end: byte-identical artifacts for
+the same seed + config under TickClock, report/diff exit codes, the
+``--fail-on`` CI gate catching an injected fetch slowdown, torn-run
+detection, and obs-flag plumbing across subcommands.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.clock import TickClock, get_clock, use_clock
+
+CRAWL = [
+    "--seed", "7", "crawl", "--dataset", "net", "--scale", "0.03",
+    "--shards", "2", "--executor", "serial",
+]
+
+
+def _crawl_run(run_dir, extra=(), seed="7"):
+    argv = list(CRAWL)
+    argv[1] = seed
+    with use_clock(TickClock()):
+        return main([*argv, "--run-dir", str(run_dir), *extra])
+
+
+class TestRunDirDeterminism:
+    def test_same_seed_and_config_is_byte_identical(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert _crawl_run(a) == 0
+        assert _crawl_run(b) == 0
+        assert f"-> {a}" in capsys.readouterr().out
+        for name in ("manifest.json", "metrics.json", "trace.jsonl",
+                     "profile.json", "ledger.json", "COMPLETE"):
+            assert (a / name).read_bytes() == (b / name).read_bytes(), name
+
+    def test_run_id_is_wall_clock_free(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _crawl_run(a)
+        _crawl_run(b)
+        manifest_a = json.loads((a / "manifest.json").read_text())
+        manifest_b = json.loads((b / "manifest.json").read_text())
+        assert manifest_a["run_id"] == manifest_b["run_id"]
+        assert manifest_a["params"]["dataset"] == "net"
+
+    def test_serial_and_thread_runs_share_span_ids_and_counters(self, tmp_path):
+        from repro.obs.ledger import load_run
+
+        serial, threaded = tmp_path / "s", tmp_path / "t"
+        assert _crawl_run(serial) == 0
+        assert _crawl_run(threaded, extra=["--executor", "thread", "--workers", "2"]) == 0
+        a, b = load_run(serial), load_run(threaded)
+        assert {s.span_id for s in a.spans} == {s.span_id for s in b.spans}
+        assert a.registry.counters == b.registry.counters
+        assert a.registry.histogram_counts() == b.registry.histogram_counts()
+
+
+class TestObsReport:
+    def test_report_renders_and_exports_chrome_trace(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        _crawl_run(run)
+        capsys.readouterr()
+        chrome = tmp_path / "chrome.json"
+        assert main(["obs", "report", str(run), "--chrome-trace", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "critical paths" in out
+        assert "stage attribution" in out
+        assert "slowest sites" in out
+        payload = json.loads(chrome.read_text())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert complete and payload["otherData"]["run_id"].startswith("run-")
+
+    def test_report_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_torn_run_detection(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        _crawl_run(run)
+        (run / "COMPLETE").unlink()
+        capsys.readouterr()
+        assert main(["obs", "report", str(run)]) == 1
+        assert "COMPLETE" in capsys.readouterr().out
+        assert main(["obs", "report", str(run), "--allow-torn"]) == 0
+        assert "WARNING" in capsys.readouterr().out
+
+    def test_mixed_run_marker_detected(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        _crawl_run(run)
+        (run / "COMPLETE").write_text("run-deadbeefcafe\n")
+        capsys.readouterr()
+        assert main(["obs", "report", str(run)]) == 1
+        assert "mixed runs" in capsys.readouterr().out
+
+
+class TestObsDiff:
+    def test_identical_seed_runs_diff_to_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _crawl_run(a)
+        _crawl_run(b)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        assert "(no counter deltas)" in capsys.readouterr().out
+
+    def test_refuses_incomparable_runs_unless_forced(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _crawl_run(a)
+        _crawl_run(b, seed="8")
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 2
+        out = capsys.readouterr().out
+        assert "not comparable" in out and "seed" in out
+        assert main(["obs", "diff", str(a), str(b), "--force"]) == 0
+
+    def test_execution_strategy_changes_stay_comparable(self, tmp_path, capsys):
+        # shards/workers/executor are execution params, not workload identity
+        a, b = tmp_path / "a", tmp_path / "b"
+        _crawl_run(a)
+        _crawl_run(b, extra=["--executor", "thread", "--workers", "2"])
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+
+    def test_fail_on_gate_catches_fetch_slowdown(self, tmp_path, capsys, monkeypatch):
+        from repro.web.zgrab import ZgrabFetcher
+
+        base, head = tmp_path / "base", tmp_path / "head"
+        assert _crawl_run(base) == 0
+
+        original = ZgrabFetcher._fetch_domain
+
+        def slow_fetch(self, domain, ledger):
+            for _ in range(10):  # extra clock reads inflate the fetch span
+                get_clock().now()
+            return original(self, domain, ledger)
+
+        monkeypatch.setattr(ZgrabFetcher, "_fetch_domain", slow_fetch)
+        assert _crawl_run(head) == 0
+        capsys.readouterr()
+
+        gate = ["--fail-on", "stage.fetch.p90>1.1x"]
+        assert main(["obs", "diff", str(base), str(head), *gate]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "threshold(s) violated" in out
+        # the same gate passes in the other direction (head is the fast run)
+        assert main(["obs", "diff", str(head), str(base), *gate]) == 0
+
+    def test_bad_fail_on_expression_exits_2(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _crawl_run(a)
+        _crawl_run(b)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b), "--fail-on", "stage.fetch>1x"]) == 2
+        assert "stat suffix" in capsys.readouterr().out
+
+
+class TestObsFlagPlumbing:
+    def test_crawl_honors_all_obs_flags(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        run = tmp_path / "run"
+        assert _crawl_run(
+            run, extra=["--trace-out", str(trace), "--profile", "--heartbeat", "1"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert trace.exists()
+        assert "stage profile" in captured.out
+        assert (run / "COMPLETE").exists()
+        assert "[hb]" in captured.err  # final heartbeat line on stderr
+
+    def test_reproduce_honors_all_obs_flags(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        run = tmp_path / "run"
+        assert main([
+            "reproduce", "--crawl-scale", "0.02", "--shortlink-scale", "0.0005",
+            "--days", "1", "--out", str(tmp_path / "report.md"),
+            "--trace-out", str(trace), "--profile",
+            "--run-dir", str(run), "--heartbeat", "1",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert trace.exists()
+        assert (run / "COMPLETE").exists()
+        assert "[hb]" in captured.err
+
+    @pytest.mark.parametrize("command", ["fingerprint", "nocoin", "disasm"])
+    @pytest.mark.parametrize(
+        "flag", [("--trace-out", "x"), ("--profile",), ("--run-dir", "x"), ("--heartbeat", "1")]
+    )
+    def test_non_campaign_commands_reject_obs_flags(self, command, flag, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"\x00asm")
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, *flag, str(target)])
+        assert excinfo.value.code == 2

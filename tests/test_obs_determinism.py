@@ -154,3 +154,21 @@ class TestResumedRunInvariance:
             resumed_metrics.merged_registry()
         ) == _nonhealth_counters(fresh_metrics.merged_registry())
         assert resumed_metrics.merged_registry().counter("health.checkpoint.resumed") > 0
+
+    def test_resumed_span_view_matches_fresh(self, population, tmp_path):
+        # resumed sites replay their recorded stage spans, so the span-id
+        # set and per-stage histogram counts survive checkpoint/resume
+        checkpoint_dir = str(tmp_path / "journals")
+        with use_clock(TickClock()):
+            _, fresh_metrics, fresh_obs = _zgrab_run(
+                population, "serial", 1, checkpoint_dir=checkpoint_dir
+            )
+        with use_clock(TickClock()):
+            _, resumed_metrics, resumed_obs = _zgrab_run(
+                population, "serial", 1, checkpoint_dir=checkpoint_dir
+            )
+        assert _span_view(resumed_obs) == _span_view(fresh_obs)
+        assert (
+            resumed_metrics.merged_registry().histogram_counts()
+            == fresh_metrics.merged_registry().histogram_counts()
+        )

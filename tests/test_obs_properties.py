@@ -19,8 +19,19 @@ from hypothesis import strategies as st
 from repro.faults.ledger import FaultLedger
 from repro.faults.plan import FaultKind
 from repro.faults.taxonomy import ErrorClass
+import json
+
+import pytest
+
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Span, Tracer, parse_jsonl
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    TraceSchemaError,
+    parse_jsonl,
+    spans_to_jsonl,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -154,6 +165,42 @@ def test_span_jsonl_round_trip_is_lossless(spans):
     tracer.adopt(copy.deepcopy(spans))
     restored = parse_jsonl(tracer.to_jsonl())
     assert [s.to_dict() for s in restored] == [s.to_dict() for s in spans]
+
+
+@settings(max_examples=200)
+@given(spans=st.lists(_spans, max_size=10))
+def test_versioned_files_start_with_schema_header(spans):
+    text = spans_to_jsonl(copy.deepcopy(spans))
+    first = json.loads(text.splitlines()[0])
+    assert first == {"schema_version": TRACE_SCHEMA_VERSION}
+    restored = parse_jsonl(text)
+    assert [s.to_dict() for s in restored] == [s.to_dict() for s in spans]
+
+
+@settings(max_examples=200)
+@given(spans=st.lists(_spans, max_size=10))
+def test_legacy_headerless_files_still_parse(spans):
+    # files written before the header existed: span lines only
+    legacy = "".join(
+        json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans
+    )
+    restored = parse_jsonl(legacy)
+    assert [s.to_dict() for s in restored] == [s.to_dict() for s in spans]
+
+
+@given(
+    spans=st.lists(_spans, max_size=4),
+    version=st.integers(min_value=TRACE_SCHEMA_VERSION + 1, max_value=10**6),
+)
+def test_future_schema_versions_are_rejected(spans, version):
+    text = spans_to_jsonl(spans)
+    bumped = text.replace(
+        json.dumps({"schema_version": TRACE_SCHEMA_VERSION}, separators=(",", ":")),
+        json.dumps({"schema_version": version}, separators=(",", ":")),
+        1,
+    )
+    with pytest.raises(TraceSchemaError, match="upgrade repro"):
+        parse_jsonl(bumped)
 
 
 @given(a=st.lists(_spans, max_size=8), b=st.lists(_spans, max_size=8))
