@@ -116,8 +116,12 @@ def test_perf_campaign_without_run_dir_reads_no_clock(benchmark):
     campaign = ZgrabCampaign(population=population)
     clock = TickClock()
     with use_clock(clock):
-        benchmark.pedantic(lambda: campaign.scan(0), rounds=1, iterations=1)
+        result = benchmark.pedantic(lambda: campaign.scan(0), rounds=1, iterations=1)
     assert clock.reads == 0, "no-run-dir campaign path read the obs clock"
+    # ... and zero evidence work: the detector never flips into its
+    # evidence-collecting mode and no verdicts are built or serialized.
+    assert campaign.detector.collect_evidence is False
+    assert result.verdicts == (), "NULL_OBS campaign built verdict records"
 
 
 def test_perf_obs_span_enabled(benchmark):

@@ -32,6 +32,7 @@ from repro.faults.plan import FaultKind
 from repro.faults.resilience import ResiliencePolicy
 from repro.faults.taxonomy import ErrorClass
 from repro.internet.population import SiteSpec, WebPopulation
+from repro.obs.evidence import VerdictRecord
 from repro.obs.profile import NULL_OBS, Obs
 from repro.rulespace.engine import RuleSpaceEngine
 from repro.web.browser import BrowserConfig, HeadlessBrowser
@@ -86,6 +87,10 @@ class ZgrabScanResult:
     script_shares: dict[str, float]  # family label → share of detected domains
     paper_total_domains: int
     fetch_failures: int = 0  # DNS/TLS/timeout — the non-HTTPS web, mostly
+    #: per-site verdicts with evidence, population order; empty unless the
+    #: campaign ran with observability enabled. Telemetry, not a result:
+    #: excluded from equality so observed and bare runs stay comparable.
+    verdicts: tuple = field(default=(), compare=False)
 
     @property
     def prevalence(self) -> float:
@@ -106,6 +111,8 @@ class ZgrabScanPartial:
     fetch_failures: int = 0
     label_hits: Counter = field(default_factory=Counter)
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
+    #: ``(population index, VerdictRecord)`` pairs, observed runs only
+    verdicts: list = field(default_factory=list)
 
     def merge(self, other: "ZgrabScanPartial") -> "ZgrabScanPartial":
         self.domains_probed += other.domains_probed
@@ -113,6 +120,7 @@ class ZgrabScanPartial:
         self.fetch_failures += other.fetch_failures
         self.label_hits.update(other.label_hits)
         self.fault_ledger.merge(other.fault_ledger)
+        self.verdicts.extend(other.verdicts)
         return self
 
 
@@ -131,6 +139,8 @@ class ZgrabSiteOutcome:
     #: ``(name, tags)`` of the stage spans the visit opened, recorded only
     #: on observed journaled runs so a resume can replay the trace shape
     stage_spans: tuple = ()
+    #: evidence chain from the detector, collected on observed runs only
+    evidence: tuple = ()
 
 
 @dataclass
@@ -168,6 +178,8 @@ class ZgrabCampaign:
         fetcher = ZgrabFetcher(
             self.population.web, resilience=self.resilience, obs=self.obs
         )
+        if self.obs.enabled:
+            self.detector.collect_evidence = True
         record_spans = journal is not None and self.obs.enabled
         partial = ZgrabScanPartial()
         done = journal.load() if journal is not None else {}
@@ -198,7 +210,7 @@ class ZgrabCampaign:
                         partial.fault_ledger.checkpoint_recorded += 1
                 if outcome.failed:
                     span.set_tag("failed", 1)
-                self._apply_outcome(partial, outcome)
+                self._apply_outcome(partial, index, site, outcome, scan_index)
             if progress is not None:
                 progress.advance(
                     1,
@@ -220,10 +232,17 @@ class ZgrabCampaign:
             nocoin_hit=report.nocoin_hit,
             labels=tuple(report.nocoin_rule_labels),
             ledger=ledger,
+            evidence=tuple(report.evidence),
         )
 
-    @staticmethod
-    def _apply_outcome(partial: ZgrabScanPartial, outcome: ZgrabSiteOutcome) -> None:
+    def _apply_outcome(
+        self,
+        partial: ZgrabScanPartial,
+        index: int,
+        site: SiteSpec,
+        outcome: ZgrabSiteOutcome,
+        scan_index: int,
+    ) -> None:
         partial.domains_probed += 1
         if outcome.failed:
             partial.fetch_failures += 1
@@ -232,6 +251,25 @@ class ZgrabCampaign:
             for label in outcome.labels:
                 partial.label_hits[label] += 1
         partial.fault_ledger.merge(outcome.ledger)
+        if self.obs.enabled:
+            # verdict + counters live here so resumed sites (which also
+            # flow through _apply_outcome) stay indistinguishable from
+            # fresh ones in the ledger and the detector.* namespace
+            if outcome.nocoin_hit:
+                self.obs.inc("detector.nocoin.static_hits")
+            partial.verdicts.append(
+                (
+                    index,
+                    VerdictRecord(
+                        subject=site.domain,
+                        dataset=self.population.spec.name,
+                        pipeline=f"zgrab{scan_index}",
+                        status="error" if outcome.failed else "ok",
+                        nocoin_hit=outcome.nocoin_hit,
+                        evidence=getattr(outcome, "evidence", ()),
+                    ),
+                )
+            )
 
     def finalize_scan(self, partial: ZgrabScanPartial, scan_index: int = 0) -> ZgrabScanResult:
         """Turn (possibly merged) tallies into the Figure-2 result row."""
@@ -250,6 +288,10 @@ class ZgrabCampaign:
             script_shares=shares,
             paper_total_domains=spec.paper_total_domains,
             fetch_failures=partial.fetch_failures,
+            verdicts=tuple(
+                verdict
+                for _, verdict in sorted(partial.verdicts, key=lambda item: item[0])
+            ),
         )
 
     def scan(self, scan_index: int = 0) -> ZgrabScanResult:
@@ -276,6 +318,10 @@ class ChromeCampaignResult:
     nocoin_categorized_fraction: float
     signature_categories: Counter   # Table 3 right columns
     signature_categorized_fraction: float
+    #: per-site verdicts with evidence, population order; empty unless the
+    #: campaign ran with observability enabled. Telemetry, not a result:
+    #: excluded from equality so observed and bare runs stay comparable.
+    verdicts: tuple = field(default=(), compare=False)
 
 
 @dataclass
@@ -299,9 +345,12 @@ class ChromeRunPartial:
     signature_total: int = 0
     signature_categorized: int = 0
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
+    #: ``(population index, VerdictRecord)`` pairs, observed runs only
+    verdicts: list = field(default_factory=list)
 
     def merge(self, other: "ChromeRunPartial") -> "ChromeRunPartial":
         self.reports.extend(other.reports)
+        self.verdicts.extend(other.verdicts)
         self.signature_counts.update(other.signature_counts)
         self.total_wasm_sites += other.total_wasm_sites
         self.miner_wasm_sites += other.miner_wasm_sites
@@ -362,6 +411,8 @@ class ChromeCampaign:
             behavior_registry=self.population.behavior_registry,
             obs=self.obs,
         )
+        if self.obs.enabled:
+            self.detector.collect_evidence = True
         record_spans = journal is not None and self.obs.enabled
         partial = ChromeRunPartial()
         done = journal.load() if journal is not None else {}
@@ -441,6 +492,40 @@ class ChromeCampaign:
                 partial.signature_categorized += 1
                 partial.signature_categories.update(labels[:1])
         partial.fault_ledger.merge(outcome.ledger)
+        if self.obs.enabled:
+            # verdicts + detector.* counters placed here (not in the visit)
+            # so resumed sites count identically to fresh ones
+            if report.nocoin_hit:
+                self.obs.inc("detector.nocoin.hits")
+            if report.wasm_present:
+                self.obs.inc("detector.wasm.sites")
+            if report.is_miner:
+                self.obs.inc("detector.wasm.miners")
+                self.obs.inc(f"detector.wasm.method.{report.miner.method}")
+            if report.nocoin_false_positive:
+                self.obs.inc("detector.nocoin.false_positives")
+            if report.nocoin_false_negative:
+                self.obs.inc("detector.nocoin.false_negatives")
+            partial.verdicts.append(
+                (
+                    index,
+                    VerdictRecord(
+                        subject=site.domain,
+                        dataset=self.population.spec.name,
+                        pipeline="chrome",
+                        status=report.status,
+                        nocoin_hit=report.nocoin_hit,
+                        wasm_present=report.wasm_present,
+                        is_miner=report.is_miner,
+                        family=report.miner.family if report.miner is not None else "",
+                        method=report.miner.method if report.miner is not None else "",
+                        confidence=(
+                            report.miner.confidence if report.miner is not None else 0.0
+                        ),
+                        evidence=tuple(getattr(report, "evidence", ())),
+                    ),
+                )
+            )
 
     def finalize_run(self, partial: ChromeRunPartial) -> ChromeCampaignResult:
         """Assemble Tables 1–3 from (possibly merged) tallies."""
@@ -461,6 +546,10 @@ class ChromeCampaign:
             signature_categorized_fraction=(
                 partial.signature_categorized / partial.signature_total
                 if partial.signature_total else 0.0
+            ),
+            verdicts=tuple(
+                verdict
+                for _, verdict in sorted(partial.verdicts, key=lambda item: item[0])
             ),
         )
 

@@ -81,6 +81,9 @@ class NetworkObservation:
     attributed: list  # of attributed Block objects, by height
     coinhive_truth_heights: set[int]
     clusters_observed: int
+    #: prev block id → merkle roots seen for it (kept for evidence: the
+    #: attribution proof can be re-derived and cited per block)
+    clusters: dict = field(default_factory=dict)
 
     # -- Figure 5 -----------------------------------------------------------------
 
@@ -250,4 +253,5 @@ def simulate_network(config: Optional[NetworkSimConfig] = None) -> NetworkObserv
         attributed=attributed,
         coinhive_truth_heights=truth_heights,
         clusters_observed=len(clusters),
+        clusters=clusters,
     )

@@ -175,13 +175,28 @@ _FORK_STATE: dict = {}
 _WORKER_CACHE = threading.local()
 
 
-def _worker_chrome_detector() -> PageDetector:
-    detector = getattr(_WORKER_CACHE, "chrome_detector", None)
-    if detector is None:
+def _worker_chrome_detector(signature_db_path: Optional[str] = None) -> PageDetector:
+    cached = getattr(_WORKER_CACHE, "chrome_detector", None)
+    if cached is None or cached[0] != signature_db_path:
         detector = PageDetector()
-        detector.classifier.database = build_reference_database()
-        _WORKER_CACHE.chrome_detector = detector
-    return detector
+        if signature_db_path:
+            detector.classifier.database = _load_signature_db(signature_db_path)
+        else:
+            detector.classifier.database = build_reference_database()
+        cached = (signature_db_path, detector)
+        _WORKER_CACHE.chrome_detector = cached
+    # the campaign re-enables this per run when its Obs context is on; a
+    # cached detector must not leak the flag into an unobserved run
+    cached[1].collect_evidence = False
+    return cached[1]
+
+
+def _load_signature_db(path: str):
+    import pathlib
+
+    from repro.core.signatures import SignatureDatabase
+
+    return SignatureDatabase.from_json(pathlib.Path(path).read_text())
 
 
 def _worker_population(recipe: PopulationRecipe) -> WebPopulation:
@@ -239,18 +254,24 @@ def _zgrab_shard_work(
         # four datasets over one checkpoint_dir, and an unqualified name
         # would replay one dataset's outcomes into another's shards
         dataset = population.spec.name
+        fingerprint_parts = [
+            dataset,
+            f"zgrab{scan_index}",
+            shard_id,
+            [(i, population.sites[i].domain) for i in indices],
+            population.web.fault_plan,
+            resilience,
+        ]
+        if observe:
+            # observed runs journal outcomes *with* evidence chains; a
+            # journal recorded unobserved has none to replay, so it must
+            # be discarded rather than yield evidence-free verdicts
+            fingerprint_parts.append("evidence")
         journal = shard_journal(
             checkpoint_dir,
             f"{dataset}-zgrab{scan_index}",
             shard_id,
-            fingerprint=_campaign_fingerprint(
-                dataset,
-                f"zgrab{scan_index}",
-                shard_id,
-                [(i, population.sites[i].domain) for i in indices],
-                population.web.fault_plan,
-                resilience,
-            ),
+            fingerprint=_campaign_fingerprint(*fingerprint_parts),
         )
     clock = get_clock()
     started = clock.now()
@@ -288,11 +309,12 @@ def _chrome_shard_work(
     checkpoint_dir: Optional[str] = None,
     observe: bool = False,
     progress=None,
+    signature_db_path: Optional[str] = None,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
     obs = make_obs(prefix=f"{population.spec.name}-cs{shard_id}") if observe else NULL_OBS
     campaign = ChromeCampaign(
         population=population,
-        detector=_worker_chrome_detector(),
+        detector=_worker_chrome_detector(signature_db_path),
         browser_config=browser_config,
         rulespace=RuleSpaceEngine(),
         obs=obs,
@@ -300,18 +322,27 @@ def _chrome_shard_work(
     journal = None
     if checkpoint_dir is not None:
         dataset = population.spec.name
+        fingerprint_parts = [
+            dataset,
+            "chrome",
+            shard_id,
+            [(i, population.sites[i].domain) for i in indices],
+            population.web.fault_plan,
+            browser_config,
+        ]
+        if signature_db_path:
+            # a different signature catalogue changes verdicts; stale
+            # journals from another db must not replay into this run
+            fingerprint_parts.append(signature_db_path)
+        if observe:
+            # same contract as the zgrab journals: only journals whose
+            # outcomes carry evidence may replay into an observed run
+            fingerprint_parts.append("evidence")
         journal = shard_journal(
             checkpoint_dir,
             f"{dataset}-chrome",
             shard_id,
-            fingerprint=_campaign_fingerprint(
-                dataset,
-                "chrome",
-                shard_id,
-                [(i, population.sites[i].domain) for i in indices],
-                population.web.fault_plan,
-                browser_config,
-            ),
+            fingerprint=_campaign_fingerprint(*fingerprint_parts),
         )
     clock = get_clock()
     started = clock.now()
@@ -368,11 +399,18 @@ def _call_chrome_work(
     checkpoint_dir: Optional[str],
     observe: bool = False,
     progress=None,
+    signature_db_path: Optional[str] = None,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
-    if checkpoint_dir is None and not observe and progress is None:
+    if (
+        checkpoint_dir is None
+        and not observe
+        and progress is None
+        and signature_db_path is None
+    ):
         return _chrome_shard_work(population, shard_id, indices, browser_config)
     return _chrome_shard_work(
-        population, shard_id, indices, browser_config, checkpoint_dir, observe, progress
+        population, shard_id, indices, browser_config, checkpoint_dir, observe, progress,
+        signature_db_path,
     )
 
 
@@ -404,11 +442,13 @@ def _chrome_process_entry(
     retry: RetryPolicy,
     checkpoint_dir: Optional[str] = None,
     observe: bool = False,
+    signature_db_path: Optional[str] = None,
 ) -> tuple[ChromeRunPartial, ShardMetrics]:
     population = _FORK_STATE["population"]
     result, retries = run_with_retry(
         lambda: _call_chrome_work(
-            population, shard_id, indices, browser_config, checkpoint_dir, observe
+            population, shard_id, indices, browser_config, checkpoint_dir, observe,
+            None, signature_db_path,
         ),
         retry,
         key=("chrome", f"shard{shard_id}"),
@@ -664,6 +704,10 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
     recipe: Optional[PopulationRecipe] = None
     config: ParallelConfig = field(default_factory=ParallelConfig)
     browser_config: BrowserConfig = field(default_factory=BrowserConfig)
+    #: path to a ``SignatureDatabase.to_json`` file; workers load it instead
+    #: of building the reference catalogue (the path, not the db, crosses
+    #: thread/process boundaries)
+    signature_db_path: Optional[str] = None
     metrics: Optional[CampaignMetrics] = None
     #: observability context; shard traces and registries merge into it
     obs: Obs = field(default=NULL_OBS, repr=False)
@@ -687,6 +731,7 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
         browser_config = self.browser_config
         checkpoint_dir = self.config.checkpoint_dir
         observe = self.obs.enabled
+        signature_db_path = self.signature_db_path
         progress = self.progress if self.config.mode != "process" else None
 
         def submit_local(pool, shard_id):
@@ -699,6 +744,7 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
                     checkpoint_dir,
                     observe,
                     progress,
+                    signature_db_path,
                 )
 
             def entry():
@@ -719,6 +765,7 @@ class ShardedChromeCampaign(_ShardedCampaignBase):
                 retry,
                 checkpoint_dir,
                 observe,
+                signature_db_path,
             )
 
         partials, self.metrics = self._execute(submit_local, submit_process, kind="chrome")

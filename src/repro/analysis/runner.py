@@ -22,8 +22,10 @@ from repro.analysis.parallel import (
 )
 from repro.analysis.reporting import render_day_hour_heatmap, render_table
 from repro.analysis.shortlink import ShortLinkStudy
+from repro.core.pool_association import BlockAttributor
 from repro.faults.ledger import FaultLedger
 from repro.obs.clock import get_clock
+from repro.obs.evidence import VerdictRecord
 from repro.obs.heartbeat import ProgressReporter
 from repro.obs.ledger import RunManifest, write_run
 from repro.obs.metrics import MetricsRegistry
@@ -131,6 +133,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     chrome_rows = []
     fig2_rows = []
     fault_ledger = FaultLedger()
+    verdicts: list = []  # populated only on observed runs (campaigns gate)
     for dataset in config.datasets:
         log(f"[crawl] {dataset} @ scale {config.crawl_scale}")
         population = build_population(dataset, seed=config.seed, scale=config.crawl_scale)
@@ -149,6 +152,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
             with obs.span("campaign", kind="zgrab", mode="sequential", dataset=dataset):
                 zgrab_scans = ZgrabCampaign(population=population, obs=obs).both_scans()
         for scan_index, scan in enumerate(zgrab_scans):
+            verdicts.extend(scan.verdicts)
             fig2_rows.append(
                 [dataset, scan.scan_date, scan.nocoin_domains, f"{scan.prevalence:.4%}"]
             )
@@ -178,6 +182,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
             else:
                 with obs.span("campaign", kind="chrome", mode="sequential", dataset=dataset):
                     result = ChromeCampaign(population=population, obs=obs).run()
+            verdicts.extend(result.verdicts)
             tab = result.cross_tab
             top = ", ".join(f"{f}:{c}" for f, c in result.signature_counts.most_common(3))
             chrome_rows.append(
@@ -231,6 +236,26 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         observation = simulate_network(
             NetworkSimConfig(seed=config.seed, start=start, end=start + config.network_days * 86400)
         )
+    if obs.enabled:
+        # block verdicts: each attribution cites its Merkle-root proof
+        explained = BlockAttributor(chain=observation.chain).attribute_explained(
+            observation.clusters
+        )
+        obs.inc("detector.pool.blocks_attributed", len(explained))
+        for block, evidence in explained:
+            verdicts.append(
+                VerdictRecord(
+                    subject=f"block-{block.height}",
+                    dataset="network",
+                    pipeline="pool",
+                    kind="block",
+                    is_miner=True,
+                    family="coinhive",
+                    method="pool-association",
+                    confidence=1.0,
+                    evidence=(evidence,),
+                )
+            )
     economics = EconomicsReport.from_attributed(observation.attributed)
     median_difficulty = observation.chain.median_difficulty(last=5000)
     pool_rate = observation.overall_share() * median_difficulty / 120
@@ -279,7 +304,10 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         registry = MetricsRegistry()
         registry.merge(obs.registry)
         registry.merge(fault_ledger.as_registry())
-        write_run(config.run_dir, manifest, registry, obs.tracer.spans, fault_ledger)
+        write_run(
+            config.run_dir, manifest, registry, obs.tracer.spans, fault_ledger,
+            verdicts=verdicts,
+        )
         log(f"[run] artifacts ({manifest.run_id}) -> {config.run_dir}")
 
     report.elapsed_seconds = clock.now() - started

@@ -9,8 +9,11 @@ Installed as ``repro-mining``. Subcommands mirror the paper's workflows:
 - ``attribute``   — simulate the network and attribute Coinhive blocks,
 - ``corpus``      — dump the synthetic Wasm corpus to disk,
 - ``obs``         — analyze persisted run directories: ``obs report RUN``
-  (critical paths, slowest sites, Chrome-trace export) and
-  ``obs diff BASE HEAD`` (counter/latency deltas, ``--fail-on`` gates).
+  (critical paths, slowest sites, Chrome-trace export),
+  ``obs diff BASE HEAD`` (counter/latency deltas, ``--fail-on`` gates),
+  ``obs explain RUN DOMAIN`` (the evidence chain behind one verdict), and
+  ``obs scorecard RUN`` (per-detector precision/recall vs ground truth,
+  with ``--fail-on`` quality gates).
 
 Every command is deterministic given ``--seed``.
 """
@@ -131,6 +134,9 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if plan is not None:
         population.attach_fault_plan(plan)
         print(f"fault profile: {args.fault_profile} (seed={args.seed})")
+    signature_db = getattr(args, "signature_db", None)
+    if signature_db:
+        print(f"signature db: {signature_db}")
     population_ledger = FaultLedger()
     print(f"dataset={args.dataset} sites={len(population.sites)} scale={args.scale}")
     if parallel:
@@ -153,7 +159,9 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         zgrab = ZgrabCampaign(population=population, obs=obs)
         with obs.span("campaign", kind="zgrab", mode="sequential"):
             scans = zgrab.both_scans()
+    verdicts = []  # populated only on observed runs (campaigns gate)
     for scan_index, scan in enumerate(scans):
+        verdicts.extend(scan.verdicts)
         # campaign-level summary counters land in the persisted metrics, so
         # run diffs (and CI --fail-on gates) can compare detection outcomes
         obs.inc(f"crawl.zgrab{scan_index}.domains_probed", scan.domains_probed)
@@ -174,6 +182,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                     fault_profile=args.fault_profile or "",
                 ),
                 config=config,
+                signature_db_path=signature_db,
                 obs=obs,
                 progress=progress,
             )
@@ -182,8 +191,20 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 population_ledger.merge(chrome.metrics.fault_ledger)
         else:
             chrome = None
+            detector = None
+            if signature_db:
+                from repro.core.detector import PageDetector
+                from repro.core.signatures import SignatureDatabase
+
+                detector = PageDetector()
+                detector.classifier.database = SignatureDatabase.from_json(
+                    pathlib.Path(signature_db).read_text()
+                )
             with obs.span("campaign", kind="chrome", mode="sequential"):
-                result = ChromeCampaign(population=population, obs=obs).run()
+                result = ChromeCampaign(
+                    population=population, detector=detector, obs=obs
+                ).run()
+        verdicts.extend(result.verdicts)
         tab = result.cross_tab
         obs.inc("crawl.chrome.wasm_miners", tab.wasm_miner_hits)
         obs.inc("crawl.chrome.nocoin_hits", tab.nocoin_hits)
@@ -221,12 +242,16 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 "executor": args.executor,
                 "fault_profile": args.fault_profile or "",
                 "heartbeat": args.heartbeat,
+                "signature_db": signature_db or "",
             },
         )
         registry = MetricsRegistry()
         registry.merge(obs.registry)
         registry.merge(population_ledger.as_registry())
-        write_run(args.run_dir, manifest, registry, obs.tracer.spans, population_ledger)
+        write_run(
+            args.run_dir, manifest, registry, obs.tracer.spans, population_ledger,
+            verdicts=verdicts,
+        )
         print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
 
@@ -523,6 +548,77 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_explain(args: argparse.Namespace) -> int:
+    from repro.obs.evidence import render_verdict
+    from repro.obs.ledger import TornRunError, load_run
+
+    try:
+        artifacts = load_run(args.run, allow_torn=args.allow_torn)
+    except (TornRunError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    if not artifacts.verdicts:
+        print(
+            f"error: {artifacts.path} has no verdicts.jsonl — re-run the "
+            f"campaign with --run-dir under this version to record verdicts"
+        )
+        return 1
+    matches = [v for v in artifacts.verdicts if v.subject == args.subject]
+    if not matches:
+        near = sorted(
+            {v.subject for v in artifacts.verdicts if args.subject in v.subject}
+        )[:5]
+        hint = f" (close: {', '.join(near)})" if near else ""
+        print(f"error: no verdict for {args.subject!r} in {artifacts.path}{hint}")
+        return 1
+    # one verdict per pipeline that saw the subject (zgrab0/zgrab1/chrome)
+    for index, verdict in enumerate(matches):
+        if index:
+            print()
+        print(render_verdict(verdict))
+    return 0
+
+
+def _cmd_obs_scorecard(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.obs import analyze, scorecard
+    from repro.obs.ledger import TornRunError, load_run
+
+    try:
+        artifacts = load_run(args.run, allow_torn=args.allow_torn)
+    except (TornRunError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    try:
+        card = scorecard.build_scorecard(artifacts)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+    print(scorecard.render_scorecard_summary(card))
+    print(
+        render_table(
+            scorecard.SCORECARD_HEADER,
+            scorecard.scorecard_rows(card),
+            title="\nper-detector scorecard",
+        )
+    )
+    violations = 0
+    for expression in args.fail_on or []:
+        try:
+            threshold = analyze.parse_fail_on(expression)
+            violated, detail = scorecard.evaluate_scorecard_threshold(threshold, card)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        print(detail)
+        if violated:
+            violations += 1
+    if violations:
+        print(f"{violations} threshold(s) violated")
+        return 1
+    return 0
+
+
 def _identity_mismatches(base_identity: dict, head_identity: dict) -> dict:
     mismatches = {}
     for key in sorted(set(base_identity) | set(head_identity)):
@@ -640,6 +736,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint-journal directory; a rerun resumes completed sites from it "
         "(journals are unpickled on load — use only directories this tool wrote)",
     )
+    p.add_argument(
+        "--signature-db",
+        default=None,
+        metavar="PATH",
+        help="use this signature catalogue (SignatureDatabase JSON) for the "
+        "Chrome pass instead of building the reference database",
+    )
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_crawl)
 
@@ -712,6 +815,42 @@ def build_parser() -> argparse.ArgumentParser:
         "repeatable",
     )
     p_diff.set_defaults(func=_cmd_obs_diff)
+
+    p_explain = obs_sub.add_parser(
+        "explain", help="show the evidence chain behind one subject's verdicts"
+    )
+    p_explain.add_argument("run", metavar="RUN", help="run directory written by --run-dir")
+    p_explain.add_argument(
+        "subject",
+        metavar="SUBJECT",
+        help="crawled domain (or block-<height> for pool attributions)",
+    )
+    p_explain.add_argument(
+        "--allow-torn",
+        action="store_true",
+        help="read verdicts from a run directory without a COMPLETE marker",
+    )
+    p_explain.set_defaults(func=_cmd_obs_explain)
+
+    p_score = obs_sub.add_parser(
+        "scorecard",
+        help="per-detector precision/recall vs the synthetic ground truth",
+    )
+    p_score.add_argument("run", metavar="RUN", help="run directory written by --run-dir")
+    p_score.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="exit non-zero when EXPR holds, e.g. 'detector.wasm.recall<0.95' "
+        "or 'detection_factor<2'; absolute values only; repeatable",
+    )
+    p_score.add_argument(
+        "--allow-torn",
+        action="store_true",
+        help="score a run directory without a COMPLETE marker",
+    )
+    p_score.set_defaults(func=_cmd_obs_scorecard)
 
     p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")
     p.add_argument("files", nargs="+")

@@ -23,8 +23,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.features import WasmFeatures, extract_features
-from repro.core.signatures import SignatureDatabase
-from repro.wasm.decoder import WasmDecodeError
+from repro.core.signatures import SignatureDatabase, wasm_signature
+from repro.obs.evidence import Evidence
+from repro.wasm.decoder import WasmDecodeError, function_body_bytes
 
 #: WebSocket URL substrings → family, the "communication backend" feature.
 KNOWN_BACKENDS: tuple = (
@@ -111,6 +112,141 @@ class MinerClassifier:
             if classification.is_miner:
                 return classification
         return None
+
+    # -- explained classification (evidence provenance) ----------------------------
+
+    def explain_wasm(
+        self, wasm_bytes: bytes, websocket_urls: tuple = ()
+    ) -> tuple:
+        """``(classification, evidence)`` for one module.
+
+        The evidence cites the concrete branch of the cascade that decided:
+        the signature-db record (and how many function hashes fed the
+        signature), the name hints found, or each instruction-mix feature
+        value against the threshold it was tested on.
+        """
+        classification = self.classify_wasm(wasm_bytes, websocket_urls)
+        return classification, self._evidence_for(
+            classification, wasm_bytes, websocket_urls
+        )
+
+    def explain_page(
+        self, wasm_dumps, websocket_urls: tuple = ()
+    ) -> tuple:
+        """``(first miner classification or None, evidence tuple)``.
+
+        Mirrors :meth:`page_is_miner`: the verdict is the first miner hit,
+        and the evidence explains that dump — or, on an all-benign page,
+        the first dump's benign decision (so clean pages are explainable
+        too).
+        """
+        first_benign = None
+        for dump in wasm_dumps:
+            classification, item = self.explain_wasm(dump, websocket_urls)
+            if classification.is_miner:
+                return classification, (item,)
+            if first_benign is None:
+                first_benign = (None, (item,))
+        return first_benign if first_benign is not None else (None, ())
+
+    def _evidence_for(
+        self, classification: Classification, wasm_bytes: bytes, websocket_urls: tuple
+    ) -> Evidence:
+        verdict = "miner" if classification.is_miner else "benign"
+        if classification.method == "signature":
+            record = self.database.lookup(wasm_bytes)
+            hashes = len(function_body_bytes(wasm_bytes))
+            return Evidence(
+                detector="signature",
+                verdict=verdict,
+                summary=(
+                    f"signature-db record {record.family!r} matched "
+                    f"({hashes} function hashes)"
+                ),
+                details=(
+                    ("signature", wasm_signature(wasm_bytes)),
+                    ("db_family", record.family),
+                    ("db_is_miner", str(record.is_miner)),
+                    ("db_variant", str(record.variant)),
+                    ("function_hashes", str(hashes)),
+                ),
+            )
+        if classification.method == "none":
+            return Evidence(
+                detector="signature",
+                verdict="invalid",
+                summary="module did not decode; no classification possible",
+                details=(("decodable", "False"),),
+            )
+        features = classification.features
+        if classification.method == "name-hint":
+            return Evidence(
+                detector="name-hint",
+                verdict=verdict,
+                summary=(
+                    f"function names hint at PoW hashing: "
+                    f"{', '.join(features.name_hints[:4])}"
+                ),
+                details=tuple(
+                    ("name_hint", name) for name in features.name_hints[:8]
+                ),
+            )
+        if classification.method == "backend":
+            needle, url = self._matched_backend(websocket_urls)
+            return Evidence(
+                detector="backend",
+                verdict=verdict,
+                summary=f"WebSocket backend {needle!r} identifies the family",
+                details=(
+                    ("backend_needle", needle or ""),
+                    ("backend_url", url or ""),
+                    ("family", classification.family),
+                ) + self._threshold_details(features),
+            )
+        # instruction-mix: cite each feature value against its threshold
+        return Evidence(
+            detector="instruction-mix",
+            verdict=verdict,
+            summary=(
+                "instruction mix "
+                + ("matches" if classification.is_miner else "does not match")
+                + " the CryptoNight profile"
+            ),
+            details=self._threshold_details(features)
+            + (("websocket_urls", ",".join(websocket_urls)),),
+        )
+
+    def _threshold_details(self, features: WasmFeatures) -> tuple:
+        """Each feature value next to the threshold it was tested against."""
+        return (
+            (
+                "bitop_density",
+                f"{features.bitop_density:.4f} (>= {self.min_bitop_density} "
+                f"{'ok' if features.bitop_density >= self.min_bitop_density else 'FAIL'})",
+            ),
+            (
+                "float_density",
+                f"{features.float_density:.4f} (<= {self.max_float_density} "
+                f"{'ok' if features.float_density <= self.max_float_density else 'FAIL'})",
+            ),
+            (
+                "memory_pages",
+                f"{features.memory_pages} (>= {self.min_memory_pages} "
+                f"{'ok' if features.memory_pages >= self.min_memory_pages else 'FAIL'})",
+            ),
+            (
+                "rotate_count",
+                f"{features.rotate_count} (>= {self.min_rotate_count} "
+                f"{'ok' if features.rotate_count >= self.min_rotate_count else 'FAIL'})",
+            ),
+        )
+
+    def _matched_backend(self, websocket_urls) -> tuple:
+        for url in websocket_urls:
+            for needle, _family in KNOWN_BACKENDS:
+                if needle in url:
+                    return needle, url
+        return None, None
 
     # -- internals -----------------------------------------------------------------
 

@@ -14,11 +14,13 @@ tallies for Table 1 and Figure 2.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.classifier import Classification, MinerClassifier
 from repro.core.nocoin import FilterList, default_nocoin_list
+from repro.obs.evidence import Evidence
 from repro.web.html import extract_scripts
 
 
@@ -33,6 +35,10 @@ class DetectionReport:
     miner: Optional[Classification] = None
     websocket_urls: tuple = ()
     status: str = "ok"
+    #: provenance chain (populated only when the detector collects evidence);
+    #: excluded from equality so evidence-collecting and bare detections of
+    #: the same page compare equal
+    evidence: tuple = field(default=(), compare=False)
 
     @property
     def is_miner(self) -> bool:
@@ -55,10 +61,18 @@ class DetectionReport:
 
 @dataclass
 class PageDetector:
-    """Applies both detectors to crawl artifacts."""
+    """Applies both detectors to crawl artifacts.
+
+    With ``collect_evidence`` set (campaigns enable it when their ``Obs``
+    context is on), every report carries an :class:`Evidence` chain citing
+    the exact rule/signature/threshold/backend that produced its verdict.
+    The default keeps detection evidence-free — the ``NULL_OBS`` hot path
+    allocates nothing extra.
+    """
 
     nocoin: FilterList = field(default_factory=default_nocoin_list)
     classifier: MinerClassifier = field(default_factory=MinerClassifier)
+    collect_evidence: bool = False
 
     def detect_static(self, domain: str, html: str) -> DetectionReport:
         """NoCoin-only detection on zgrab HTML (the Section 3.1 pipeline)."""
@@ -76,18 +90,98 @@ class PageDetector:
         report.websocket_urls = tuple(sorted(page_result.websocket_urls()))
         report.wasm_present = page_result.has_wasm()
         if report.wasm_present:
-            report.miner = self.classifier.page_is_miner(
-                page_result.wasm_dumps, report.websocket_urls
+            if self.collect_evidence:
+                report.miner, wasm_evidence = self.classifier.explain_page(
+                    page_result.wasm_dumps, report.websocket_urls
+                )
+                report.evidence = report.evidence + wasm_evidence
+            else:
+                report.miner = self.classifier.page_is_miner(
+                    page_result.wasm_dumps, report.websocket_urls
+                )
+        if self.collect_evidence and page_result.websocket_frames:
+            report.evidence = report.evidence + (
+                _websocket_evidence(page_result.websocket_frames),
             )
         return report
 
     def _apply_nocoin(self, report: DetectionReport, html: str) -> None:
-        hits = self.nocoin.match_scripts(extract_scripts(html))
+        scripts = extract_scripts(html)
+        if self.collect_evidence:
+            matches = self.nocoin.explain_scripts(scripts)
+            if matches:
+                report.nocoin_hit = True
+                report.nocoin_rule_labels = tuple(
+                    dict.fromkeys(m.rule.label or m.rule.raw for m in matches)
+                )
+                report.evidence = report.evidence + tuple(
+                    _nocoin_evidence(match) for match in matches
+                )
+            return
+        hits = self.nocoin.match_scripts(scripts)
         if hits:
             report.nocoin_hit = True
             report.nocoin_rule_labels = tuple(
                 dict.fromkeys(rule.label or rule.raw for rule in hits)
             )
+
+
+def _nocoin_evidence(match) -> Evidence:
+    """Cite the exact filter rule (source, line, text) and matched span."""
+    rule = match.rule
+    return Evidence(
+        detector="nocoin",
+        verdict="hit",
+        summary=(
+            f"rule {rule.raw!r} ({rule.source or 'unsourced'}:{rule.line_number}) "
+            f"matched the page's script {match.where}"
+        ),
+        details=(
+            ("rule", rule.raw),
+            ("source", rule.source),
+            ("line_number", str(rule.line_number)),
+            ("label", rule.label),
+            ("where", match.where),
+            ("subject", match.subject),
+            ("matched", match.matched),
+        ),
+    )
+
+
+def _websocket_evidence(frames) -> Evidence:
+    """Cite backend endpoints and their job/submit message counts.
+
+    Pool-protocol frames are JSON with a ``type`` field; received ``job``
+    frames are the pool handing out work and sent ``submit`` frames are
+    the page returning shares — the dynamic fingerprint of active mining.
+    """
+    per_endpoint: dict = {}
+    for frame in frames:
+        jobs, submits = per_endpoint.get(frame.url, (0, 0))
+        try:
+            kind = json.loads(frame.payload).get("type", "")
+        except (ValueError, AttributeError):
+            kind = ""
+        if frame.direction == "received" and kind == "job":
+            jobs += 1
+        elif frame.direction == "sent" and kind == "submit":
+            submits += 1
+        per_endpoint[frame.url] = (jobs, submits)
+    endpoints = sorted(per_endpoint)
+    total_jobs = sum(jobs for jobs, _ in per_endpoint.values())
+    total_submits = sum(submits for _, submits in per_endpoint.values())
+    return Evidence(
+        detector="websocket",
+        verdict="active" if total_submits else "observed",
+        summary=(
+            f"{len(endpoints)} backend endpoint(s): {total_jobs} job / "
+            f"{total_submits} submit message(s)"
+        ),
+        details=tuple(
+            (url, f"jobs={per_endpoint[url][0]} submits={per_endpoint[url][1]}")
+            for url in endpoints
+        ),
+    )
 
 
 @dataclass

@@ -145,6 +145,68 @@ class DynamicMinerDetector:
             and profile.rotate_count >= self.min_rotate_count
         )
 
+    def explain(self, module_or_bytes) -> tuple:
+        """``(is_miner, evidence)``: each executed-stream feature value
+        cited against the threshold it was tested on."""
+        from repro.obs.evidence import Evidence
+
+        try:
+            profile = profile_execution(module_or_bytes)
+        except (WasmDecodeError, WasmTrap) as exc:
+            return False, Evidence(
+                detector="dynamic",
+                verdict="invalid",
+                summary=f"module failed to execute ({type(exc).__name__})",
+                details=(("error", type(exc).__name__),),
+            )
+        bitops = profile.xor_density + profile.shift_density
+        verdict = (
+            profile.completed
+            and profile.executed >= self.min_executed
+            and bitops >= self.min_bitop_density
+            and profile.float_density <= self.max_float_density
+            and profile.memory_pages >= self.min_memory_pages
+            and profile.rotate_count >= self.min_rotate_count
+        )
+        checks = (
+            (
+                "executed",
+                f"{profile.executed} (>= {self.min_executed} "
+                f"{'ok' if profile.executed >= self.min_executed else 'FAIL'})",
+            ),
+            ("completed", str(profile.completed)),
+            (
+                "executed_bitop_density",
+                f"{bitops:.4f} (>= {self.min_bitop_density} "
+                f"{'ok' if bitops >= self.min_bitop_density else 'FAIL'})",
+            ),
+            (
+                "executed_float_density",
+                f"{profile.float_density:.4f} (<= {self.max_float_density} "
+                f"{'ok' if profile.float_density <= self.max_float_density else 'FAIL'})",
+            ),
+            (
+                "memory_pages",
+                f"{profile.memory_pages} (>= {self.min_memory_pages} "
+                f"{'ok' if profile.memory_pages >= self.min_memory_pages else 'FAIL'})",
+            ),
+            (
+                "executed_rotate_count",
+                f"{profile.rotate_count} (>= {self.min_rotate_count} "
+                f"{'ok' if profile.rotate_count >= self.min_rotate_count else 'FAIL'})",
+            ),
+        )
+        return verdict, Evidence(
+            detector="dynamic",
+            verdict="miner" if verdict else "benign",
+            summary=(
+                "executed instruction stream "
+                + ("matches" if verdict else "does not match")
+                + " the CryptoNight profile"
+            ),
+            details=checks,
+        )
+
 
 def pad_with_dead_code(wasm_bytes: bytes, float_functions: int = 6) -> bytes:
     """Adversarial transform: append never-called float-heavy functions.

@@ -36,6 +36,10 @@ class FilterRule:
     regex: Optional[str] = None
     options: tuple = ()
     label: str = ""  # human-readable miner family tag for reporting
+    #: provenance: which list this rule came from and its 1-based line
+    #: number there, so a hit can cite the exact list line that fired
+    source: str = ""
+    line_number: int = 0
 
     def compile(self) -> "CompiledRule":
         if self.regex is not None:
@@ -73,13 +77,48 @@ class CompiledRule:
             return self.rule.pattern.split("^")[0].lower() in text.lower()
         return bool(self.matcher.search(text))
 
+    def find_url(self, url: str) -> Optional[str]:
+        """The matched URL span, or None — the explainable ``matches_url``."""
+        found = self.matcher.search(url)
+        return found.group(0) if found is not None else None
+
+    def find_text(self, text: str) -> Optional[str]:
+        """The matched text span, or None — the explainable ``matches_text``."""
+        if self.rule.domain_anchor:
+            needle = self.rule.pattern.split("^")[0].lower()
+            at = text.lower().find(needle)
+            return text[at : at + len(needle)] if at >= 0 else None
+        found = self.matcher.search(text)
+        return found.group(0) if found is not None else None
+
+
+@dataclass(frozen=True)
+class FilterMatch:
+    """One explained filter hit: the rule plus what it matched.
+
+    ``where`` is ``"url"`` or ``"text"``; ``subject`` is the script src or
+    (truncated) inline text the rule was applied to; ``matched`` is the
+    exact span the rule's pattern covered.
+    """
+
+    rule: FilterRule
+    where: str
+    subject: str
+    matched: str
+
 
 class FilterListError(ValueError):
     """Raised for unparseable filter rules."""
 
 
-def parse_rule(line: str, label: str = "") -> Optional[FilterRule]:
-    """Parse one list line; returns None for comments/blank/header lines."""
+def parse_rule(
+    line: str, label: str = "", source: str = "", line_number: int = 0
+) -> Optional[FilterRule]:
+    """Parse one list line; returns None for comments/blank/header lines.
+
+    ``source``/``line_number`` record where the rule came from — evidence
+    records cite them so a hit names the exact list line that fired.
+    """
     line = line.strip()
     if not line or line.startswith("!") or (line.startswith("[") and line.endswith("]")):
         return None
@@ -91,7 +130,16 @@ def parse_rule(line: str, label: str = "") -> Optional[FilterRule]:
         line, _, opts = line.rpartition("$")
         options = tuple(opt.strip() for opt in opts.split(","))
     if line.startswith("/") and line.endswith("/") and len(line) > 2:
-        return FilterRule(raw=line, pattern="", regex=line[1:-1], is_exception=is_exception, options=options, label=label)
+        return FilterRule(
+            raw=line,
+            pattern="",
+            regex=line[1:-1],
+            is_exception=is_exception,
+            options=options,
+            label=label,
+            source=source,
+            line_number=line_number,
+        )
     domain_anchor = line.startswith("||")
     if domain_anchor:
         line = line[2:]
@@ -104,6 +152,8 @@ def parse_rule(line: str, label: str = "") -> Optional[FilterRule]:
         domain_anchor=domain_anchor,
         options=options,
         label=label,
+        source=source,
+        line_number=line_number,
     )
 
 
@@ -116,12 +166,19 @@ class FilterList:
     _exceptions: list = field(default_factory=list, repr=False)
 
     @classmethod
-    def from_lines(cls, lines, labels: Optional[dict] = None) -> "FilterList":
-        """Build from raw list lines; ``labels`` maps raw line → family tag."""
+    def from_lines(
+        cls, lines, labels: Optional[dict] = None, source: str = ""
+    ) -> "FilterList":
+        """Build from raw list lines; ``labels`` maps raw line → family tag.
+
+        Each parsed rule carries ``(source, line_number)`` provenance —
+        line numbers are 1-based over ``lines`` including comments and
+        blanks, matching how the list file reads.
+        """
         instance = cls()
-        for line in lines:
+        for line_number, line in enumerate(lines, start=1):
             label = (labels or {}).get(line.strip(), "")
-            rule = parse_rule(line, label=label)
+            rule = parse_rule(line, label=label, source=source, line_number=line_number)
             if rule is not None:
                 instance.add(rule)
         return instance
@@ -170,6 +227,47 @@ class FilterList:
                 hits.append(rule)
         return hits
 
+    # -- explained matching (evidence provenance) --------------------------------
+
+    def explain_url(self, url: str) -> Optional[FilterMatch]:
+        """Like :meth:`match_url`, but returns the rule *and* matched span."""
+        for compiled in self._compiled:
+            matched = compiled.find_url(url)
+            if matched is not None:
+                if any(exc.matches_url(url) for exc in self._exceptions):
+                    return None
+                return FilterMatch(
+                    rule=compiled.rule, where="url", subject=url, matched=matched
+                )
+        return None
+
+    def explain_text(self, text: str) -> Optional[FilterMatch]:
+        """Like :meth:`match_text`, but returns the rule and matched span."""
+        if not text:
+            return None
+        for compiled in self._compiled:
+            matched = compiled.find_text(text)
+            if matched is not None:
+                subject = text if len(text) <= 120 else text[:117] + "..."
+                return FilterMatch(
+                    rule=compiled.rule, where="text", subject=subject, matched=matched
+                )
+        return None
+
+    def explain_scripts(self, scripts) -> list:
+        """Explained variant of :meth:`match_scripts`: one
+        :class:`FilterMatch` per hit, same rule-selection order."""
+        matches = []
+        for src, inline in scripts:
+            match = None
+            if src:
+                match = self.explain_url(src)
+            if match is None and inline:
+                match = self.explain_text(inline)
+            if match is not None:
+                matches.append(match)
+        return matches
+
     def __len__(self) -> int:
         return len(self.rules)
 
@@ -204,7 +302,13 @@ _DEFAULT_RULES: tuple = (
 )
 
 
+#: Source label the bundled list's rules cite in evidence records.
+DEFAULT_LIST_SOURCE = "bundled-nocoin"
+
+
 def default_nocoin_list() -> FilterList:
     """The reproduction's bundled NoCoin-style list."""
     labels = {raw: label for raw, label in _DEFAULT_RULES}
-    return FilterList.from_lines([raw for raw, _ in _DEFAULT_RULES], labels=labels)
+    return FilterList.from_lines(
+        [raw for raw, _ in _DEFAULT_RULES], labels=labels, source=DEFAULT_LIST_SOURCE
+    )

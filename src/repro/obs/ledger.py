@@ -4,12 +4,15 @@ A *run directory* makes one ``crawl``/``reproduce`` invocation
 self-describing and comparable after the process exits:
 
     run-dir/
-      manifest.json   campaign fingerprint, params, git describe, schema
+      manifest.json   campaign fingerprint, params, git describe, schema,
+                      and the list of artifact files actually written
       metrics.json    lossless MetricsRegistry export (counters, gauges,
                       integer-ns histogram buckets)
       trace.jsonl     versioned span JSONL (schema header line)
       profile.json    numeric per-stage latency stats
       ledger.json     fault-ledger counters
+      verdicts.jsonl  per-subject detection verdicts with evidence chains
+                      (observed runs only; versioned JSONL)
       COMPLETE        atomic completion marker
 
 The ``COMPLETE`` marker is written last via ``os.replace`` and names the
@@ -27,10 +30,11 @@ import json
 import os
 import pathlib
 import subprocess
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from repro.faults.ledger import FaultLedger
+from repro.obs.evidence import read_verdicts_jsonl, write_verdicts_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import profile_payload
 from repro.obs.trace import Span, read_jsonl, spans_to_jsonl
@@ -84,6 +88,12 @@ class RunManifest:
     params: dict
     git_describe: str = "unknown"
     schema_version: int = OBS_SCHEMA_VERSION
+    #: artifact files actually written alongside this manifest (additive
+    #: v1 field; absent in older manifests and excluded from identity).
+    #: A write-time inventory, not part of the run's description — excluded
+    #: from equality so a loaded manifest compares equal to the one built
+    #: before write_run stamped the artifact list on it.
+    artifacts: tuple = field(default=(), compare=False)
 
     @classmethod
     def build(cls, command: str, params: dict, git_describe: Optional[str] = None) -> "RunManifest":
@@ -105,7 +115,7 @@ class RunManifest:
         }
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema_version": self.schema_version,
             "run_id": self.run_id,
             "fingerprint": self.fingerprint,
@@ -113,6 +123,9 @@ class RunManifest:
             "params": dict(sorted(self.params.items())),
             "git_describe": self.git_describe,
         }
+        if self.artifacts:
+            payload["artifacts"] = list(self.artifacts)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunManifest":
@@ -129,6 +142,7 @@ class RunManifest:
             params=dict(payload.get("params", {})),
             git_describe=payload.get("git_describe", "unknown"),
             schema_version=version,
+            artifacts=tuple(payload.get("artifacts", ())),
         )
 
 
@@ -142,6 +156,7 @@ class RunArtifacts:
     spans: list
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
     profile: list = field(default_factory=list)
+    verdicts: list = field(default_factory=list)
     complete: bool = True
 
 
@@ -155,8 +170,16 @@ def write_run(
     registry: MetricsRegistry,
     spans: Iterable[Span],
     fault_ledger: Optional[FaultLedger] = None,
+    verdicts=None,
 ) -> pathlib.Path:
-    """Persist one run's artifacts; the ``COMPLETE`` marker lands last."""
+    """Persist one run's artifacts; the ``COMPLETE`` marker lands last.
+
+    ``verdicts`` (an iterable of
+    :class:`~repro.obs.evidence.VerdictRecord`) lands as
+    ``verdicts.jsonl``; a stale verdicts file from a previous write into
+    the same directory is removed when this run has none. The manifest
+    lists every artifact file actually written.
+    """
     directory = pathlib.Path(run_dir)
     directory.mkdir(parents=True, exist_ok=True)
     marker = directory / COMPLETE_MARKER
@@ -164,11 +187,21 @@ def write_run(
         # Re-running into a dir must not leave a stale marker covering a
         # half-finished rewrite: drop it first, restore it last.
         marker.unlink()
+    artifacts = ["manifest.json", "metrics.json", "trace.jsonl", "profile.json", "ledger.json"]
+    verdicts = list(verdicts) if verdicts is not None else []
+    verdicts_path = directory / "verdicts.jsonl"
+    if verdicts:
+        artifacts.append("verdicts.jsonl")
+    elif verdicts_path.exists():
+        verdicts_path.unlink()
+    manifest = replace(manifest, artifacts=tuple(artifacts))
     _dump_json(directory / "manifest.json", manifest.to_dict())
     _dump_json(directory / "metrics.json", registry.to_dict())
     (directory / "trace.jsonl").write_text(spans_to_jsonl(spans))
     _dump_json(directory / "profile.json", profile_payload(registry))
     _dump_json(directory / "ledger.json", (fault_ledger or FaultLedger()).to_dict())
+    if verdicts:
+        write_verdicts_jsonl(verdicts_path, verdicts)
     tmp = directory / (COMPLETE_MARKER + ".tmp")
     tmp.write_text(manifest.run_id + "\n")
     os.replace(tmp, marker)
@@ -218,6 +251,8 @@ def load_run(run_dir, allow_torn: bool = False) -> RunArtifacts:
     )
     profile_path = directory / "profile.json"
     profile = json.loads(profile_path.read_text()) if profile_path.exists() else []
+    verdicts_path = directory / "verdicts.jsonl"
+    verdicts = read_verdicts_jsonl(verdicts_path) if verdicts_path.exists() else []
     return RunArtifacts(
         path=directory,
         manifest=manifest,
@@ -225,5 +260,6 @@ def load_run(run_dir, allow_torn: bool = False) -> RunArtifacts:
         spans=spans,
         fault_ledger=fault_ledger,
         profile=profile,
+        verdicts=verdicts,
         complete=complete,
     )

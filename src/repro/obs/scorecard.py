@@ -1,0 +1,253 @@
+"""Ground-truth scorecards over persisted verdicts (``repro obs scorecard``).
+
+The synthetic populations know exactly which sites mine (``SiteSpec.role ==
+"miner"``), and every observed run persists its per-subject verdicts in
+``verdicts.jsonl``. This module joins the two: rebuild the ground truth
+from the run manifest's ``(dataset, seed, scale)`` — population builds are
+pure functions of those — and score each detector's verdicts against it as
+a confusion matrix with precision/recall, plus the paper's headline
+detection factor (Table 2) recomputed from the verdicts themselves.
+
+Scores are deterministic: same run directory → same scorecard, rendered
+byte-identically. ``--fail-on 'detector.wasm.recall<0.95'`` expressions
+reuse the :mod:`repro.obs.analyze` threshold grammar (absolute values
+only — there is no base run to be relative to) and make the scorecard a
+CI gate on detection *quality*, alongside ``obs diff``'s gates on cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.analyze import Threshold, _OPS
+
+#: wasm cascade methods that get their own per-method recall row
+CASCADE_METHODS = ("signature", "name-hint", "instruction-mix", "backend")
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """One detector's verdicts against ground truth."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def precision(self) -> float:
+        """TP/(TP+FP); 1.0 on an empty denominator.
+
+        A detector that claimed nothing made no false claims — and a CI
+        recall/precision gate must not trip on a dataset slice where the
+        detector simply had nothing to do.
+        """
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP/(TP+FN); 1.0 on an empty denominator (no miners to find)."""
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 1.0
+
+
+@dataclass
+class Scorecard:
+    """Per-detector scores for one run."""
+
+    run_id: str
+    #: detector name → confusion matrix, in presentation order
+    matrices: dict = field(default_factory=dict)
+    #: Table 2's headline, recomputed from the chrome verdicts
+    detection_factor: float = 0.0
+    wasm_miner_hits: int = 0
+    miners_blocked_by_nocoin: int = 0
+    truth_miners: int = 0
+    page_verdicts: int = 0
+    block_verdicts: int = 0
+    datasets: tuple = ()
+
+    def metrics(self) -> dict:
+        """Flat ``detector.<name>.<stat>`` map for ``--fail-on`` gates."""
+        values = {}
+        for name, matrix in self.matrices.items():
+            values[f"detector.{name}.precision"] = matrix.precision
+            values[f"detector.{name}.recall"] = matrix.recall
+        values["detection_factor"] = self.detection_factor
+        return values
+
+
+def build_ground_truth(manifest) -> dict:
+    """dataset → set of truly-mining domains, rebuilt from the manifest.
+
+    Population builds are pure functions of ``(dataset, seed, scale)``,
+    so the rebuilt ground truth is exactly what the crawl ran against.
+    """
+    from repro.internet.population import build_population
+
+    params = manifest.params
+    if manifest.command == "crawl":
+        recipes = [(params["dataset"], params["seed"], params["scale"])]
+    elif manifest.command == "reproduce":
+        recipes = [
+            (dataset, params["seed"], params["crawl_scale"])
+            for dataset in str(params.get("datasets", "")).split(",")
+            if dataset
+        ]
+    else:
+        raise ValueError(
+            f"cannot rebuild ground truth for command {manifest.command!r} "
+            f"(expected a crawl or reproduce run)"
+        )
+    truth = {}
+    for dataset, seed, scale in recipes:
+        population = build_population(dataset, seed=int(seed), scale=float(scale))
+        truth[dataset] = population.ground_truth_miners()
+    return truth
+
+
+def build_scorecard(artifacts) -> Scorecard:
+    """Score a loaded run's verdicts against rebuilt ground truth.
+
+    ``artifacts`` is the :class:`~repro.obs.ledger.RunArtifacts` of an
+    observed run; it must carry verdicts (crawls always persist them when
+    run with ``--run-dir``).
+    """
+    if not artifacts.verdicts:
+        raise ValueError(
+            f"{artifacts.path} has no verdicts.jsonl — scorecards need a run "
+            f"written with --run-dir by this version (re-run the campaign)"
+        )
+    truth = build_ground_truth(artifacts.manifest)
+    card = Scorecard(
+        run_id=artifacts.manifest.run_id,
+        datasets=tuple(sorted(truth)),
+        truth_miners=sum(len(domains) for domains in truth.values()),
+    )
+
+    counts: dict = {}  # detector name → [tp, fp, fn, tn]
+
+    def score(name: str, predicted: bool, actual: bool) -> None:
+        row = counts.setdefault(name, [0, 0, 0, 0])
+        if predicted and actual:
+            row[0] += 1
+        elif predicted:
+            row[1] += 1
+        elif actual:
+            row[2] += 1
+        else:
+            row[3] += 1
+
+    # chrome truth miners actually visited, per method-recall denominators
+    chrome_truth_seen = 0
+    method_tp = {method: 0 for method in CASCADE_METHODS}
+    method_fp = {method: 0 for method in CASCADE_METHODS}
+
+    for verdict in artifacts.verdicts:
+        if verdict.kind != "page":
+            card.block_verdicts += 1
+            continue
+        card.page_verdicts += 1
+        actual = verdict.subject in truth.get(verdict.dataset, set())
+        if verdict.pipeline.startswith("zgrab"):
+            score("nocoin_static", verdict.nocoin_hit, actual)
+            continue
+        # chrome pipeline: both detectors saw the executed page
+        score("nocoin", verdict.nocoin_hit, actual)
+        score("wasm", verdict.is_miner, actual)
+        if actual:
+            chrome_truth_seen += 1
+        if verdict.is_miner and verdict.method in method_tp:
+            if actual:
+                method_tp[verdict.method] += 1
+            else:
+                method_fp[verdict.method] += 1
+        if verdict.is_miner:
+            card.wasm_miner_hits += 1
+            if verdict.nocoin_hit:
+                card.miners_blocked_by_nocoin += 1
+
+    order = ["nocoin_static", "nocoin", "wasm"]
+    for name in order:
+        if name in counts:
+            tp, fp, fn, tn = counts[name]
+            card.matrices[name] = ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn)
+    for method in CASCADE_METHODS:
+        tp, fp = method_tp[method], method_fp[method]
+        if tp or fp:
+            # recall denominator: every true miner the chrome crawl saw —
+            # "which share of all miners did this cascade branch catch"
+            card.matrices[f"wasm.{method}"] = ConfusionMatrix(
+                tp=tp, fp=fp, fn=chrome_truth_seen - tp
+            )
+
+    if card.miners_blocked_by_nocoin:
+        card.detection_factor = card.wasm_miner_hits / card.miners_blocked_by_nocoin
+    else:
+        card.detection_factor = float("inf") if card.wasm_miner_hits else 0.0
+    return card
+
+
+def evaluate_scorecard_threshold(threshold: Threshold, card: Scorecard):
+    """(violated, detail) for one ``--fail-on`` gate on a scorecard."""
+    if threshold.relative:
+        raise ValueError(
+            f"scorecard gates are absolute; drop the trailing 'x' in "
+            f"{threshold.raw!r} (there is no base run to be relative to)"
+        )
+    metrics = card.metrics()
+    target = threshold.metric if threshold.stat is None else (
+        f"{threshold.metric}.{threshold.stat}"
+    )
+    if target not in metrics:
+        available = ", ".join(sorted(metrics))
+        raise ValueError(
+            f"unknown scorecard metric {target!r}; available: {available}"
+        )
+    measured = metrics[target]
+    violated = _OPS[threshold.op](measured, threshold.value)
+    detail = (
+        f"{threshold.raw}: measured {measured:.4g} — "
+        f"{'VIOLATED' if violated else 'ok'}"
+    )
+    return violated, detail
+
+
+SCORECARD_HEADER = ["detector", "tp", "fp", "fn", "tn", "precision", "recall"]
+
+
+def scorecard_rows(card: Scorecard) -> list:
+    """Rows for the per-detector table (pair with ``SCORECARD_HEADER``)."""
+    return [
+        [
+            name,
+            matrix.tp,
+            matrix.fp,
+            matrix.fn,
+            matrix.tn,
+            f"{matrix.precision:.3f}",
+            f"{matrix.recall:.3f}",
+        ]
+        for name, matrix in card.matrices.items()
+    ]
+
+
+def render_scorecard_summary(card: Scorecard) -> str:
+    """The one-line verdict summary above the table."""
+    factor = (
+        "inf" if card.detection_factor == float("inf")
+        else f"{card.detection_factor:.1f}"
+    )
+    return (
+        f"run {card.run_id} datasets={','.join(card.datasets)} "
+        f"pages={card.page_verdicts} blocks={card.block_verdicts} "
+        f"truth_miners={card.truth_miners}\n"
+        f"wasm miners found: {card.wasm_miner_hits} "
+        f"(blocked by NoCoin: {card.miners_blocked_by_nocoin}) -> "
+        f"detection factor {factor}x"
+    )

@@ -194,3 +194,170 @@ class TestObsFlagPlumbing:
         with pytest.raises(SystemExit) as excinfo:
             main([command, *flag, str(target)])
         assert excinfo.value.code == 2
+
+
+# ---------------------------------------------------------------------------
+# verdict provenance surfaces: `obs explain` and `obs scorecard`
+
+
+ALEXA_CRAWL = [
+    "--seed", "11", "crawl", "--dataset", "alexa", "--scale", "0.05",
+    "--shards", "2", "--executor", "serial",
+]
+
+
+def _alexa_run(run_dir, extra=()):
+    # alexa is the chrome-crawled dataset (spec.chrome_crawl), so its runs
+    # carry chrome/wasm verdicts — what scorecards and explain exercise
+    with use_clock(TickClock()):
+        return main([*ALEXA_CRAWL, "--run-dir", str(run_dir), *extra])
+
+
+@pytest.fixture(scope="module")
+def verdict_run(tmp_path_factory):
+    """One observed crawl whose verdicts all the explain/scorecard tests share."""
+    run = tmp_path_factory.mktemp("verdicts") / "run"
+    assert _alexa_run(run) == 0
+    return run
+
+
+class TestObsExplain:
+    def test_explain_renders_every_crawled_domain(self, verdict_run, capsys):
+        from repro.obs.evidence import read_verdicts_jsonl
+
+        capsys.readouterr()
+        subjects = {v.subject for v in read_verdicts_jsonl(verdict_run / "verdicts.jsonl")}
+        assert subjects
+        for subject in sorted(subjects):
+            assert main(["obs", "explain", str(verdict_run), subject]) == 0
+            out = capsys.readouterr().out
+            assert subject in out
+            assert "->" in out
+
+    def test_chrome_miner_verdict_cites_concrete_evidence(self, verdict_run, capsys):
+        from repro.obs.evidence import read_verdicts_jsonl
+
+        verdicts = read_verdicts_jsonl(verdict_run / "verdicts.jsonl")
+        miners = [v for v in verdicts if v.is_miner and v.pipeline == "chrome"]
+        assert miners, "crawl found no miners — population too small for the test"
+        capsys.readouterr()
+        assert main(["obs", "explain", str(verdict_run), miners[0].subject]) == 0
+        out = capsys.readouterr().out
+        assert "MINER" in out
+        assert f"confidence={miners[0].confidence:g}" in out
+        assert "[" in out  # at least one [detector] evidence line
+
+    def test_unknown_subject_hints_near_misses(self, verdict_run, capsys):
+        from repro.obs.evidence import read_verdicts_jsonl
+
+        some = sorted(
+            {v.subject for v in read_verdicts_jsonl(verdict_run / "verdicts.jsonl")}
+        )[0]
+        capsys.readouterr()
+        assert main(["obs", "explain", str(verdict_run), some[:4]]) == 1
+        out = capsys.readouterr().out
+        assert "no verdict for" in out
+        assert "close:" in out
+
+    def test_run_without_verdicts_fails_cleanly(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        _crawl_run(run)
+        (run / "verdicts.jsonl").unlink()
+        capsys.readouterr()
+        assert main(["obs", "explain", str(run), "anything"]) == 1
+        assert "no verdicts.jsonl" in capsys.readouterr().out
+
+
+class TestObsScorecard:
+    def test_scorecard_renders_and_recall_gate_passes(self, verdict_run, capsys):
+        capsys.readouterr()
+        assert main([
+            "obs", "scorecard", str(verdict_run),
+            "--fail-on", "detector.wasm.recall<0.95",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-detector scorecard" in out
+        assert "detection factor" in out
+        assert "nocoin_static" in out and "wasm" in out
+        assert "detector.wasm.recall<0.95: measured" in out
+
+    def test_scorecard_output_is_byte_identical_across_runs(self, verdict_run, tmp_path, capsys):
+        twin = tmp_path / "twin"
+        assert _alexa_run(twin) == 0
+        assert (verdict_run / "verdicts.jsonl").read_bytes() == (
+            twin / "verdicts.jsonl"
+        ).read_bytes()
+        capsys.readouterr()
+        assert main(["obs", "scorecard", str(verdict_run)]) == 0
+        first = capsys.readouterr().out
+        assert main(["obs", "scorecard", str(twin)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_every_miner_verdict_carries_evidence(self, verdict_run):
+        from repro.obs.evidence import read_verdicts_jsonl
+
+        verdicts = read_verdicts_jsonl(verdict_run / "verdicts.jsonl")
+        miners = [v for v in verdicts if v.is_miner]
+        assert miners
+        for verdict in miners:
+            assert verdict.evidence, f"miner verdict without evidence: {verdict.subject}"
+
+    def test_violated_gate_exits_1(self, verdict_run, capsys):
+        capsys.readouterr()
+        assert main([
+            "obs", "scorecard", str(verdict_run),
+            "--fail-on", "detector.wasm.precision<1.5",  # precision <= 1.0 always
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "1 threshold(s) violated" in out
+
+    def test_unknown_metric_exits_2(self, verdict_run, capsys):
+        capsys.readouterr()
+        assert main([
+            "obs", "scorecard", str(verdict_run), "--fail-on", "detector.nope.recall<0.5",
+        ]) == 2
+        assert "unknown scorecard metric" in capsys.readouterr().out
+
+    def test_relative_gate_rejected(self, verdict_run, capsys):
+        capsys.readouterr()
+        assert main([
+            "obs", "scorecard", str(verdict_run), "--fail-on", "detector.wasm.recall<0.9x",
+        ]) == 2
+        assert "drop the trailing 'x'" in capsys.readouterr().out
+
+    def test_degraded_signature_db_trips_recall_gate(self, tmp_path, signature_db, capsys):
+        """The CI canary: neutering the signature db must crater wasm recall."""
+        degraded = tmp_path / "degraded.json"
+        records = json.loads(signature_db.to_json())
+        for record in records:
+            record["is_miner"] = False
+        degraded.write_text(json.dumps(records))
+
+        run = tmp_path / "run"
+        assert _alexa_run(run, extra=["--signature-db", str(degraded)]) == 0
+        capsys.readouterr()
+        assert main([
+            "obs", "scorecard", str(run), "--fail-on", "detector.wasm.recall<0.95",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+
+
+class TestResumeEvidenceIsolation:
+    def test_observed_resume_discards_unobserved_journal(self, tmp_path):
+        """A journal recorded without observability has no evidence to
+        replay; an observed resume must re-run the sites rather than emit
+        evidence-free verdicts."""
+        from repro.obs.evidence import read_verdicts_jsonl
+
+        ckpt = tmp_path / "ckpt"
+        with use_clock(TickClock()):
+            assert main([*CRAWL, "--resume-from", str(ckpt)]) == 0
+        run = tmp_path / "run"
+        assert _crawl_run(run, extra=["--resume-from", str(ckpt)]) == 0
+        verdicts = read_verdicts_jsonl(run / "verdicts.jsonl")
+        hits = [v for v in verdicts if v.nocoin_hit]
+        assert hits
+        for verdict in hits:
+            assert verdict.evidence, f"evidence-free hit after resume: {verdict.subject}"
