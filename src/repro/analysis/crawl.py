@@ -76,6 +76,59 @@ def _canonical_order(counter: Counter) -> Counter:
     return Counter(dict(sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))))
 
 
+def _stratum_rows(population, partial: "ZgrabScanPartial") -> tuple:
+    """Per-stratum prevalence rows, rank order; empty for legacy builds.
+
+    Prevalence is over *successful* probes, then extrapolated over the
+    stratum's full rank range — the honest way to report a stratified
+    sample against the whole population.
+    """
+    strata = getattr(population, "strata", ())
+    if not strata or not partial.stratum_probed:
+        return ()
+    sizes = population.stratum_sizes()
+    rows = []
+    for stratum in strata:
+        probed = partial.stratum_probed.get(stratum.name, 0)
+        size = sizes.get(stratum.name, 0)
+        if probed == 0 and size == 0:
+            continue
+        hits = partial.stratum_hits.get(stratum.name, 0)
+        failures = partial.stratum_failures.get(stratum.name, 0)
+        reached = probed - failures
+        prevalence = hits / reached if reached else 0.0
+        rows.append(
+            StratumPrevalence(
+                stratum=stratum.name,
+                probed=probed,
+                hits=hits,
+                failures=failures,
+                prevalence=prevalence,
+                population_size=size,
+                estimated_domains=round(prevalence * size),
+            )
+        )
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class StratumPrevalence:
+    """Per-rank-stratum detection tallies of one zgrab pass.
+
+    ``estimated_domains`` extrapolates the stratum's hit rate over its
+    full rank range — how a stratified sample reports against the whole
+    population (the paper's Table 2 Alexa-vs-zone-file shape).
+    """
+
+    stratum: str
+    probed: int
+    hits: int
+    failures: int
+    prevalence: float
+    population_size: int
+    estimated_domains: int
+
+
 @dataclass
 class ZgrabScanResult:
     """One Figure-2 bar: a dataset at one scan date."""
@@ -87,6 +140,8 @@ class ZgrabScanResult:
     script_shares: dict[str, float]  # family label → share of detected domains
     paper_total_domains: int
     fetch_failures: int = 0  # DNS/TLS/timeout — the non-HTTPS web, mostly
+    #: per-stratum prevalence rows (streaming populations; empty legacy)
+    stratum_rows: tuple = ()
     #: per-site verdicts with evidence, population order; empty unless the
     #: campaign ran with observability enabled. Telemetry, not a result:
     #: excluded from equality so observed and bare runs stay comparable.
@@ -110,6 +165,11 @@ class ZgrabScanPartial:
     nocoin_domains: int = 0
     fetch_failures: int = 0
     label_hits: Counter = field(default_factory=Counter)
+    #: per-stratum tallies, filled only for stratum-labelled (streaming)
+    #: sites so legacy results stay byte-identical
+    stratum_probed: Counter = field(default_factory=Counter)
+    stratum_hits: Counter = field(default_factory=Counter)
+    stratum_failures: Counter = field(default_factory=Counter)
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
     #: ``(population index, VerdictRecord)`` pairs, observed runs only
     verdicts: list = field(default_factory=list)
@@ -119,6 +179,9 @@ class ZgrabScanPartial:
         self.nocoin_domains += other.nocoin_domains
         self.fetch_failures += other.fetch_failures
         self.label_hits.update(other.label_hits)
+        self.stratum_probed.update(other.stratum_probed)
+        self.stratum_hits.update(other.stratum_hits)
+        self.stratum_failures.update(other.stratum_failures)
         self.fault_ledger.merge(other.fault_ledger)
         self.verdicts.extend(other.verdicts)
         return self
@@ -244,10 +307,17 @@ class ZgrabCampaign:
         scan_index: int,
     ) -> None:
         partial.domains_probed += 1
+        stratum = getattr(site, "stratum", "")
+        if stratum:
+            partial.stratum_probed[stratum] += 1
         if outcome.failed:
             partial.fetch_failures += 1
+            if stratum:
+                partial.stratum_failures[stratum] += 1
         elif outcome.nocoin_hit:
             partial.nocoin_domains += 1
+            if stratum:
+                partial.stratum_hits[stratum] += 1
             for label in outcome.labels:
                 partial.label_hits[label] += 1
         partial.fault_ledger.merge(outcome.ledger)
@@ -257,6 +327,8 @@ class ZgrabCampaign:
             # fresh ones in the ledger and the detector.* namespace
             if outcome.nocoin_hit:
                 self.obs.inc("detector.nocoin.static_hits")
+                if stratum:
+                    self.obs.inc(f"detector.nocoin.stratum.{stratum}.hits")
             partial.verdicts.append(
                 (
                     index,
@@ -266,6 +338,7 @@ class ZgrabCampaign:
                         pipeline=f"zgrab{scan_index}",
                         status="error" if outcome.failed else "ok",
                         nocoin_hit=outcome.nocoin_hit,
+                        stratum=stratum,
                         evidence=getattr(outcome, "evidence", ()),
                     ),
                 )
@@ -288,6 +361,7 @@ class ZgrabCampaign:
             script_shares=shares,
             paper_total_domains=spec.paper_total_domains,
             fetch_failures=partial.fetch_failures,
+            stratum_rows=_stratum_rows(self.population, partial),
             verdicts=tuple(
                 verdict
                 for _, verdict in sorted(partial.verdicts, key=lambda item: item[0])

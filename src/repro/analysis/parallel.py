@@ -228,6 +228,20 @@ def _campaign_fingerprint(*parts: object) -> str:
     return digest.hexdigest()[:16]
 
 
+def _shard_checkpoint_identity(population, indices):
+    """Journal-fingerprint material for a shard's site assignment.
+
+    Streaming populations pin ``(population identity, index bounds)`` —
+    O(1) in the range length; materialized populations keep the legacy
+    per-domain list, byte-compatible with journals written before
+    streaming existed.
+    """
+    identity = getattr(population, "checkpoint_identity", None)
+    if identity is not None:
+        return identity(indices)
+    return [(i, population.sites[i].domain) for i in indices]
+
+
 def _zgrab_shard_work(
     population: WebPopulation,
     shard_id: int,
@@ -258,7 +272,7 @@ def _zgrab_shard_work(
             dataset,
             f"zgrab{scan_index}",
             shard_id,
-            [(i, population.sites[i].domain) for i in indices],
+            _shard_checkpoint_identity(population, indices),
             population.web.fault_plan,
             resilience,
         ]
@@ -326,7 +340,7 @@ def _chrome_shard_work(
             dataset,
             "chrome",
             shard_id,
-            [(i, population.sites[i].domain) for i in indices],
+            _shard_checkpoint_identity(population, indices),
             population.web.fault_plan,
             browser_config,
         ]
@@ -555,7 +569,13 @@ class _ShardedCampaignBase:
     obs: Obs
 
     def _partition(self) -> tuple[list[list[int]], dict[int, int]]:
-        shard_indices = partition_indices(self.population.sites, self.config.shards)
+        # streaming populations publish their own plan (contiguous index
+        # ranges, or stratified-sample chunks) so shards stay O(1)-memory
+        plan = getattr(self.population, "shard_plan", None)
+        if plan is not None:
+            shard_indices = plan(self.config.shards)
+        else:
+            shard_indices = partition_indices(self.population.sites, self.config.shards)
         sizes = {shard_id: len(idx) for shard_id, idx in enumerate(shard_indices)}
         return shard_indices, sizes
 

@@ -71,6 +71,15 @@ class ReproductionConfig:
     run_dir: Optional[str] = None
     #: emit live progress snapshots every N seconds (0 = off)
     heartbeat: float = 0.0
+    #: stream index-addressable populations of this size instead of
+    #: materializing ``crawl_scale`` builds (zgrab plane only; Chrome and
+    #: its tables are skipped). Implies the sharded executor.
+    population_size: int = 0
+    #: custom rank strata for streaming runs (``parse_strata`` syntax;
+    #: "" = the dataset's calibrated default buckets)
+    strata: str = ""
+    #: scan only K sampled ranks per stratum (0 = the full population)
+    sample_per_stratum: int = 0
 
 
 @dataclass
@@ -115,8 +124,10 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     # the per-shard fault ledgers), even with a single serial shard
     # a run dir and heartbeats also imply it: the persisted metrics carry
     # the shard plane, and the reporter hooks the executor's site loop
+    streaming = config.population_size > 0
     parallel_crawl = (
-        config.crawl_shards > 1
+        streaming
+        or config.crawl_shards > 1
         or config.crawl_workers > 1
         or fault_plan is not None
         or config.checkpoint_dir is not None
@@ -132,11 +143,30 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     )
     chrome_rows = []
     fig2_rows = []
+    stratum_rows = []
     fault_ledger = FaultLedger()
     verdicts: list = []  # populated only on observed runs (campaigns gate)
     for dataset in config.datasets:
-        log(f"[crawl] {dataset} @ scale {config.crawl_scale}")
-        population = build_population(dataset, seed=config.seed, scale=config.crawl_scale)
+        if streaming:
+            from repro.internet.population import DATASETS
+            from repro.internet.streaming import StreamingPopulation, parse_strata
+
+            log(f"[crawl] {dataset} @ streaming population {config.population_size}")
+            strata = (
+                parse_strata(config.strata, DATASETS[dataset])
+                if config.strata
+                else None
+            )
+            population = StreamingPopulation(
+                dataset,
+                seed=config.seed,
+                size=config.population_size,
+                strata=strata,
+                sample_per_stratum=config.sample_per_stratum,
+            )
+        else:
+            log(f"[crawl] {dataset} @ scale {config.crawl_scale}")
+            population = build_population(dataset, seed=config.seed, scale=config.crawl_scale)
         if fault_plan is not None:
             population.attach_fault_plan(fault_plan)
         if parallel_crawl:
@@ -162,6 +192,16 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
             obs.inc(f"{prefix}.domains_probed", scan.domains_probed)
             obs.inc(f"{prefix}.nocoin_domains", scan.nocoin_domains)
             obs.inc(f"{prefix}.fetch_failures", scan.fetch_failures)
+            for row in scan.stratum_rows:
+                stratum_rows.append(
+                    [dataset, scan_index, row.stratum, row.probed, row.hits,
+                     f"{row.prevalence:.4%}", row.population_size,
+                     row.estimated_domains]
+                )
+        if streaming:
+            if population.spec.chrome_crawl:
+                log(f"[crawl] {dataset}: chrome plane skipped (streaming run)")
+            continue
         if population.spec.chrome_crawl:
             if parallel_crawl:
                 chrome = ShardedChromeCampaign(
@@ -198,6 +238,12 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         ["dataset", "Wasm miners", "NoCoin hits", "missed", "factor", "top families"],
         chrome_rows,
     )
+    if stratum_rows:
+        report.sections["Per-stratum prevalence"] = render_table(
+            ["dataset", "scan", "stratum", "probed", "hits", "prevalence",
+             "stratum size", "est. domains"],
+            stratum_rows,
+        )
     chaos_active = fault_plan is not None or config.checkpoint_dir is not None
     if chaos_active and fault_ledger.has_events():
         report.sections["Fault ledger"] = (
@@ -299,6 +345,9 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
                 "executor": config.crawl_executor,
                 "fault_profile": config.fault_profile,
                 "heartbeat": config.heartbeat,
+                "population_size": config.population_size,
+                "strata": config.strata,
+                "sample_per_stratum": config.sample_per_stratum,
             },
         )
         registry = MetricsRegistry()

@@ -122,15 +122,35 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     obs = make_obs(prefix="crawl") if observe else NULL_OBS
     progress = ProgressReporter(args.heartbeat) if args.heartbeat > 0 else None
     plan = build_fault_plan(args.fault_profile, seed=args.seed)
+    population_size = getattr(args, "population_size", 0) or 0
+    streaming = population_size > 0
     # chaos and checkpoint/resume need the sharded executor (it carries the
     # fault ledgers and the per-shard journals), even with one serial shard;
-    # run dirs and heartbeats ride on it for the same reason
+    # run dirs, heartbeats, and streaming populations ride on it for the
+    # same reason
     parallel = (
-        args.shards > 1 or args.workers > 1
+        streaming
+        or args.shards > 1 or args.workers > 1
         or plan is not None or args.resume_from is not None
         or args.run_dir is not None or progress is not None
     )
-    population = build_population(args.dataset, seed=args.seed, scale=args.scale)
+    if streaming:
+        from repro.internet.population import DATASETS
+        from repro.internet.streaming import StreamingPopulation, parse_strata
+
+        strata_text = getattr(args, "strata", "") or ""
+        strata = (
+            parse_strata(strata_text, DATASETS[args.dataset]) if strata_text else None
+        )
+        population = StreamingPopulation(
+            args.dataset,
+            seed=args.seed,
+            size=population_size,
+            strata=strata,
+            sample_per_stratum=getattr(args, "sample_per_stratum", 0) or 0,
+        )
+    else:
+        population = build_population(args.dataset, seed=args.seed, scale=args.scale)
     if plan is not None:
         population.attach_fault_plan(plan)
         print(f"fault profile: {args.fault_profile} (seed={args.seed})")
@@ -138,7 +158,15 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if signature_db:
         print(f"signature db: {signature_db}")
     population_ledger = FaultLedger()
-    print(f"dataset={args.dataset} sites={len(population.sites)} scale={args.scale}")
+    if streaming:
+        scanned = len(population.scan_indices())
+        print(
+            f"dataset={args.dataset} population={population.size} "
+            f"scanned={scanned} strata="
+            + ",".join(s.name for s in population.strata)
+        )
+    else:
+        print(f"dataset={args.dataset} sites={len(population.sites)} scale={args.scale}")
     if parallel:
         config = ParallelConfig(
             shards=args.shards,
@@ -169,9 +197,38 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         obs.inc(f"crawl.zgrab{scan_index}.fetch_failures", scan.fetch_failures)
     rows = [[s.scan_date, s.nocoin_domains, f"{s.prevalence:.4%}"] for s in scans]
     print(render_table(["scan", "NoCoin domains", "prevalence"], rows, title="\nzgrab pass"))
+    for scan_index, scan in enumerate(scans):
+        if not scan.stratum_rows:
+            continue
+        for row in scan.stratum_rows:
+            obs.inc(f"crawl.zgrab{scan_index}.stratum.{row.stratum}.probed", row.probed)
+            obs.inc(f"crawl.zgrab{scan_index}.stratum.{row.stratum}.hits", row.hits)
+        rows = [
+            [
+                row.stratum,
+                row.probed,
+                row.hits,
+                f"{row.prevalence:.4%}",
+                row.population_size,
+                row.estimated_domains,
+            ]
+            for row in scan.stratum_rows
+        ]
+        print(
+            render_table(
+                ["stratum", "probed", "hits", "prevalence", "stratum size", "est. domains"],
+                rows,
+                title=f"\nper-stratum prevalence (scan {scan_index})",
+            )
+        )
     if parallel and zgrab.metrics is not None:
         _print_shard_metrics(zgrab.metrics, "\nzgrab shard metrics (second scan)")
-    if population.spec.chrome_crawl:
+    if streaming and population.spec.chrome_crawl:
+        print(
+            "\nChrome pass skipped: streaming populations serve the zgrab "
+            "plane only (use --scale builds for Chrome experiments)"
+        )
+    if not streaming and population.spec.chrome_crawl:
         if parallel:
             chrome = ShardedChromeCampaign(
                 population=population,
@@ -243,6 +300,9 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 "fault_profile": args.fault_profile or "",
                 "heartbeat": args.heartbeat,
                 "signature_db": signature_db or "",
+                "population_size": population_size,
+                "strata": getattr(args, "strata", "") or "",
+                "sample_per_stratum": getattr(args, "sample_per_stratum", 0) or 0,
             },
         )
         registry = MetricsRegistry()
@@ -306,6 +366,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     config = ReproductionConfig(
         seed=args.seed,
         crawl_scale=args.crawl_scale,
+        population_size=args.population_size,
+        strata=args.strata,
+        sample_per_stratum=args.sample_per_stratum,
         shortlink_scale=args.shortlink_scale,
         network_days=args.days,
         crawl_shards=args.shards,
@@ -716,6 +779,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("crawl", help="run a scaled crawl campaign")
     p.add_argument("--dataset", choices=("alexa", "com", "net", "org"), default="alexa")
     p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument(
+        "--population-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stream an N-domain index-addressable population instead of "
+        "materializing --scale (zgrab plane only; constant memory per shard)",
+    )
+    p.add_argument(
+        "--strata",
+        default="",
+        help="rank strata for --population-size as name:hi_rank:signal_rate,... "
+        "(empty hi_rank = tail); default: the dataset's calibrated "
+        "top1k/top10k/top100k/top1m/tail buckets",
+    )
+    p.add_argument(
+        "--sample-per-stratum",
+        type=int,
+        default=0,
+        metavar="K",
+        help="scan only K uniformly-sampled ranks per stratum instead of the "
+        "full population (0 = full scan); prevalence tables extrapolate",
+    )
     p.add_argument("--shards", type=_positive_int, default=1, help="split the population into N shards")
     p.add_argument("--workers", type=_positive_int, default=1, help="worker pool size for shard execution")
     p.add_argument(
@@ -759,6 +845,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reproduce", help="run every experiment, emit a markdown report")
     p.add_argument("--out", help="write the report here instead of stdout")
     p.add_argument("--crawl-scale", type=float, default=0.25)
+    p.add_argument(
+        "--population-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stream N-domain populations for the crawls (see `crawl --population-size`)",
+    )
+    p.add_argument("--strata", default="", help="rank strata (see `crawl --strata`)")
+    p.add_argument(
+        "--sample-per-stratum",
+        type=int,
+        default=0,
+        metavar="K",
+        help="sampled ranks per stratum (see `crawl --sample-per-stratum`)",
+    )
     p.add_argument("--shortlink-scale", type=float, default=0.004)
     p.add_argument("--days", type=int, default=28)
     p.add_argument("--shards", type=_positive_int, default=1, help="crawl shards (see `crawl --shards`)")

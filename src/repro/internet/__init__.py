@@ -12,20 +12,34 @@ EXPERIMENTS.md for the calibration targets.
 - :mod:`repro.internet.population` — website populations per dataset
   (Alexa/.com/.net/.org) with miner deployments wired into a
   :class:`~repro.web.http.SyntheticWeb`.
+- :mod:`repro.internet.streaming` — lazy, index-addressable population
+  streams with stratified rank sampling (internet-scale campaigns).
 - :mod:`repro.internet.shortlinks` — the cnhv.co link population
   (creators, hash requirements, destinations).
 """
 
-from repro.internet.domains import DomainGenerator
+from repro.internet.domains import DomainGenerator, index_of_domain, indexed_domain
 from repro.internet.population import DatasetSpec, WebPopulation, build_population, DATASETS
 from repro.internet.shortlinks import ShortLinkPopulation, build_shortlink_population
+from repro.internet.streaming import (
+    RankStratum,
+    StreamingPopulation,
+    default_strata,
+    parse_strata,
+)
 
 __all__ = [
     "DomainGenerator",
+    "indexed_domain",
+    "index_of_domain",
     "DatasetSpec",
     "WebPopulation",
     "build_population",
     "DATASETS",
+    "RankStratum",
+    "StreamingPopulation",
+    "default_strata",
+    "parse_strata",
     "ShortLinkPopulation",
     "build_shortlink_population",
 ]

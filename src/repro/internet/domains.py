@@ -4,10 +4,21 @@ Names are built from category-flavoured fragments (so the RuleSpace
 stand-in can classify a calibrated fraction of them) plus opaque
 fragments (the unclassifiable remainder). Generation is seeded and
 collision-free within a generator instance.
+
+Two uniqueness schemes coexist:
+
+- :class:`DomainGenerator` (stateful): per-base serial counters reproduce
+  the historical "probe a seen-set" sequence in O(#distinct bases) memory
+  instead of O(#names).
+- :func:`indexed_domain` (stateless): the 0-based site index is embedded
+  in the name itself (``base-<index>.tld``), so shards generating disjoint
+  index ranges can never collide and site *i*'s name never depends on
+  sites ``0..i-1``. :func:`index_of_domain` inverts the encoding.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -21,22 +32,49 @@ _OPAQUE_SYLLABLES = (
 
 _GENERIC_SUFFIXES = ("hub", "zone", "spot", "base", "site", "page", "now", "pro", "one", "go")
 
+#: indexed names carry their decimal site index between a hyphen and the
+#: TLD; generator-made names are hyphen-free, so the marker is unambiguous
+_INDEXED_RE = re.compile(r"-(\d+)\.[a-z]+$")
+
+def _ambiguous(spelling: str) -> bool:
+    """Spellings writable as ``stem+digits`` in more than one way.
+
+    Any cross-base collision must involve a digit-ending base (two
+    letter-ending bases plus decimal serials can never spell the same
+    string), so exactly the spellings whose digit-stripped stem matches a
+    digit-ending base's stem need set-based probing.
+    """
+    return spelling[-1].isdigit() and spelling.rstrip("0123456789") in _AMBIGUOUS_STEMS
+
 
 @dataclass
 class DomainGenerator:
-    """Seeded generator of unique domain names."""
+    """Seeded generator of unique domain names.
+
+    A per-``(base, tld)`` serial counter reproduces exactly the sequence
+    the old seen-set probe produced (first draw → ``base.tld``, n-th
+    repeat → ``base<n>.tld``) while retaining one integer per distinct
+    base instead of every name ever issued. The handful of digit-ending
+    bases (:data:`_DIGIT_BASES`) can alias another base's serialized
+    spelling, so those spellings alone keep the seen-set semantics via a
+    small auxiliary set.
+    """
 
     rng: RngStream
-    _used: set = field(default_factory=set)
+    _base_counts: dict = field(default_factory=dict)
+    _ambiguous_taken: set = field(default_factory=set)
 
     def _unique(self, base: str, tld: str) -> str:
-        candidate = f"{base}.{tld}"
-        serial = 1
-        while candidate in self._used:
-            serial += 1
-            candidate = f"{base}{serial}.{tld}"
-        self._used.add(candidate)
-        return candidate
+        count = self._base_counts.get((base, tld), 0) + 1
+        while True:
+            spelling = base if count == 1 else f"{base}{count}"
+            if not _ambiguous(spelling) or (spelling, tld) not in self._ambiguous_taken:
+                break
+            count += 1
+        self._base_counts[(base, tld)] = count
+        if _ambiguous(spelling):
+            self._ambiguous_taken.add((spelling, tld))
+        return f"{spelling}.{tld}"
 
     def opaque(self, tld: str) -> str:
         """A name with no category signal (RuleSpace gets nothing)."""
@@ -45,17 +83,7 @@ class DomainGenerator:
 
     def categorized(self, category_name: str, tld: str) -> str:
         """A name carrying one of the category's domain fragments."""
-        category = BY_NAME[category_name]
-        fragment = self.rng.choice(category.domain_fragments)
-        filler = self.rng.choice(_OPAQUE_SYLLABLES)
-        suffix = self.rng.choice(_GENERIC_SUFFIXES)
-        shapes = (
-            f"{fragment}{suffix}",
-            f"{filler}{fragment}",
-            f"{fragment}{filler}",
-            f"my{fragment}{suffix}",
-        )
-        return self._unique(self.rng.choice(shapes), tld)
+        return self._unique(_categorized_base(self.rng, category_name), tld)
 
     def draw(self, tld: str, category_weights: Optional[dict] = None, classified_fraction: float = 0.7) -> tuple:
         """Draw ``(domain, category_or_None)``.
@@ -66,10 +94,94 @@ class DomainGenerator:
         """
         if self.rng.random() >= classified_fraction:
             return self.opaque(tld), None
-        if category_weights:
-            names = list(category_weights)
-            weights = [category_weights[n] for n in names]
-            category_name = self.rng.choices(names, weights)[0]
-        else:
-            category_name = self.rng.choice([c.name for c in CATEGORIES])
+        category_name = _draw_category(self.rng, category_weights)
         return self.categorized(category_name, tld), category_name
+
+
+def _opaque_base(rng: RngStream) -> str:
+    return "".join(rng.choice(_OPAQUE_SYLLABLES) for _ in range(rng.randint(2, 3)))
+
+
+def _categorized_base(rng: RngStream, category_name: str) -> str:
+    category = BY_NAME[category_name]
+    fragment = rng.choice(category.domain_fragments)
+    filler = rng.choice(_OPAQUE_SYLLABLES)
+    suffix = rng.choice(_GENERIC_SUFFIXES)
+    shapes = (
+        f"{fragment}{suffix}",
+        f"{filler}{fragment}",
+        f"{fragment}{filler}",
+        f"my{fragment}{suffix}",
+    )
+    return rng.choice(shapes)
+
+
+def _draw_category(rng: RngStream, category_weights: Optional[dict]) -> str:
+    if category_weights:
+        names = list(category_weights)
+        weights = [category_weights[n] for n in names]
+        return rng.choices(names, weights)[0]
+    return rng.choice([c.name for c in CATEGORIES])
+
+
+#: the only digit-ending bases the shape tables can produce — the
+#: ``filler+fragment`` shape over digit-ending fragments (e.g. "cam4");
+#: every other shape and every opaque base ends in a letter
+_DIGIT_BASES = frozenset(
+    f"{filler}{fragment}"
+    for category in CATEGORIES
+    for fragment in category.domain_fragments
+    if fragment[-1:].isdigit()
+    for filler in _OPAQUE_SYLLABLES
+)
+_AMBIGUOUS_STEMS = frozenset(base.rstrip("0123456789") for base in _DIGIT_BASES)
+
+
+def indexed_domain(
+    rng: RngStream,
+    index: int,
+    tld: str,
+    category_name: Optional[str] = None,
+) -> str:
+    """A collision-free name for site ``index``, derived in O(1).
+
+    The alphabetic body uses the same shape tables as the stateful
+    generator; uniqueness comes from embedding the decimal site index
+    after a hyphen instead of probing a seen-set. Digits and hyphens
+    cannot start or extend a RuleSpace fragment match, so the suffix
+    never changes how a name classifies.
+    """
+    if index < 0:
+        raise ValueError("site index must be >= 0")
+    if category_name is None:
+        base = _opaque_base(rng)
+    else:
+        base = _categorized_base(rng, category_name)
+    return f"{base}-{index}.{tld}"
+
+
+def indexed_draw(
+    rng: RngStream,
+    index: int,
+    tld: str,
+    category_weights: Optional[dict] = None,
+    classified_fraction: float = 0.7,
+) -> tuple:
+    """``(domain, category_or_None)`` mirror of :meth:`DomainGenerator.draw`
+    for index-addressed names."""
+    if rng.random() >= classified_fraction:
+        return indexed_domain(rng, index, tld), None
+    category_name = _draw_category(rng, category_weights)
+    return indexed_domain(rng, index, tld, category_name), category_name
+
+
+def index_of_domain(domain: str) -> Optional[int]:
+    """Decode the site index embedded by :func:`indexed_domain`.
+
+    Returns ``None`` for names without the marker (legacy generator names
+    contain no hyphens, so they can never false-positive here).
+    """
+    match = _INDEXED_RE.search(domain)
+    if match is None:
+        return None
+    return int(match.group(1))

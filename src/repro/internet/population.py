@@ -73,6 +73,12 @@ class DatasetSpec:
     miner_classified_fraction: float
     fp_category_weights: dict
     fp_classified_fraction: float
+    #: rank-stratum name → multiplier on the dataset's base signal-role
+    #: rates (streaming populations; the paper's Alexa-vs-zone-file split
+    #: shows mining under-represented at the very top of the rank order)
+    stratum_rate_multipliers: dict = field(default_factory=dict)
+    #: rank-stratum name → miner category-weight override for that stratum
+    stratum_category_weights: dict = field(default_factory=dict)
 
 
 ALEXA = DatasetSpec(
@@ -108,6 +114,15 @@ ALEXA = DatasetSpec(
         "Business": 0.06, "Entertainment & Music": 0.05, "Hosting": 0.03,
     },
     fp_classified_fraction=0.79,
+    stratum_rate_multipliers={
+        "top1k": 0.25, "top10k": 0.6, "top100k": 1.0, "top1m": 1.3, "tail": 0.9,
+    },
+    stratum_category_weights={
+        "tail": {
+            "Pornography": 0.35, "Filesharing": 0.15, "Gaming": 0.08,
+            "Technology & Telecommunication": 0.06, "Entertainment & Music": 0.05,
+        },
+    },
 )
 
 ORG = DatasetSpec(
@@ -142,6 +157,9 @@ ORG = DatasetSpec(
         "Technology & Telecommunication": 0.04,
     },
     fp_classified_fraction=0.54,
+    stratum_rate_multipliers={
+        "top1k": 0.35, "top10k": 0.7, "top100k": 1.0, "top1m": 1.2, "tail": 1.0,
+    },
 )
 
 COM = DatasetSpec(
@@ -213,6 +231,10 @@ class SiteSpec:
     static_tags: bool = True
     present_scan2: bool = True
     official_url: bool = False
+    #: rank stratum the site was drawn in (streaming populations; "" legacy)
+    stratum: str = ""
+    #: 1-based popularity rank (streaming populations; 0 for legacy builds)
+    rank: int = 0
 
 
 @dataclass

@@ -105,6 +105,64 @@ def zone_from_population(population) -> ZoneFile:
     return ZoneFile(origin=f"{tld}.", domains=domains)
 
 
+def write_zone_stream(path, origin: str, names: Iterator[str]) -> int:
+    """Stream a zone dump to disk without materializing the name list.
+
+    ``names`` yields bare SLDs (or FQDNs, which are trimmed against the
+    origin). Returns the delegation count. This is how a 10M-domain
+    streaming population dumps its zone in O(1) memory — the delegation
+    count lands in a trailing comment since it is unknown up front.
+    """
+    import pathlib
+
+    if not origin.endswith("."):
+        raise ValueError("zone origin must be absolute (end with '.')")
+    suffix = "." + origin.rstrip(".")
+    count = 0
+    with pathlib.Path(path).open("w") as handle:
+        handle.write(f"$ORIGIN {origin}\n$TTL 86400\n")
+        for name in names:
+            if name.endswith(suffix):
+                name = name[: -len(suffix)]
+            handle.write(f"{name}\tIN\tNS\tns1.registrar-servers.example.\n")
+            count += 1
+        handle.write(f"; {count} delegations\n")
+    return count
+
+
+def iter_zone_fqdns(path) -> Iterator[str]:
+    """Stream FQDNs back out of a zone dump in O(1) memory.
+
+    The lazy inverse of :func:`write_zone_stream` /
+    :meth:`ZoneFile.read` — crawl lists over zone-scale dumps should
+    iterate this instead of parsing the whole file into a list.
+    """
+    import pathlib
+
+    origin = None
+    with pathlib.Path(path).open() as handle:
+        for raw_line in handle:
+            line = raw_line.split(";", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith("$ORIGIN"):
+                parts = line.split()
+                if len(parts) != 2:
+                    raise ValueError(f"malformed $ORIGIN line: {raw_line!r}")
+                origin = parts[1]
+                continue
+            if line.startswith("$"):
+                continue
+            fields = line.split()
+            if len(fields) < 4 or fields[1] != "IN" or fields[2] != "NS":
+                continue
+            if origin is None:
+                raise ValueError("zone file has no $ORIGIN before records")
+            name = fields[0].rstrip(".").lower()
+            if name:
+                yield f"{name}.{origin.rstrip('.')}"
+
+
 def crawl_list_from_zone(zone: ZoneFile, resolver=None) -> Iterator[str]:
     """The paper's pipeline: zone names → (optional) DNS filter → crawl list.
 

@@ -45,6 +45,7 @@ _VERDICT_FIELDS = (
     "family",
     "method",
     "confidence",
+    "stratum",
     "evidence",
 )
 
@@ -111,10 +112,12 @@ class VerdictRecord:
     family: str = ""
     method: str = ""
     confidence: float = 0.0
+    #: rank stratum of the subject (streaming populations; "" legacy)
+    stratum: str = ""
     evidence: tuple = ()
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "subject": self.subject,
             "dataset": self.dataset,
             "pipeline": self.pipeline,
@@ -128,6 +131,10 @@ class VerdictRecord:
             "confidence": self.confidence,
             "evidence": [item.to_dict() for item in self.evidence],
         }
+        if self.stratum:
+            # emitted only when set: legacy verdicts.jsonl stays byte-identical
+            payload["stratum"] = self.stratum
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "VerdictRecord":
@@ -146,6 +153,7 @@ class VerdictRecord:
             family=payload.get("family", ""),
             method=payload.get("method", ""),
             confidence=float(payload.get("confidence", 0.0)),
+            stratum=payload.get("stratum", ""),
             evidence=tuple(
                 Evidence.from_dict(item) for item in payload.get("evidence", [])
             ),

@@ -82,20 +82,61 @@ class Scorecard:
         return values
 
 
-def build_ground_truth(manifest) -> dict:
-    """dataset → set of truly-mining domains, rebuilt from the manifest.
+class StreamingTruth:
+    """Lazy miner-membership view over a streaming population.
 
-    Population builds are pure functions of ``(dataset, seed, scale)``,
+    ``domain in truth`` decodes the site index embedded in the domain and
+    re-derives that one site — O(1) per verdict, no zone-sized set build.
+    ``lazy`` flags that the container has no meaningful ``len``.
+    """
+
+    lazy = True
+
+    def __init__(self, population) -> None:
+        self.population = population
+
+    def __contains__(self, domain) -> bool:
+        return self.population.is_true_miner(domain)
+
+
+def _streaming_truth(dataset: str, params: dict):
+    """Rebuild streaming ground truth from manifest params, or ``None``."""
+    population_size = int(params.get("population_size", 0) or 0)
+    if not population_size:
+        return None
+    from repro.internet.population import DATASETS
+    from repro.internet.streaming import StreamingPopulation, parse_strata
+
+    strata_text = str(params.get("strata", "") or "")
+    strata = parse_strata(strata_text, DATASETS[dataset]) if strata_text else None
+    return StreamingTruth(
+        StreamingPopulation(
+            dataset,
+            seed=int(params["seed"]),
+            size=population_size,
+            strata=strata,
+            sample_per_stratum=int(params.get("sample_per_stratum", 0) or 0),
+        )
+    )
+
+
+def build_ground_truth(manifest) -> dict:
+    """dataset → miner-domain membership, rebuilt from the manifest.
+
+    Population builds are pure functions of ``(dataset, seed, scale)``
+    (or, for streaming runs, ``(dataset, seed, population_size, strata)``),
     so the rebuilt ground truth is exactly what the crawl ran against.
+    Materialized runs yield plain sets; streaming runs yield lazy
+    :class:`StreamingTruth` membership views.
     """
     from repro.internet.population import build_population
 
     params = manifest.params
     if manifest.command == "crawl":
-        recipes = [(params["dataset"], params["seed"], params["scale"])]
+        recipes = [(params["dataset"], params["seed"], params.get("scale", 1.0))]
     elif manifest.command == "reproduce":
         recipes = [
-            (dataset, params["seed"], params["crawl_scale"])
+            (dataset, params["seed"], params.get("crawl_scale", 1.0))
             for dataset in str(params.get("datasets", "")).split(",")
             if dataset
         ]
@@ -106,6 +147,10 @@ def build_ground_truth(manifest) -> dict:
         )
     truth = {}
     for dataset, seed, scale in recipes:
+        streaming = _streaming_truth(dataset, params)
+        if streaming is not None:
+            truth[dataset] = streaming
+            continue
         population = build_population(dataset, seed=int(seed), scale=float(scale))
         truth[dataset] = population.ground_truth_miners()
     return truth
@@ -127,8 +172,15 @@ def build_scorecard(artifacts) -> Scorecard:
     card = Scorecard(
         run_id=artifacts.manifest.run_id,
         datasets=tuple(sorted(truth)),
-        truth_miners=sum(len(domains) for domains in truth.values()),
+        truth_miners=sum(
+            len(domains)
+            for domains in truth.values()
+            if not getattr(domains, "lazy", False)
+        ),
     )
+    # lazy (streaming) truth has no len(); count the distinct true miners
+    # that actually appeared among the verdicts instead
+    lazy_true_subjects: set = set()
 
     counts: dict = {}  # detector name → [tp, fp, fn, tn]
 
@@ -147,15 +199,23 @@ def build_scorecard(artifacts) -> Scorecard:
     chrome_truth_seen = 0
     method_tp = {method: 0 for method in CASCADE_METHODS}
     method_fp = {method: 0 for method in CASCADE_METHODS}
+    stratum_order: list = []  # strata in first-seen (rank) order
 
     for verdict in artifacts.verdicts:
         if verdict.kind != "page":
             card.block_verdicts += 1
             continue
         card.page_verdicts += 1
-        actual = verdict.subject in truth.get(verdict.dataset, set())
+        dataset_truth = truth.get(verdict.dataset, set())
+        actual = verdict.subject in dataset_truth
+        if actual and getattr(dataset_truth, "lazy", False):
+            lazy_true_subjects.add((verdict.dataset, verdict.subject))
         if verdict.pipeline.startswith("zgrab"):
             score("nocoin_static", verdict.nocoin_hit, actual)
+            if verdict.stratum:
+                if verdict.stratum not in stratum_order:
+                    stratum_order.append(verdict.stratum)
+                score(f"nocoin_static.{verdict.stratum}", verdict.nocoin_hit, actual)
             continue
         # chrome pipeline: both detectors saw the executed page
         score("nocoin", verdict.nocoin_hit, actual)
@@ -172,7 +232,12 @@ def build_scorecard(artifacts) -> Scorecard:
             if verdict.nocoin_hit:
                 card.miners_blocked_by_nocoin += 1
 
-    order = ["nocoin_static", "nocoin", "wasm"]
+    card.truth_miners += len(lazy_true_subjects)
+
+    order = ["nocoin_static"]
+    # per-stratum rows directly under the detector they slice, rank order
+    order.extend(f"nocoin_static.{stratum}" for stratum in stratum_order)
+    order.extend(["nocoin", "wasm"])
     for name in order:
         if name in counts:
             tp, fp, fn, tn = counts[name]

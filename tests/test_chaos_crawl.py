@@ -191,6 +191,46 @@ class TestShardedEqualsSequential:
         )
 
 
+class TestStreamingUnderChaos:
+    """Fault plans attach to streaming populations exactly as to built
+    ones: per-thread lazy webs all carry the plan, accounting balances,
+    and execution mode cannot change the merged outcome."""
+
+    def _streaming_population(self, profile: str):
+        from repro.internet.streaming import StreamingPopulation
+
+        population = StreamingPopulation("alexa", seed=SEED, size=220)
+        population.attach_fault_plan(build_fault_plan(profile, seed=SEED))
+        return population
+
+    @pytest.mark.parametrize("profile", ["mild", "heavy"])
+    def test_streamed_scan_completes_and_balances(self, profile):
+        population = self._streaming_population(profile)
+        campaign = ZgrabCampaign(population=population, resilience=ResiliencePolicy())
+        partial = campaign.scan_sites(population.sites, 0)
+        assert campaign.finalize_scan(partial, 0).domains_probed == 220
+        assert partial.fault_ledger.balanced()
+        assert partial.fault_ledger.total_injected > 0
+
+    @pytest.mark.parametrize("mode,shards,workers", [("serial", 4, 1), ("thread", 5, 3)])
+    def test_streamed_sharded_equals_sequential(self, mode, shards, workers):
+        population = self._streaming_population("heavy")
+        sequential = ZgrabCampaign(population=population, resilience=ResiliencePolicy())
+        seq_partial = sequential.scan_sites(population.sites, 0)
+        seq_result = sequential.finalize_scan(seq_partial, 0)
+
+        sharded = ShardedZgrabCampaign(
+            population=self._streaming_population("heavy"),
+            config=ParallelConfig(
+                shards=shards, workers=workers, mode=mode, resilience=ResiliencePolicy()
+            ),
+        )
+        assert sharded.scan(0) == seq_result
+        assert _fault_counters(sharded.metrics.fault_ledger) == _fault_counters(
+            seq_partial.fault_ledger
+        )
+
+
 class TestKillAndResume:
     def test_zgrab_killed_shards_resume_to_identical_report(self, tmp_path, monkeypatch):
         plan = build_fault_plan("mild", seed=SEED)

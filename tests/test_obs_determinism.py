@@ -138,6 +138,46 @@ class TestExecutorModeInvariance:
         assert bare.scan(0) == _observed_result
 
 
+class TestStreamingInvariance:
+    """The same guarantees hold when the population is streamed instead
+    of materialized (site derivation happens inside the shard workers)."""
+
+    @pytest.fixture(scope="class")
+    def streaming_population(self):
+        from repro.internet.streaming import StreamingPopulation
+
+        return StreamingPopulation("alexa", seed=42, size=250)
+
+    def test_serial_vs_thread(self, streaming_population):
+        with use_clock(TickClock()):
+            serial_result, serial_metrics, serial_obs = _zgrab_run(
+                streaming_population, "serial", 1
+            )
+        thread_result, thread_metrics, thread_obs = _zgrab_run(
+            streaming_population, "thread", SHARDS
+        )
+        assert serial_result == thread_result
+        assert (
+            serial_metrics.merged_registry().counters
+            == thread_metrics.merged_registry().counters
+        )
+        assert _span_view(serial_obs) == _span_view(thread_obs)
+
+    def test_streamed_resume_counters_match_fresh(self, streaming_population, tmp_path):
+        checkpoint_dir = str(tmp_path / "journals")
+        fresh_result, fresh_metrics, _ = _zgrab_run(
+            streaming_population, "serial", 1, checkpoint_dir=checkpoint_dir
+        )
+        resumed_result, resumed_metrics, _ = _zgrab_run(
+            streaming_population, "serial", 1, checkpoint_dir=checkpoint_dir
+        )
+        assert resumed_result == fresh_result
+        assert _nonhealth_counters(
+            resumed_metrics.merged_registry()
+        ) == _nonhealth_counters(fresh_metrics.merged_registry())
+        assert resumed_metrics.merged_registry().counter("health.checkpoint.resumed") > 0
+
+
 class TestResumedRunInvariance:
     def test_resumed_counters_match_fresh(self, population, tmp_path):
         checkpoint_dir = str(tmp_path / "journals")
