@@ -1,0 +1,104 @@
+"""Verdict-server throughput under the acceptance-criteria load.
+
+Measures wall-clock requests/second through the full service path
+(admission → fetch → tier-aware cascade → verdict) for two regimes and
+emits them into BENCH_SUMMARY.json so CI can pin server cost per request
+across commits:
+
+- ``requests_per_sec_clean``: fault-free run at nominal capacity — the
+  pure cascade cost;
+- ``requests_per_sec_overload``: heavy chaos at 2× capacity with a
+  mid-run hot reload and a rejected reload — the run the acceptance
+  criteria gate (bounded queue, balanced ledger, zero mixed bundles,
+  measured here so a regression that slows degraded serving shows up
+  as a throughput drop).
+
+Note requests/second here is *wall-clock* service throughput (how fast
+the simulation serves), not simulated load — the simulated timeline is
+fixed by the seed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit, emit_json
+from repro.analysis.reporting import render_table
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+SEED = 2018
+
+
+def _run(config):
+    started = time.perf_counter()
+    report = run_loadgen(config)
+    elapsed = time.perf_counter() - started
+    return report, elapsed
+
+
+def test_service_throughput(benchmark):
+    clean_config = LoadgenConfig(
+        seed=SEED, dataset="alexa", scale=0.1, rate=20.0, duration=30.0, tenants=4
+    )
+    overload_config = LoadgenConfig(
+        seed=SEED,
+        dataset="alexa",
+        scale=0.1,
+        rate=48.0,
+        duration=30.0,
+        tenants=4,
+        fault_profile="heavy",
+        reload_at=(10.0,),
+        bad_reload_at=(20.0,),
+    )
+
+    clean_report, clean_elapsed = _run(clean_config)
+    overload_report, _ = _run(overload_config)  # warm caches for the timed run
+    overload_report, overload_elapsed = _run(overload_config)
+    benchmark.pedantic(lambda: run_loadgen(clean_config), rounds=1, iterations=1)
+
+    clean_rate = clean_report.offered / clean_elapsed
+    overload_rate = overload_report.offered / overload_elapsed
+
+    # the acceptance criteria, re-asserted where the numbers are produced
+    assert overload_report.server.ledger.balanced()
+    assert overload_report.counter("service.reload.mixed_bundle") == 0
+    depth = overload_report.server.metrics.gauges["service.queue.depth"]
+    assert depth <= overload_report.config.policy.queue_capacity
+
+    rows = [
+        [
+            "clean @ nominal",
+            clean_report.offered,
+            f"{clean_rate:,.0f}/s",
+            f"{clean_report.shed_rate:.1%}",
+            f"{clean_report.latency_quantile(0.99) * 1000:.0f}ms",
+        ],
+        [
+            "heavy chaos @ 2x",
+            overload_report.offered,
+            f"{overload_rate:,.0f}/s",
+            f"{overload_report.shed_rate:.1%}",
+            f"{overload_report.latency_quantile(0.99) * 1000:.0f}ms",
+        ],
+    ]
+    emit(
+        "service_throughput",
+        render_table(
+            ["regime", "requests", "served/sec (wall)", "shed", "p99 (sim)"], rows
+        ),
+    )
+    emit_json(
+        "service_throughput",
+        {
+            "requests_per_sec_clean": round(clean_rate, 1),
+            "requests_per_sec_overload": round(overload_rate, 1),
+            "clean_requests": clean_report.offered,
+            "overload_requests": overload_report.offered,
+            "overload_shed_rate": round(overload_report.shed_rate, 4),
+            "overload_p99_sim_seconds": round(
+                overload_report.latency_quantile(0.99), 4
+            ),
+            "overload_max_queue_depth": int(depth),
+        },
+    )

@@ -5,6 +5,8 @@ Installed as ``repro-mining``. Subcommands mirror the paper's workflows:
 - ``fingerprint`` — signature + features + classification of .wasm files,
 - ``nocoin``      — match an HTML file's script tags against the list,
 - ``crawl``       — run a scaled zgrab+Chrome campaign over a dataset,
+- ``serve``       — one-shot verdict-server demo over specific domains,
+- ``loadgen``     — seeded open-loop load run against the verdict server,
 - ``shortlinks``  — the cnhv.co study summary,
 - ``attribute``   — simulate the network and attribute Coinhive blocks,
 - ``corpus``      — dump the synthetic Wasm corpus to disk,
@@ -13,7 +15,8 @@ Installed as ``repro-mining``. Subcommands mirror the paper's workflows:
   ``obs diff BASE HEAD`` (counter/latency deltas, ``--fail-on`` gates),
   ``obs explain RUN DOMAIN`` (the evidence chain behind one verdict), and
   ``obs scorecard RUN`` (per-detector precision/recall vs ground truth,
-  with ``--fail-on`` quality gates).
+  with ``--fail-on`` quality gates), and ``obs slo RUN`` (service latency
+  and shed-rate gates over a ``loadgen --run-dir`` run).
 
 Every command is deterministic given ``--seed``.
 """
@@ -124,6 +127,21 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     plan = build_fault_plan(args.fault_profile, seed=args.seed)
     population_size = getattr(args, "population_size", 0) or 0
     streaming = population_size > 0
+    if streaming:
+        from repro.internet.population import DATASETS
+
+        if DATASETS[args.dataset].chrome_crawl and not getattr(args, "zgrab_only", False):
+            # refuse rather than silently skip the Chrome plane: a streamed
+            # chrome-crawl dataset would produce tables missing half the
+            # paper's numbers without saying so
+            print(
+                f"error: --population-size streams the zgrab plane only, but "
+                f"dataset {args.dataset!r} includes a Chrome pass; pass "
+                f"--zgrab-only to run just the zgrab plane, or drop "
+                f"--population-size and use --scale for Chrome experiments",
+                file=sys.stderr,
+            )
+            return 2
     # chaos and checkpoint/resume need the sharded executor (it carries the
     # fault ledgers and the per-shard journals), even with one serial shard;
     # run dirs, heartbeats, and streaming populations ride on it for the
@@ -223,11 +241,6 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         )
     if parallel and zgrab.metrics is not None:
         _print_shard_metrics(zgrab.metrics, "\nzgrab shard metrics (second scan)")
-    if streaming and population.spec.chrome_crawl:
-        print(
-            "\nChrome pass skipped: streaming populations serve the zgrab "
-            "plane only (use --scale builds for Chrome experiments)"
-        )
     if not streaming and population.spec.chrome_crawl:
         if parallel:
             chrome = ShardedChromeCampaign(
@@ -311,6 +324,139 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         write_run(
             args.run_dir, manifest, registry, obs.tracer.spans, population_ledger,
             verdicts=verdicts,
+        )
+        print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.faults.plan import build_fault_plan
+    from repro.internet.population import build_population
+    from repro.service.loadgen import LoadgenConfig, build_requests, synthesize_capture
+    from repro.service.server import ServiceRequest, VerdictServer
+    from repro.wasm.builder import WasmCorpusBuilder
+
+    population = build_population(args.dataset, seed=args.seed, scale=args.scale)
+    server = VerdictServer(
+        population=population,
+        fault_plan=build_fault_plan(args.fault_profile, seed=args.seed),
+    )
+    if args.domains:
+        sites = {site.domain: site for site in population.sites}
+        corpus = WasmCorpusBuilder(root_seed=args.seed)
+        cache: dict = {}
+        requests = []
+        for index, domain in enumerate(args.domains):
+            site = sites.get(domain)
+            if site is None:
+                print(
+                    f"error: {domain!r} is not in the {args.dataset} population "
+                    f"(scale={args.scale})",
+                    file=sys.stderr,
+                )
+                return 2
+            wasm_dumps, websocket_urls = synthesize_capture(site, corpus, cache)
+            arrival = index * 0.1  # spaced arrivals: a demo, not a load test
+            requests.append(
+                ServiceRequest(
+                    tenant="cli",
+                    domain=domain,
+                    arrival=arrival,
+                    deadline=arrival + server.policy.request_deadline,
+                    wasm_dumps=wasm_dumps,
+                    websocket_urls=websocket_urls,
+                    sequence=index,
+                )
+            )
+    else:
+        config = LoadgenConfig(seed=args.seed, dataset=args.dataset, scale=args.scale)
+        requests = build_requests(config, population)[: args.requests]
+    responses = server.run(requests)
+    rows = []
+    for response in responses:
+        if response.status == "ok":
+            verdict = "MINER" if response.is_miner else "clean"
+            detail = response.method if response.is_miner else ""
+        else:
+            verdict = response.status.upper()
+            detail = response.reason
+        rows.append(
+            [
+                response.request.domain,
+                verdict,
+                detail,
+                response.tier,
+                f"{response.latency * 1000:.0f}ms",
+                response.bundle_version,
+            ]
+        )
+    print(
+        render_table(
+            ["domain", "verdict", "via", "tier", "latency", "bundle"],
+            rows,
+            title="verdicts",
+        )
+    )
+    metrics = server.metrics
+    print(
+        f"offered={metrics.counter('service.requests.offered')} "
+        f"completed={metrics.counter('service.requests.completed')} "
+        f"miners={metrics.counter('service.verdict.miner')} "
+        f"errors={metrics.counter('service.fetch.errors')}"
+    )
+    _print_fault_ledger(server.ledger)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        seed=args.seed,
+        dataset=args.dataset,
+        scale=args.scale,
+        rate=args.rate,
+        duration=args.duration,
+        tenants=args.tenants,
+        fault_profile=args.fault_profile or "",
+        reload_at=tuple(args.reload_at or []),
+        bad_reload_at=tuple(args.bad_reload_at or []),
+    )
+    print(
+        f"dataset={config.dataset} offered={config.rate:.0f}r/s x "
+        f"{config.duration:.0f}s tenants={config.tenants} "
+        f"capacity~{config.policy.nominal_capacity:.0f}r/s"
+        + (f" faults={config.fault_profile}" if config.fault_profile else "")
+    )
+    report = run_loadgen(config)
+    print(render_table(["metric", "value"], report.summary_rows(), title="\nload report"))
+    _print_fault_ledger(report.server.ledger)
+    if args.run_dir is not None:
+        from repro.obs.ledger import RunManifest, write_run
+        from repro.obs.metrics import MetricsRegistry
+
+        manifest = RunManifest.build(
+            "loadgen",
+            {
+                "dataset": config.dataset,
+                "seed": config.seed,
+                "scale": config.scale,
+                "rate": config.rate,
+                "duration": config.duration,
+                "tenants": config.tenants,
+                "fault_profile": config.fault_profile,
+                "reload_at": ",".join(str(t) for t in config.reload_at),
+                "bad_reload_at": ",".join(str(t) for t in config.bad_reload_at),
+            },
+        )
+        registry = MetricsRegistry()
+        registry.merge(report.server.metrics)
+        registry.merge(report.server.ledger.as_registry())
+        write_run(
+            args.run_dir, manifest, registry, [], report.server.ledger,
+            verdicts=report.server.verdicts,
         )
         print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
@@ -682,6 +828,41 @@ def _cmd_obs_scorecard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.obs.ledger import TornRunError, load_run
+    from repro.service.slo import evaluate_slo, parse_slo, slo_summary_rows
+
+    try:
+        artifacts = load_run(args.run, allow_torn=args.allow_torn)
+    except (TornRunError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    registry = artifacts.registry
+    if "service.requests.offered" not in registry.counters:
+        print(
+            f"error: {artifacts.path} records no service.* metrics — "
+            f"`obs slo` gates runs written by `loadgen --run-dir`"
+        )
+        return 1
+    print(render_table(["metric", "value"], slo_summary_rows(registry), title="service SLOs"))
+    violations = 0
+    for expression in args.fail_on or []:
+        try:
+            threshold = parse_slo(expression)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        violated, detail = evaluate_slo(threshold, registry)
+        print(detail)
+        if violated:
+            violations += 1
+    if violations:
+        print(f"{violations} SLO(s) violated")
+        return 1
+    return 0
+
+
 def _identity_mismatches(base_identity: dict, head_identity: dict) -> dict:
     mismatches = {}
     for key in sorted(set(base_identity) | set(head_identity)):
@@ -802,6 +983,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="scan only K uniformly-sampled ranks per stratum instead of the "
         "full population (0 = full scan); prevalence tables extrapolate",
     )
+    p.add_argument(
+        "--zgrab-only",
+        action="store_true",
+        help="with --population-size on a Chrome-crawl dataset, explicitly "
+        "run only the zgrab plane (otherwise that combination is an error)",
+    )
     p.add_argument("--shards", type=_positive_int, default=1, help="split the population into N shards")
     p.add_argument("--workers", type=_positive_int, default=1, help="worker pool size for shard execution")
     p.add_argument(
@@ -831,6 +1018,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_crawl)
+
+    p = sub.add_parser("serve", help="one-shot verdict-server demo")
+    p.add_argument(
+        "domains",
+        nargs="*",
+        metavar="DOMAIN",
+        help="domains to ask about (default: a seeded request sample)",
+    )
+    p.add_argument("--dataset", choices=("alexa", "com", "net", "org"), default="alexa")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=12,
+        metavar="N",
+        help="seeded requests to serve when no domains are given",
+    )
+    p.add_argument(
+        "--fault-profile",
+        default="",
+        help="chaos profile: none | mild | heavy | kind=rate,...",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="seeded open-loop load run against the verdict server"
+    )
+    p.add_argument("--dataset", choices=("alexa", "com", "net", "org"), default="alexa")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument(
+        "--rate", type=float, default=40.0,
+        help="aggregate offered load, requests/second split over tenants",
+    )
+    p.add_argument(
+        "--duration", type=float, default=30.0, help="simulated seconds of arrivals"
+    )
+    p.add_argument("--tenants", type=_positive_int, default=4)
+    p.add_argument(
+        "--fault-profile",
+        default="",
+        help="chaos profile: none | mild | heavy | kind=rate,...",
+    )
+    p.add_argument(
+        "--reload-at",
+        type=float,
+        action="append",
+        default=[],
+        metavar="T",
+        help="hot-swap a refreshed detection bundle at simulated time T (repeatable)",
+    )
+    p.add_argument(
+        "--bad-reload-at",
+        type=float,
+        action="append",
+        default=[],
+        metavar="T",
+        help="offer an invalid bundle at simulated time T — rollback demo (repeatable)",
+    )
+    p.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="persist run artifacts here for `obs slo` / `obs explain`",
+    )
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("shortlinks", help="run the cnhv.co study")
     p.add_argument("--scale", type=float, default=0.002)
@@ -952,6 +1204,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="score a run directory without a COMPLETE marker",
     )
     p_score.set_defaults(func=_cmd_obs_scorecard)
+
+    p_slo = obs_sub.add_parser(
+        "slo", help="service SLO gates over a `loadgen --run-dir` run"
+    )
+    p_slo.add_argument("run", metavar="RUN", help="run directory written by `loadgen --run-dir`")
+    p_slo.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="exit non-zero when EXPR holds, e.g. 'p99>0.5' (latency seconds), "
+        "'shed_rate>0.25', 'service.reload.mixed_bundle>0'; absolute values "
+        "only; repeatable",
+    )
+    p_slo.add_argument(
+        "--allow-torn",
+        action="store_true",
+        help="gate a run directory without a COMPLETE marker",
+    )
+    p_slo.set_defaults(func=_cmd_obs_slo)
 
     p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")
     p.add_argument("files", nargs="+")

@@ -23,6 +23,21 @@ from repro.core.nocoin import FilterList, default_nocoin_list
 from repro.obs.evidence import Evidence
 from repro.web.html import extract_scripts
 
+# ---------------------------------------------------------------------------
+# degradation tiers (the service's load-shedding ladder)
+#
+# Under overload the cascade sheds its expensive stages first: dynamic
+# execution profiling, then the feature classifier (leaving exact
+# signature-db lookups), then everything but the NoCoin filter match.
+# Tiers are ordered cheapest-last; ``DEGRADATION_TIERS[i+1]`` is strictly
+# cheaper (and blinder) than ``DEGRADATION_TIERS[i]``.
+
+TIER_FULL = "full"
+TIER_NO_DYNAMIC = "no-dynamic"
+TIER_NO_CLASSIFIER = "no-classifier"
+TIER_STATIC_ONLY = "static-only"
+DEGRADATION_TIERS = (TIER_FULL, TIER_NO_DYNAMIC, TIER_NO_CLASSIFIER, TIER_STATIC_ONLY)
+
 
 @dataclass
 class DetectionReport:
@@ -104,6 +119,87 @@ class PageDetector:
                 _websocket_evidence(page_result.websocket_frames),
             )
         return report
+
+    def detect_request(
+        self,
+        domain: str,
+        html: str,
+        wasm_dumps=(),
+        websocket_urls=(),
+        tier: str = TIER_FULL,
+        dynamic=None,
+    ) -> DetectionReport:
+        """Cascade entry point for request/response serving.
+
+        Runs the detector cascade on a client capture (page HTML plus the
+        wasm modules and WebSocket endpoints the client observed) at the
+        requested degradation ``tier``:
+
+        - ``full``: NoCoin → signature db → classifier → ``dynamic``
+          (execution profiling, when a detector is supplied),
+        - ``no-dynamic``: drops execution profiling,
+        - ``no-classifier``: exact signature-db lookups only — no feature
+          extraction, no instruction-mix heuristics,
+        - ``static-only``: NoCoin filter match only; submitted wasm is not
+          inspected at all (``wasm_present`` stays False).
+        """
+        if tier not in DEGRADATION_TIERS:
+            raise ValueError(f"unknown degradation tier {tier!r}; expected one of {DEGRADATION_TIERS}")
+        report = DetectionReport(domain=domain)
+        self._apply_nocoin(report, html)
+        if tier == TIER_STATIC_ONLY or not wasm_dumps:
+            return report
+        report.websocket_urls = tuple(sorted(websocket_urls))
+        report.wasm_present = True
+        if tier == TIER_NO_CLASSIFIER:
+            self._signature_only(report, wasm_dumps)
+            return report
+        if self.collect_evidence:
+            report.miner, wasm_evidence = self.classifier.explain_page(
+                wasm_dumps, report.websocket_urls
+            )
+            report.evidence = report.evidence + wasm_evidence
+        else:
+            report.miner = self.classifier.page_is_miner(
+                wasm_dumps, report.websocket_urls
+            )
+        if tier == TIER_FULL and dynamic is not None and not report.is_miner:
+            self._apply_dynamic(report, wasm_dumps, dynamic)
+        return report
+
+    def _signature_only(self, report: DetectionReport, wasm_dumps) -> None:
+        """Exact signature-db lookups; unknown modules stay unclassified."""
+        for dump in wasm_dumps:
+            record = self.classifier.database.lookup(dump)
+            if record is None or not record.is_miner:
+                continue
+            report.miner = Classification(
+                is_miner=True,
+                family=record.family,
+                method="signature",
+                confidence=1.0,
+            )
+            if self.collect_evidence:
+                _, evidence = self.classifier.explain_wasm(dump, report.websocket_urls)
+                report.evidence = report.evidence + (evidence,)
+            return
+
+    def _apply_dynamic(self, report: DetectionReport, wasm_dumps, dynamic) -> None:
+        """Execution-profile modules the static cascade left unclassified."""
+        for dump in wasm_dumps:
+            if self.collect_evidence:
+                is_miner, evidence = dynamic.explain(dump)
+                report.evidence = report.evidence + (evidence,)
+            else:
+                is_miner = dynamic.is_miner(dump)
+            if is_miner:
+                report.miner = Classification(
+                    is_miner=True,
+                    family="unknown-miner",
+                    method="dynamic",
+                    confidence=0.8,
+                )
+                return
 
     def _apply_nocoin(self, report: DetectionReport, html: str) -> None:
         scripts = extract_scripts(html)

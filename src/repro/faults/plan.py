@@ -161,6 +161,18 @@ class FaultPlan:
         """Inject a truncated body for this URL (success, short read)."""
         return self.injects(FaultKind.TRUNCATE, url)
 
+    # -- verdict service ----------------------------------------------------------
+
+    def signature_stall(self, domain: str) -> bool:
+        """Service-plane chaos: stall the signature stage for this request?
+
+        The verdict server charges a stalled lookup extra simulated
+        latency (a cold signature-db shard, a lock convoy) but still
+        answers — an injected-and-recovered fault. Keyed on the domain so
+        identical runs stall identical requests.
+        """
+        return self.injects(FaultKind.SLOW, "service-signature", domain)
+
     # -- WebSockets ---------------------------------------------------------------
 
     def ws_drop_after(self, ws_url: str, session_key: str) -> Optional[int]:

@@ -13,6 +13,7 @@ and a resumed campaign re-derives the same backoff schedule.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, TypeVar
@@ -100,6 +101,11 @@ class CircuitBreaker:
     ``cooldown_rejections`` short-circuited calls, the next one is allowed
     through as a half-open probe. A successful probe closes the breaker;
     a failed one re-opens it and restarts the cooldown.
+
+    Thread-safe: ``allow`` and the two ``record_*`` transitions run under
+    one lock, and ``probe_in_flight`` guarantees the half-open window
+    admits exactly one probe — concurrent callers under the thread
+    executor are short-circuited until the probe's outcome is recorded.
     """
 
     policy: BreakerPolicy = field(default_factory=BreakerPolicy)
@@ -107,37 +113,50 @@ class CircuitBreaker:
     state: str = CLOSED
     consecutive_failures: int = 0
     rejections: int = 0
+    probe_in_flight: bool = False
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def allow(self) -> bool:
         """May the next call proceed? (May transition open → half-open.)"""
-        if self.state == OPEN:
-            if self.rejections >= self.policy.cooldown_rejections:
-                self.state = HALF_OPEN
-                if self.ledger is not None:
-                    self.ledger.breaker_half_open += 1
-                return True
-            self.rejections += 1
-            return False
-        return True
+        with self._lock:
+            if self.state == OPEN:
+                if self.rejections >= self.policy.cooldown_rejections:
+                    self.state = HALF_OPEN
+                    self.probe_in_flight = True
+                    if self.ledger is not None:
+                        self.ledger.breaker_half_open += 1
+                    return True
+                self.rejections += 1
+                return False
+            if self.state == HALF_OPEN and self.probe_in_flight:
+                self.rejections += 1
+                return False
+            if self.state == HALF_OPEN:
+                self.probe_in_flight = True
+            return True
 
     def record_success(self) -> None:
-        if self.state != CLOSED:
-            self.state = CLOSED
-            if self.ledger is not None:
-                self.ledger.breaker_closed += 1
-        self.consecutive_failures = 0
-        self.rejections = 0
+        with self._lock:
+            if self.state != CLOSED:
+                self.state = CLOSED
+                if self.ledger is not None:
+                    self.ledger.breaker_closed += 1
+            self.consecutive_failures = 0
+            self.rejections = 0
+            self.probe_in_flight = False
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if self.state == HALF_OPEN or (
-            self.state == CLOSED
-            and self.consecutive_failures >= self.policy.failure_threshold
-        ):
-            self.state = OPEN
-            self.rejections = 0
-            if self.ledger is not None:
-                self.ledger.breaker_opened += 1
+        with self._lock:
+            self.consecutive_failures += 1
+            self.probe_in_flight = False
+            if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.policy.failure_threshold
+            ):
+                self.state = OPEN
+                self.rejections = 0
+                if self.ledger is not None:
+                    self.ledger.breaker_opened += 1
 
 
 @dataclass

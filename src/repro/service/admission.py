@@ -1,0 +1,148 @@
+"""Admission control for the verdict server.
+
+Three gates stand between an arriving request and the cascade, checked
+in order and each with its own ``service.*`` counter:
+
+1. **Per-tenant token buckets** (:class:`TokenBucket`): refill is a pure
+   function of simulated time, so two runs with the same seed admit the
+   same requests. Over-rate tenants are rejected immediately
+   (``service.rejected.rate_limit``) — one tenant cannot starve the
+   queue for everyone else.
+2. **The bounded queue** (:class:`AdmissionQueue`): depth never exceeds
+   ``queue_capacity``; arrivals past the bound are shed
+   (``service.rejected.queue_full``). An unbounded queue under overload
+   is just a slow crash.
+3. **Deadline-aware dequeue**: a request whose deadline already passed
+   by the time the server would start it is rejected on dequeue
+   (``service.rejected.deadline``) instead of burning cascade stages on
+   an answer nobody is waiting for — the same deadline-propagation
+   discipline :mod:`repro.faults.resilience` applies to fetch retries.
+
+Past admission, :meth:`ServicePolicy.tier_for_depth` maps the queue
+depth observed at dequeue onto a degradation tier: the deeper the
+backlog, the more cascade stages are shed (dynamic first, then the
+classifier, then everything but NoCoin).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.detector import (
+    DEGRADATION_TIERS,
+    TIER_FULL,
+    TIER_NO_CLASSIFIER,
+    TIER_NO_DYNAMIC,
+    TIER_STATIC_ONLY,
+)
+from repro.faults.resilience import RetryPolicy
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Everything tunable about admission, degradation, and stage costs.
+
+    Stage costs are simulated seconds per executed cascade stage,
+    calibrated against the per-site stage profile in BENCH_SUMMARY.json
+    (fetch and dynamic execution dominate; signature lookup is a hash
+    probe). ``nominal_capacity`` is the advertised full-tier throughput
+    — the load generator's "2× capacity" overload runs key off it.
+    """
+
+    queue_capacity: int = 32
+    #: queue depth at dequeue ≥ threshold → shed one more stage
+    degrade_thresholds: tuple = (4, 12, 24)
+    #: simulated seconds a request may spend end-to-end (arrival → answer)
+    request_deadline: float = 2.0
+    #: per-tenant token bucket: sustained requests/second and burst size
+    tenant_rate: float = 8.0
+    tenant_burst: float = 16.0
+    #: stage costs (simulated seconds)
+    fetch_cost: float = 0.04
+    static_cost: float = 0.002
+    signature_cost: float = 0.001
+    classify_cost: float = 0.006
+    dynamic_cost: float = 0.05
+    #: extra simulated seconds a chaos-stalled signature lookup burns
+    signature_stall_cost: float = 0.25
+    #: per-attempt fetch timeout (the propagated deadline shrinks it)
+    fetch_timeout: float = 0.5
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=2, backoff_base=0.05)
+    )
+
+    @property
+    def nominal_capacity(self) -> float:
+        """Full-tier requests/second on a clean page (fetch + static)."""
+        return 1.0 / (self.fetch_cost + self.static_cost)
+
+    def tier_for_depth(self, depth: int) -> str:
+        """Degradation tier for a queue depth observed at dequeue."""
+        t1, t2, t3 = self.degrade_thresholds
+        if depth >= t3:
+            return TIER_STATIC_ONLY
+        if depth >= t2:
+            return TIER_NO_CLASSIFIER
+        if depth >= t1:
+            return TIER_NO_DYNAMIC
+        return TIER_FULL
+
+    def __post_init__(self) -> None:
+        if len(self.degrade_thresholds) != 3:
+            raise ValueError("degrade_thresholds must name 3 depths (tier 1..3)")
+        if list(self.degrade_thresholds) != sorted(self.degrade_thresholds):
+            raise ValueError("degrade_thresholds must be non-decreasing")
+        assert len(DEGRADATION_TIERS) == 4  # ladder and thresholds stay in sync
+
+
+@dataclass
+class TokenBucket:
+    """A deterministic token bucket over simulated time.
+
+    ``try_take(now)`` refills ``rate * (now - last)`` tokens (capped at
+    ``burst``) and spends one if available. No wall clock, no jitter —
+    admission is a pure function of the arrival timeline.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = 0.0
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.tokens = self.burst
+
+    def try_take(self, now: float) -> bool:
+        if now > self.last_refill:
+            self.tokens = min(self.burst, self.tokens + self.rate * (now - self.last_refill))
+            self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class AdmissionQueue:
+    """The bounded FIFO between admission and the cascade."""
+
+    capacity: int
+    _items: deque = field(default_factory=deque)
+
+    def offer(self, request) -> bool:
+        """Enqueue unless full; False means the request was shed."""
+        if len(self._items) >= self.capacity:
+            return False
+        self._items.append(request)
+        return True
+
+    def take(self):
+        return self._items.popleft()
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

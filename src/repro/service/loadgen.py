@@ -1,0 +1,232 @@
+"""The seeded open-loop load generator.
+
+Open-loop means arrivals do not wait for responses: each tenant is an
+independent Poisson process (via
+:meth:`~repro.sim.rng.RngStream.exponential_interarrivals`), so offered
+load keeps arriving at the configured rate no matter how slow the server
+gets — the regime where admission control actually earns its keep.
+Everything is a pure function of the seed: arrival times, which domain
+each request asks about, and the client capture attached to it.
+
+Client captures are synthesized from population ground truth, modeling
+the browser-extension consumer: a request for a miner site carries that
+site's actual corpus wasm (rebuilt deterministically from its
+``(family, wasm_variant)``) and the family's WebSocket backend; benign
+wasm sites carry their module; everything else is HTML-only. That makes
+service-side recall directly measurable against
+``population.ground_truth_miners()`` — including how much recall a
+degraded tier gives up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.detector import TIER_STATIC_ONLY
+from repro.core.nocoin import FilterList
+from repro.faults.plan import build_fault_plan
+from repro.internet.population import build_population
+from repro.service.admission import ServicePolicy
+from repro.service.bundles import DetectionBundle
+from repro.service.server import ServiceRequest, VerdictServer
+from repro.sim.rng import RngStream
+from repro.wasm.builder import FAMILY_PROFILES, ModuleBlueprint, WasmCorpusBuilder
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load run: who arrives, how fast, for how long."""
+
+    seed: int = 2018
+    dataset: str = "alexa"
+    scale: float = 0.1
+    #: aggregate offered load (requests/second, split evenly over tenants)
+    rate: float = 40.0
+    #: simulated seconds of arrivals
+    duration: float = 30.0
+    tenants: int = 4
+    fault_profile: str = ""
+    #: simulated times at which a refreshed (valid) bundle is hot-swapped
+    reload_at: tuple = ()
+    #: simulated times at which an *invalid* bundle is offered (rollback demo)
+    bad_reload_at: tuple = ()
+    policy: ServicePolicy = field(default_factory=ServicePolicy)
+    collect_evidence: bool = True
+
+
+@dataclass
+class LoadReport:
+    """Everything a load run produced, summarized."""
+
+    config: LoadgenConfig
+    server: VerdictServer
+    responses: list
+
+    # -- derived views -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.server.metrics.counter(name)
+
+    @property
+    def offered(self) -> int:
+        return self.counter("service.requests.offered")
+
+    @property
+    def completed(self) -> int:
+        return self.counter("service.requests.completed")
+
+    @property
+    def rejected(self) -> int:
+        return (
+            self.counter("service.rejected.rate_limit")
+            + self.counter("service.rejected.queue_full")
+            + self.counter("service.rejected.deadline")
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        return self.rejected / max(1, self.offered)
+
+    def latency_quantile(self, q: float) -> float:
+        histogram = self.server.metrics.histograms.get("service.latency")
+        return histogram.quantile(q) if histogram is not None else 0.0
+
+    def recall(self, tier: Optional[str] = None) -> Optional[float]:
+        """Miner recall over served requests (optionally one tier only).
+
+        A response "flags" a miner if any surviving detector fired — the
+        wasm cascade *or* the NoCoin list (which is all a static-only
+        response has left). None when no ground-truth miner was served at
+        that tier: recall is undefined, not perfect.
+        """
+        miners = self.server.population.ground_truth_miners()
+        seen = flagged = 0
+        for response in self.responses:
+            if response.status != "ok" or response.request.domain not in miners:
+                continue
+            if tier is not None and response.tier != tier:
+                continue
+            seen += 1
+            flagged += int(response.is_miner or response.nocoin_hit)
+        if seen == 0:
+            return None
+        return flagged / seen
+
+    def summary_rows(self) -> list:
+        degraded = sum(
+            self.server.metrics.counters_with_prefix("service.degraded.").values()
+        )
+        recall_full = self.recall()
+        recall_static = self.recall(TIER_STATIC_ONLY)
+        return [
+            ["offered", self.offered],
+            ["admitted", self.counter("service.requests.admitted")],
+            ["completed", self.completed],
+            ["rejected: rate-limit", self.counter("service.rejected.rate_limit")],
+            ["rejected: queue-full", self.counter("service.rejected.queue_full")],
+            ["rejected: deadline", self.counter("service.rejected.deadline")],
+            ["shed rate", f"{self.shed_rate:.1%}"],
+            ["degraded responses", degraded],
+            ["max queue depth", int(self.server.metrics.gauges.get("service.queue.depth", 0.0))],
+            ["latency p50", f"{self.latency_quantile(0.5) * 1000:.0f}ms"],
+            ["latency p99", f"{self.latency_quantile(0.99) * 1000:.0f}ms"],
+            ["miner recall (all tiers)", "n/a" if recall_full is None else f"{recall_full:.0%}"],
+            ["miner recall (static-only)", "n/a" if recall_static is None else f"{recall_static:.0%}"],
+            ["reloads applied/rejected",
+             f"{self.counter('service.reload.applied')}/{self.counter('service.reload.rejected')}"],
+        ]
+
+
+# ---------------------------------------------------------------------------
+# request synthesis
+
+
+def synthesize_capture(site, corpus: WasmCorpusBuilder, cache: dict) -> tuple:
+    """(wasm_dumps, websocket_urls) a client would have captured on ``site``."""
+    if site.role == "miner":
+        key = (site.family, site.wasm_variant)
+        if key not in cache:
+            cache[key] = corpus.build(ModuleBlueprint(site.family, site.wasm_variant))
+        backend = FAMILY_PROFILES[site.family].backend
+        urls = (backend % 1,) if backend is not None else ()
+        return (cache[key],), urls
+    if site.role == "benign-wasm":
+        key = (site.family, site.wasm_variant)
+        if key not in cache:
+            cache[key] = corpus.build(ModuleBlueprint(site.family, site.wasm_variant))
+        return (cache[key],), ()
+    return (), ()
+
+
+def build_requests(config: LoadgenConfig, population) -> list:
+    """The full seeded arrival schedule, sorted by arrival time."""
+    rng = RngStream(config.seed, "loadgen", config.dataset)
+    corpus = WasmCorpusBuilder(root_seed=config.seed)
+    cache: dict = {}
+    sites = population.sites
+    per_tenant_rate = config.rate / max(1, config.tenants)
+    arrivals = []
+    for tenant_index in range(config.tenants):
+        tenant = f"tenant-{tenant_index}"
+        times = rng.substream("arrivals", tenant)
+        picks = rng.substream("domains", tenant)
+        for when in times.exponential_interarrivals(per_tenant_rate, config.duration):
+            site = sites[picks.randint(0, len(sites) - 1)]
+            wasm_dumps, websocket_urls = synthesize_capture(site, corpus, cache)
+            arrivals.append(
+                (when, tenant, site.domain, wasm_dumps, websocket_urls)
+            )
+    arrivals.sort(key=lambda item: (item[0], item[1]))
+    deadline = config.policy.request_deadline
+    return [
+        ServiceRequest(
+            tenant=tenant,
+            domain=domain,
+            arrival=when,
+            deadline=when + deadline,
+            wasm_dumps=wasm_dumps,
+            websocket_urls=websocket_urls,
+            sequence=sequence,
+        )
+        for sequence, (when, tenant, domain, wasm_dumps, websocket_urls) in enumerate(arrivals)
+    ]
+
+
+def build_reloads(config: LoadgenConfig) -> list:
+    """(when, bundle) events: valid refreshes plus doomed candidates."""
+    reloads = [
+        (when, DetectionBundle.build(f"refresh-{index + 1}"))
+        for index, when in enumerate(config.reload_at)
+    ]
+    for index, when in enumerate(config.bad_reload_at):
+        # an empty filter list never validates: exercises rollback
+        version = f"broken-{index + 1}"
+        reference = DetectionBundle.build(version)
+        broken = DetectionBundle(
+            version=version,
+            filters=FilterList(),
+            signatures=reference.signatures,
+            filter_version=version,
+            db_version=version,
+        )
+        reloads.append((when, broken))
+    reloads.sort(key=lambda item: item[0])
+    return reloads
+
+
+def run_loadgen(config: LoadgenConfig, population=None) -> LoadReport:
+    """Run one seeded open-loop load campaign against a fresh server."""
+    if population is None:
+        population = build_population(
+            config.dataset, seed=config.seed, scale=config.scale
+        )
+    server = VerdictServer(
+        population=population,
+        policy=config.policy,
+        fault_plan=build_fault_plan(config.fault_profile, seed=config.seed),
+        collect_evidence=config.collect_evidence,
+    )
+    requests = build_requests(config, population)
+    responses = server.run(requests, reloads=build_reloads(config))
+    return LoadReport(config=config, server=server, responses=responses)

@@ -75,6 +75,28 @@ class TestCampaignCommands:
         assert "Chrome pass" in out
         assert "detection factor" in out
 
+    def test_crawl_population_size_on_chrome_dataset_is_a_hard_error(self, capsys):
+        # streaming serves the zgrab plane only; silently skipping the Chrome
+        # pass would drop half the paper's tables, so it must refuse loudly
+        assert main(
+            ["crawl", "--dataset", "alexa", "--population-size", "100"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "zgrab plane only" in captured.err
+        assert "--zgrab-only" in captured.err
+        assert "zgrab pass" not in captured.out  # nothing ran
+
+    def test_crawl_population_size_chrome_dataset_allowed_with_zgrab_only(self, capsys):
+        assert main(
+            [
+                "--seed", "3", "crawl", "--dataset", "alexa",
+                "--population-size", "60", "--zgrab-only",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "zgrab pass" in out
+        assert "Chrome pass" not in out
+
     def test_shortlinks(self, capsys):
         assert main(["--seed", "3", "shortlinks", "--scale", "0.0005"]) == 0
         out = capsys.readouterr().out

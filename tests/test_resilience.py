@@ -5,6 +5,8 @@ this PR (narrowed exception handling, hang/timeout and redirect budgets).
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.faults.checkpoint import (
@@ -121,6 +123,52 @@ class TestCircuitBreaker:
         assert registry.get("a").state == OPEN
         assert registry.get("b").state == CLOSED
         assert registry.open_keys() == ["a"]
+
+
+class TestHalfOpenConcurrency:
+    """The half-open window must admit exactly one probe, even when the
+    thread executor has many workers hammering the same breaker."""
+
+    def test_exactly_one_probe_admitted_per_half_open_window(self):
+        breaker = CircuitBreaker(
+            policy=BreakerPolicy(failure_threshold=1, cooldown_rejections=0)
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+        workers = 16
+        barrier = threading.Barrier(workers)
+        admitted = []
+
+        def contend() -> None:
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=contend) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        assert breaker.state == HALF_OPEN
+
+        # a failed probe re-opens; the next window again admits exactly one
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert [breaker.allow() for _ in range(8)].count(True) == 1
+
+    def test_window_stays_occupied_until_probe_outcome_recorded(self):
+        breaker = CircuitBreaker(
+            policy=BreakerPolicy(failure_threshold=1, cooldown_rejections=0)
+        )
+        breaker.record_failure()
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # window occupied: probe still in flight
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() and breaker.allow()  # closed: calls flow freely
 
 
 class TestCheckpointJournal:
@@ -278,6 +326,29 @@ class TestHangAndTimeout:
         # the next backoff (10 s) blows the deadline, so only one retry ran
         assert result.attempts == 2
         assert ledger.retries == 1
+
+    def test_deadline_smaller_than_minimum_backoff_books_no_retry(self):
+        """When even the first backoff outlives the remaining deadline,
+        the failure is reported as a deadline immediately: one attempt,
+        no sleep booked, no ledger retry recorded."""
+        web = _single_site_web("https://www.hang.example/", Resource(hang=True))
+        ledger = FaultLedger()
+        fetcher = ZgrabFetcher(
+            web,
+            timeout=10.0,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=3, backoff_base=30.0),
+                breaker=None,
+                deadline=12.0,
+            ),
+        )
+        result = fetcher.fetch_domain("hang.example", ledger=ledger)
+        assert not result.ok
+        assert result.error_class == "deadline"
+        # attempt 1 (10 s) left 2 s of budget; the minimum backoff is 30 s
+        assert result.attempts == 1
+        assert ledger.retries == 0
+        assert ledger.balanced()
 
 
 class TestRedirectBudgets:

@@ -244,6 +244,7 @@ class TestScorecardStrata:
                 "crawl",
                 "--dataset", "alexa",
                 "--population-size", str(SIZE),
+                "--zgrab-only",
                 "--strata", STRATA_TEXT,
                 "--run-dir", str(run_dir),
             ]
