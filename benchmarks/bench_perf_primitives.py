@@ -150,3 +150,135 @@ def test_perf_browser_visit(benchmark):
 
     result = benchmark(visit)
     assert result.status == "ok"
+
+
+# -- fastpath vs reference detection hot paths -------------------------------
+#
+# Same workload through both implementations, so every row in the summary
+# has a visible twin and BENCH_SUMMARY.json carries the speedup CI gates on.
+
+from repro.core import fastpath  # noqa: E402
+from repro.core.signatures import unordered_signature, whole_module_signature  # noqa: E402
+from repro.web.html import extract_scripts, scan_scripts  # noqa: E402
+
+_NOCOIN = default_nocoin_list().warm()
+#: ~500 mostly-clean URLs with a sprinkle of hits — the shape of a real
+#: crawl, where nearly every URL walks the whole rule list before "clean"
+_URLS = [
+    f"https://site-{i}.example/assets/app-{i % 17}.js" for i in range(480)
+] + [
+    "https://coinhive.com/lib/coinhive.min.js",
+    "https://cdn.example/static/coinhive.min.js",
+    "https://authedmine.com/lib/authedmine.min.js",
+    "https://crypto-loot.com/lib/miner.js",
+] * 5
+
+
+def _match_all_urls():
+    return [_NOCOIN.match_url(url) for url in _URLS]
+
+
+def test_perf_filter_urls_fastpath(benchmark):
+    with fastpath.configure(True):
+        benchmark(_match_all_urls)
+
+
+def test_perf_filter_urls_reference(benchmark):
+    with fastpath.configure(False):
+        benchmark(_match_all_urls)
+
+
+def test_perf_wasm_signature_memoized(benchmark):
+    cache = fastpath.WasmCache()
+    cache.ordered_signature(_WASM)  # warm: steady state is all hits
+
+    def lookup():
+        return (
+            cache.ordered_signature(_WASM),
+            cache.unordered_signature(_WASM),
+            cache.whole_module_signature(_WASM),
+        )
+
+    benchmark(lookup)
+
+
+def test_perf_wasm_signature_reference(benchmark):
+    def recompute():
+        return (
+            wasm_signature(_WASM),
+            unordered_signature(_WASM),
+            whole_module_signature(_WASM),
+        )
+
+    benchmark(recompute)
+
+
+def test_perf_html_scan_fastpath(benchmark):
+    benchmark(scan_scripts, _HTML)
+
+
+def test_perf_html_scan_reference(benchmark):
+    benchmark(extract_scripts, _HTML)
+
+
+def test_fastpath_speedup_summary():
+    """Measure both implementations head-to-head and persist the ratios.
+
+    Min-of-repeats wall time over the reference workload (the bundled
+    NoCoin list at its full rule count, the crawl-shaped URL batch, the
+    benchmark page, the coinhive module); the acceptance gate pins the
+    filter-matching speedup at >= 3x and CI reads the emitted JSON.
+    """
+    import time
+
+    from conftest import emit, emit_json
+
+    def best_of(fn, repeats=7):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    with fastpath.configure(True):
+        fast_urls = best_of(_match_all_urls)
+    with fastpath.configure(False):
+        ref_urls = best_of(_match_all_urls)
+
+    fast_scan = best_of(lambda: scan_scripts(_HTML))
+    ref_scan = best_of(lambda: extract_scripts(_HTML))
+
+    cache = fastpath.WasmCache()
+    cache.ordered_signature(_WASM)
+    fast_sig = best_of(
+        lambda: (cache.ordered_signature(_WASM), cache.unordered_signature(_WASM))
+    )
+    ref_sig = best_of(lambda: (wasm_signature(_WASM), unordered_signature(_WASM)))
+
+    payload = {
+        "rule_count": len(_NOCOIN),
+        "url_batch": len(_URLS),
+        "filter_match_speedup": round(ref_urls / fast_urls, 2),
+        "static_scan_speedup": round(ref_scan / fast_scan, 2),
+        "signature_memo_speedup": round(ref_sig / fast_sig, 2),
+        "filter_match_us_per_url": {
+            "fastpath": round(fast_urls / len(_URLS) * 1e6, 3),
+            "reference": round(ref_urls / len(_URLS) * 1e6, 3),
+        },
+    }
+    emit_json("fastpath", payload)
+    emit(
+        "fastpath",
+        "\n".join(
+            [
+                f"filter-list matching ({len(_NOCOIN)} rules, {len(_URLS)} URLs): "
+                f"{payload['filter_match_speedup']}x",
+                f"static HTML script scan: {payload['static_scan_speedup']}x",
+                f"wasm signature memo (warm): {payload['signature_memo_speedup']}x",
+            ]
+        ),
+    )
+    assert payload["filter_match_speedup"] >= 3.0, payload
+    assert payload["static_scan_speedup"] >= 1.0, payload
+    assert payload["signature_memo_speedup"] >= 1.0, payload

@@ -22,6 +22,7 @@ from repro.analysis.parallel import (
 )
 from repro.analysis.reporting import render_day_hour_heatmap, render_table
 from repro.analysis.shortlink import ShortLinkStudy
+from repro.core import fastpath
 from repro.core.pool_association import BlockAttributor
 from repro.faults.ledger import FaultLedger
 from repro.obs.clock import get_clock
@@ -80,6 +81,9 @@ class ReproductionConfig:
     strata: str = ""
     #: scan only K sampled ranks per stratum (0 = the full population)
     sample_per_stratum: int = 0
+    #: batched detection hot paths (repro.core.fastpath); False selects
+    #: the rule-by-rule reference paths — verdicts are identical either way
+    fastpath: bool = True
 
 
 @dataclass
@@ -107,6 +111,7 @@ class ReproductionReport:
 def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> ReproductionReport:
     """Run every experiment; returns the assembled report."""
     config = config if config is not None else ReproductionConfig()
+    fastpath.set_enabled(config.fastpath)
     report = ReproductionReport(config=config)
     observe = bool(config.trace_out) or config.profile or config.run_dir is not None
     obs = make_obs(prefix="repro") if observe else NULL_OBS
@@ -348,6 +353,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
                 "population_size": config.population_size,
                 "strata": config.strata,
                 "sample_per_stratum": config.sample_per_stratum,
+                "fastpath": config.fastpath,
             },
         )
         registry = MetricsRegistry()

@@ -121,6 +121,9 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     from repro.obs.heartbeat import ProgressReporter
     from repro.obs.profile import NULL_OBS, make_obs, render_profile
 
+    from repro.core import fastpath
+
+    fastpath.set_enabled(args.fastpath)
     observe = bool(args.trace_out) or args.profile or args.run_dir is not None
     obs = make_obs(prefix="crawl") if observe else NULL_OBS
     progress = ProgressReporter(args.heartbeat) if args.heartbeat > 0 else None
@@ -316,6 +319,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 "population_size": population_size,
                 "strata": getattr(args, "strata", "") or "",
                 "sample_per_stratum": getattr(args, "sample_per_stratum", 0) or 0,
+                "fastpath": bool(args.fastpath),
             },
         )
         registry = MetricsRegistry()
@@ -331,12 +335,14 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import render_table
+    from repro.core import fastpath
     from repro.faults.plan import build_fault_plan
     from repro.internet.population import build_population
     from repro.service.loadgen import LoadgenConfig, build_requests, synthesize_capture
     from repro.service.server import ServiceRequest, VerdictServer
     from repro.wasm.builder import WasmCorpusBuilder
 
+    fastpath.set_enabled(args.fastpath)
     population = build_population(args.dataset, seed=args.seed, scale=args.scale)
     server = VerdictServer(
         population=population,
@@ -411,8 +417,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import render_table
+    from repro.core import fastpath
     from repro.service.loadgen import LoadgenConfig, run_loadgen
 
+    fastpath.set_enabled(args.fastpath)
     config = LoadgenConfig(
         seed=args.seed,
         dataset=args.dataset,
@@ -449,6 +457,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 "fault_profile": config.fault_profile,
                 "reload_at": ",".join(str(t) for t in config.reload_at),
                 "bad_reload_at": ",".join(str(t) for t in config.bad_reload_at),
+                "fastpath": bool(args.fastpath),
             },
         )
         registry = MetricsRegistry()
@@ -511,6 +520,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
     config = ReproductionConfig(
         seed=args.seed,
+        fastpath=bool(args.fastpath),
         crawl_scale=args.crawl_scale,
         population_size=args.population_size,
         strata=args.strata,
@@ -933,6 +943,18 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fastpath_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fastpath",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the batched detection hot paths (combined filter-list "
+        "automaton, wasm decode/signature memo, single-pass HTML scan); "
+        "--no-fastpath selects the rule-by-rule reference paths — "
+        "verdicts are byte-identical either way",
+    )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -1017,6 +1039,7 @@ def build_parser() -> argparse.ArgumentParser:
         "Chrome pass instead of building the reference database",
     )
     _add_obs_flags(p)
+    _add_fastpath_flag(p)
     p.set_defaults(func=_cmd_crawl)
 
     p = sub.add_parser("serve", help="one-shot verdict-server demo")
@@ -1040,6 +1063,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="chaos profile: none | mild | heavy | kind=rate,...",
     )
+    _add_fastpath_flag(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1082,6 +1106,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist run artifacts here for `obs slo` / `obs explain`",
     )
+    _add_fastpath_flag(p)
     p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("shortlinks", help="run the cnhv.co study")
@@ -1129,6 +1154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="crawl checkpoint-journal directory (see `crawl --resume-from`)",
     )
     _add_obs_flags(p)
+    _add_fastpath_flag(p)
     p.set_defaults(func=_cmd_reproduce)
 
     p = sub.add_parser("obs", help="analyze persisted run directories")

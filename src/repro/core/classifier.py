@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core import fastpath
 from repro.core.features import WasmFeatures, extract_features
 from repro.core.signatures import SignatureDatabase, wasm_signature
 from repro.obs.evidence import Evidence
@@ -79,7 +80,10 @@ class MinerClassifier:
                 confidence=1.0,
             )
         try:
-            features = extract_features(wasm_bytes)
+            if fastpath.enabled():
+                features = fastpath.shared_cache().features(wasm_bytes)
+            else:
+                features = extract_features(wasm_bytes)
         except WasmDecodeError:
             return Classification(False, "invalid", "none", 0.0)
 
@@ -155,7 +159,13 @@ class MinerClassifier:
         verdict = "miner" if classification.is_miner else "benign"
         if classification.method == "signature":
             record = self.database.lookup(wasm_bytes)
-            hashes = len(function_body_bytes(wasm_bytes))
+            if fastpath.enabled():
+                cache = fastpath.shared_cache()
+                hashes = len(cache.bodies(wasm_bytes))
+                signature = cache.ordered_signature(wasm_bytes)
+            else:
+                hashes = len(function_body_bytes(wasm_bytes))
+                signature = wasm_signature(wasm_bytes)
             return Evidence(
                 detector="signature",
                 verdict=verdict,
@@ -164,7 +174,7 @@ class MinerClassifier:
                     f"({hashes} function hashes)"
                 ),
                 details=(
-                    ("signature", wasm_signature(wasm_bytes)),
+                    ("signature", signature),
                     ("db_family", record.family),
                     ("db_is_miner", str(record.is_miner)),
                     ("db_variant", str(record.variant)),

@@ -24,6 +24,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core import fastpath
+
 
 @dataclass(frozen=True)
 class FilterRule:
@@ -40,6 +42,20 @@ class FilterRule:
     #: number there, so a hit can cite the exact list line that fired
     source: str = ""
     line_number: int = 0
+
+    def to_line(self) -> str:
+        """Reconstruct the list line this rule parsed from.
+
+        ``parse_rule(rule.to_line())`` returns an equal rule for every
+        rule ``parse_rule`` can produce (the round-trip property pinned
+        in the test suite) — ``raw`` holds the stripped body, so the
+        ``@@`` / ``||`` / ``$options`` decorations are re-applied here.
+        """
+        body = f"/{self.regex}/" if self.regex is not None else (
+            ("||" if self.domain_anchor else "") + self.pattern
+        )
+        options = "$" + ",".join(self.options) if self.options else ""
+        return ("@@" if self.is_exception else "") + body + options
 
     def compile(self) -> "CompiledRule":
         if self.regex is not None:
@@ -71,10 +87,14 @@ class CompiledRule:
     def matches_url(self, url: str) -> bool:
         return bool(self.matcher.search(url))
 
-    def matches_text(self, text: str) -> bool:
-        # inline text has no scheme; strip the URL anchor for text scans
+    def matches_text(self, text: str, lowered: Optional[str] = None) -> bool:
+        # inline text has no scheme; strip the URL anchor for text scans.
+        # ``lowered`` lets list-level scans lower the document once
+        # instead of once per rule.
         if self.rule.domain_anchor:
-            return self.rule.pattern.split("^")[0].lower() in text.lower()
+            if lowered is None:
+                lowered = text.lower()
+            return self.rule.pattern.split("^")[0].lower() in lowered
         return bool(self.matcher.search(text))
 
     def find_url(self, url: str) -> Optional[str]:
@@ -82,11 +102,13 @@ class CompiledRule:
         found = self.matcher.search(url)
         return found.group(0) if found is not None else None
 
-    def find_text(self, text: str) -> Optional[str]:
+    def find_text(self, text: str, lowered: Optional[str] = None) -> Optional[str]:
         """The matched text span, or None — the explainable ``matches_text``."""
         if self.rule.domain_anchor:
             needle = self.rule.pattern.split("^")[0].lower()
-            at = text.lower().find(needle)
+            if lowered is None:
+                lowered = text.lower()
+            at = lowered.find(needle)
             return text[at : at + len(needle)] if at >= 0 else None
         found = self.matcher.search(text)
         return found.group(0) if found is not None else None
@@ -164,6 +186,9 @@ class FilterList:
     rules: list = field(default_factory=list)
     _compiled: list = field(default_factory=list, repr=False)
     _exceptions: list = field(default_factory=list, repr=False)
+    #: lazily built combined automaton (repro.core.fastpath); invalidated
+    #: by add() so it always reflects the current rule set
+    _fastset: Optional[object] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_lines(
@@ -190,6 +215,20 @@ class FilterList:
             self._exceptions.append(compiled)
         else:
             self._compiled.append(compiled)
+        self._fastset = None
+
+    def _fast(self) -> "fastpath.CompiledFilterSet":
+        if self._fastset is None:
+            self._fastset = fastpath.CompiledFilterSet(
+                self._compiled, self._exceptions
+            )
+        return self._fastset
+
+    def warm(self) -> "FilterList":
+        """Pre-build the combined automaton (service bundles do this at
+        packaging time so a hot swap never pays compile cost mid-request)."""
+        self._fast()
+        return self
 
     def match_url(self, url: str) -> Optional[FilterRule]:
         """First matching (non-excepted) rule for a script URL, or None.
@@ -198,6 +237,13 @@ class FilterList:
         script-src URLs, which is exactly the resource type those rules
         target.
         """
+        if fastpath.enabled():
+            found = self._fast().find_url(url)
+            if found is None:
+                return None
+            if self._fast().any_exception_url(url):
+                return None
+            return found[0].rule
         for compiled in self._compiled:
             if compiled.matches_url(url):
                 if any(exc.matches_url(url) for exc in self._exceptions):
@@ -209,8 +255,12 @@ class FilterList:
         """First rule whose pattern occurs in inline script text, or None."""
         if not text:
             return None
+        if fastpath.enabled():
+            found = self._fast().find_text(text)
+            return found[0].rule if found is not None else None
+        lowered = text.lower()
         for compiled in self._compiled:
-            if compiled.matches_text(text):
+            if compiled.matches_text(text, lowered):
                 return compiled.rule
         return None
 
@@ -231,6 +281,16 @@ class FilterList:
 
     def explain_url(self, url: str) -> Optional[FilterMatch]:
         """Like :meth:`match_url`, but returns the rule *and* matched span."""
+        if fastpath.enabled():
+            found = self._fast().find_url(url)
+            if found is None:
+                return None
+            if self._fast().any_exception_url(url):
+                return None
+            compiled, matched = found
+            return FilterMatch(
+                rule=compiled.rule, where="url", subject=url, matched=matched
+            )
         for compiled in self._compiled:
             matched = compiled.find_url(url)
             if matched is not None:
@@ -245,8 +305,18 @@ class FilterList:
         """Like :meth:`match_text`, but returns the rule and matched span."""
         if not text:
             return None
+        if fastpath.enabled():
+            found = self._fast().find_text(text)
+            if found is None:
+                return None
+            compiled, matched = found
+            subject = text if len(text) <= 120 else text[:117] + "..."
+            return FilterMatch(
+                rule=compiled.rule, where="text", subject=subject, matched=matched
+            )
+        lowered = text.lower()
         for compiled in self._compiled:
-            matched = compiled.find_text(text)
+            matched = compiled.find_text(text, lowered)
             if matched is not None:
                 subject = text if len(text) <= 120 else text[:117] + "..."
                 return FilterMatch(

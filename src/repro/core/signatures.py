@@ -17,7 +17,19 @@ import json
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core import fastpath
 from repro.wasm.decoder import WasmDecodeError, function_body_bytes
+
+
+def digest_bodies(bodies) -> str:
+    """SHA-256 over length-prefixed function bodies — the digest both the
+    ordered and unordered signatures (and their memoized fastpath
+    variants) are defined in terms of."""
+    digest = hashlib.sha256()
+    for body in bodies:
+        digest.update(len(body).to_bytes(4, "little"))
+        digest.update(body)
+    return digest.hexdigest()
 
 
 def wasm_signature(wasm_bytes: bytes) -> str:
@@ -25,12 +37,7 @@ def wasm_signature(wasm_bytes: bytes) -> str:
 
     Raises :class:`~repro.wasm.decoder.WasmDecodeError` for non-wasm input.
     """
-    bodies = function_body_bytes(wasm_bytes)
-    digest = hashlib.sha256()
-    for body in bodies:
-        digest.update(len(body).to_bytes(4, "little"))
-        digest.update(body)
-    return digest.hexdigest()
+    return digest_bodies(function_body_bytes(wasm_bytes))
 
 
 def unordered_signature(wasm_bytes: bytes) -> str:
@@ -40,12 +47,7 @@ def unordered_signature(wasm_bytes: bytes) -> str:
     coarser identity. Compared against the paper's ordered signature in
     ``benchmarks/bench_ablation_signatures.py``.
     """
-    bodies = sorted(function_body_bytes(wasm_bytes))
-    digest = hashlib.sha256()
-    for body in bodies:
-        digest.update(len(body).to_bytes(4, "little"))
-        digest.update(body)
-    return digest.hexdigest()
+    return digest_bodies(sorted(function_body_bytes(wasm_bytes)))
 
 
 def whole_module_signature(wasm_bytes: bytes) -> str:
@@ -103,7 +105,10 @@ class SignatureDatabase:
     def lookup(self, wasm_bytes: bytes) -> Optional[SignatureRecord]:
         """Find the record for a captured module, or None if unknown."""
         try:
-            signature = wasm_signature(wasm_bytes)
+            if fastpath.enabled():
+                signature = fastpath.shared_cache().ordered_signature(wasm_bytes)
+            else:
+                signature = wasm_signature(wasm_bytes)
         except WasmDecodeError:
             return None
         return self.records.get(signature)

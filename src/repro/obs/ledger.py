@@ -47,8 +47,11 @@ COMPLETE_MARKER = "COMPLETE"
 #: Campaign parameters that select an execution *strategy* rather than a
 #: workload. Two runs that differ only here are still comparable in
 #: ``repro obs diff`` — that is the whole point of diffing (e.g. a heavy
-#: fault profile against a clean baseline, or 8 shards against 1).
-EXECUTION_PARAMS = frozenset({"shards", "workers", "executor", "fault_profile", "heartbeat"})
+#: fault profile against a clean baseline, 8 shards against 1, or the
+#: fastpath automatons against the rule-by-rule reference detectors).
+EXECUTION_PARAMS = frozenset(
+    {"shards", "workers", "executor", "fault_profile", "heartbeat", "fastpath"}
+)
 
 
 class TornRunError(RuntimeError):

@@ -58,8 +58,13 @@ class DetectionBundle:
         filters: Optional[FilterList] = None,
         signatures: Optional[SignatureDatabase] = None,
     ) -> "DetectionBundle":
-        """Package a bundle; defaults to the bundled list + reference db."""
-        return cls(
+        """Package a bundle; defaults to the bundled list + reference db.
+
+        The filter list's combined automaton is built here, at packaging
+        time, so a hot swap ships a warm fastpath and never pays compile
+        cost on the request path.
+        """
+        bundle = cls(
             version=version,
             filters=filters if filters is not None else default_nocoin_list(),
             signatures=(
@@ -68,6 +73,8 @@ class DetectionBundle:
             filter_version=version,
             db_version=version,
         )
+        bundle.filters.warm()
+        return bundle
 
     def consistent(self) -> bool:
         return self.filter_version == self.version == self.db_version
@@ -137,6 +144,7 @@ class BundleStore:
             except BundleValidationError:
                 self._inc("service.reload.rejected")
                 return False
+            candidate.filters.warm()  # bundles built by hand warm up here
             self._active = candidate
             self.generation += 1
             self.history.append(candidate.version)

@@ -282,6 +282,80 @@ class HtmlParser:
         self.pos = self.length if end == -1 else end + 1
 
 
+class ScriptScanner(HtmlParser):
+    """Single-pass, zero-copy script extractor for the zgrab hot path.
+
+    Runs the exact tokenizer state machine of :class:`HtmlParser` —
+    comment/declaration skipping, quote-aware tag-end search, raw-text
+    consumption — but never builds a DOM: the only allocations are the
+    ``(src, inline_text)`` pairs themselves. Because mismatched end tags
+    never pop the synthetic root and every tokenized start tag lands in
+    the tree, the parser emits exactly one script per ``<script>`` start
+    tag in encounter order — which is what this scanner emits directly.
+    ``scan_scripts(html) == extract_scripts(html)`` for all inputs (the
+    differential suite fuzzes this).
+    """
+
+    def __init__(self, text: str) -> None:
+        super().__init__(text)
+        self._lower: Optional[str] = None
+
+    def scan(self) -> list:
+        scripts: list = []
+        while self.pos < self.length:
+            if self.text.startswith("<!--", self.pos):
+                self._skip_comment()
+            elif self.text.startswith("<!", self.pos) or self.text.startswith("<?", self.pos):
+                self._skip_declaration()
+            elif self.text.startswith("</", self.pos):
+                self._skip_end_tag()
+            elif self.text.startswith("<", self.pos) and self._looks_like_tag():
+                self._scan_start_tag(scripts)
+            else:
+                next_tag = self.text.find("<", self.pos + 1)
+                self.pos = self.length if next_tag == -1 else next_tag
+        return scripts
+
+    def _skip_end_tag(self) -> None:
+        end = self.text.find(">", self.pos)
+        self.pos = self.length if end == -1 else end + 1
+
+    def _scan_start_tag(self, scripts: list) -> None:
+        end = self._find_tag_end(self.pos)
+        if end == -1:
+            # truncated mid-tag: swallow the rest
+            self.pos = self.length
+            return
+        raw = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        self_closing = raw.rstrip().endswith("/")
+        if self_closing:
+            raw = raw.rstrip()[:-1]
+        tag, attrs = self._parse_tag_contents(raw)
+        if not tag:
+            return
+        if tag in RAW_TEXT_ELEMENTS and not self_closing:
+            inline = self._consume_raw_text_span(tag)
+            if tag == "script":
+                scripts.append((attrs.get("src"), inline))
+        elif tag == "script":
+            scripts.append((attrs.get("src"), ""))
+
+    def _consume_raw_text_span(self, tag: str) -> str:
+        close = f"</{tag}"
+        if self._lower is None:
+            self._lower = self.text.lower()
+        idx = self._lower.find(close, self.pos)
+        if idx == -1:
+            chunk = self.text[self.pos :]
+            self.pos = self.length
+            return chunk
+        chunk = self.text[self.pos : idx]
+        end = self.text.find(">", idx)
+        self.pos = self.length if end == -1 else end + 1
+        return chunk
+
+
 def parse_html(text: str) -> HtmlDocument:
     """Parse ``text`` into an :class:`HtmlDocument` (never raises)."""
     return HtmlParser(text).parse()
@@ -290,3 +364,8 @@ def parse_html(text: str) -> HtmlDocument:
 def extract_scripts(html: str) -> list:
     """Convenience: ``(src, inline_text)`` for every script tag in ``html``."""
     return parse_html(html).scripts()
+
+
+def scan_scripts(html: str) -> list:
+    """``extract_scripts`` without the DOM: one traversal, no tree."""
+    return ScriptScanner(html).scan()

@@ -110,3 +110,73 @@ class TestScriptsMatching:
 
     def test_default_list_has_many_rules(self):
         assert len(default_nocoin_list()) >= 15
+
+
+class TestParsingEdgeCases:
+    def test_regex_rule_containing_dollar(self):
+        # "$" inside a /regex/ body is an end-of-string anchor, not an
+        # option separator — the options split must not fire
+        rule = parse_rule(r"/miner\.js$/")
+        assert rule.regex == r"miner\.js$"
+        assert rule.options == ()
+
+    def test_regex_rule_with_alternation_and_dollar(self):
+        rule = parse_rule(r"/(?:coin|mine)r?$/")
+        assert rule.regex == r"(?:coin|mine)r?$"
+
+    def test_empty_body_with_options_rejected(self):
+        with pytest.raises(FilterListError):
+            parse_rule("||$script")
+
+    def test_empty_exception_body_rejected(self):
+        with pytest.raises(FilterListError):
+            parse_rule("@@||")
+
+    def test_exception_rule_with_options(self):
+        rule = parse_rule("@@||goodsite.com^$script,domain=partner.example")
+        assert rule.is_exception
+        assert rule.domain_anchor
+        assert rule.options == ("script", "domain=partner.example")
+
+    def test_round_trip_stability(self):
+        lines = [
+            "||coinhive.com^",
+            "@@||goodsite.com^/opt-in",
+            "coinhive.min.js",
+            r"/cryptonight.*\.wasm/",
+            r"/miner\.js$/",
+            "||miner.com^$script,third-party",
+            "@@||partner.example^$domain=a.example",
+        ]
+        for line in lines:
+            rule = parse_rule(line)
+            assert rule.to_line() == line
+            assert parse_rule(rule.to_line()) == rule
+
+
+class TestTextCaseHandling:
+    def test_mixed_case_domain_anchor_hits_inline_text(self):
+        # regression: domain-anchored needles are lowercase; the scan must
+        # lowercase the subject (once), not miss mixed-case inline text
+        nocoin = default_nocoin_list()
+        text = "var s = 'https://CoinHive.COM/lib/x.js';"
+        rule = nocoin.match_text(text)
+        assert rule is not None and rule.label == "coinhive"
+        match = nocoin.explain_text(text)
+        assert match.matched.lower() == "coinhive.com"
+        assert match.where == "text"
+
+    def test_text_lowered_exactly_once_per_scan(self):
+        from repro.core import fastpath
+
+        class CountingStr(str):
+            def lower(self):
+                lower_calls.append(1)
+                return str.lower(self)
+
+        nocoin = default_nocoin_list()
+        for mode in (True, False):  # automaton and rule-by-rule reference
+            lower_calls = []
+            with fastpath.configure(mode):
+                nocoin.match_text(CountingStr("no miners in THIS inline block"))
+            assert sum(lower_calls) == 1, mode
