@@ -124,6 +124,28 @@ def test_perf_campaign_without_run_dir_reads_no_clock(benchmark):
     assert result.verdicts == (), "NULL_OBS campaign built verdict records"
 
 
+def test_perf_loadgen_without_timeseries_reads_no_clock(benchmark):
+    """The no-``--timeseries-interval`` service path stays zero-cost.
+
+    The verdict server runs entirely on seeded simulated time; with no
+    recorder and no heartbeat attached, a full loadgen campaign must
+    perform **zero** obs-clock reads — windowed telemetry is strictly
+    opt-in overhead.
+    """
+    from repro.obs.clock import TickClock, use_clock
+    from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(seed=11, scale=0.05, rate=20.0, duration=4.0)
+    clock = TickClock()
+    with use_clock(clock):
+        report = benchmark.pedantic(
+            lambda: run_loadgen(config), rounds=1, iterations=1
+        )
+    assert clock.reads == 0, "no-timeseries loadgen path read the obs clock"
+    assert report.recorder is None
+    assert report.timeseries is None
+
+
 def test_perf_obs_span_enabled(benchmark):
     """The enabled path, for comparison against the disabled baseline."""
     from repro.obs.profile import make_obs

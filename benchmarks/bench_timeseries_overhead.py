@@ -1,0 +1,127 @@
+"""Overhead of the windowed-telemetry recorder.
+
+Two measurements, both persisted into BENCH_SUMMARY.json so CI can smoke
+them without scraping tables:
+
+1. the microcost of one ``poll`` that crosses a tick boundary over a
+   service-shaped registry (the per-tick snapshot: counter deltas,
+   histogram bucket diffs, burn-rate rule evaluation), and
+2. the end-to-end cost a 0.5s-interval recorder adds to a seeded loadgen
+   campaign, as a ratio against the same campaign with telemetry off.
+
+The assertions are deliberately generous — they catch "the recorder made
+campaigns several times slower", not scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit, emit_json
+
+from repro.obs.alerts import default_service_rules
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+#: a registry shaped like the verdict server's: a handful of scalar
+#: counters, per-tenant and per-bundle dimensions, two latency histograms
+_TENANTS = 4
+_BUNDLES = 3
+
+
+def _service_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("service.requests.offered", 0)
+    registry.inc("service.requests.completed", 0)
+    registry.inc("service.rejected.queue_full", 0)
+    for t in range(_TENANTS):
+        registry.inc(f"service.tenant.tenant-{t}.offered", 0)
+    for b in range(_BUNDLES):
+        registry.inc(f"service.bundle.v{b}.verdicts", 0)
+    return registry
+
+
+def _spin_registry(registry: MetricsRegistry, step: int) -> None:
+    registry.inc("service.requests.offered", 24)
+    registry.inc("service.requests.completed", 20)
+    registry.inc("service.rejected.queue_full", 4)
+    registry.inc(f"service.tenant.tenant-{step % _TENANTS}.offered", 24)
+    registry.inc(f"service.bundle.v{step % _BUNDLES}.verdicts", 20)
+    registry.inc("service.tier.full", 20)
+    for i in range(20):
+        registry.observe("service.latency", 0.001 * (1 + (step + i) % 40))
+        registry.observe("service.queue_wait", 0.0005 * (1 + (step + i) % 25))
+
+
+def test_perf_timeseries_poll(benchmark):
+    """One boundary-crossing poll: snapshot + rule evaluation."""
+    registry = _service_registry()
+    recorder = TimeSeriesRecorder(
+        registry, interval=1.0, rules=default_service_rules(), capacity=256
+    )
+    state = {"now": 0.0, "step": 0}
+
+    def tick():
+        _spin_registry(registry, state["step"])
+        state["step"] += 1
+        state["now"] += 1.0
+        recorder.poll(state["now"])
+
+    benchmark(tick)
+    assert recorder.records, "benchmark never crossed a tick boundary"
+
+
+def test_timeseries_overhead_summary():
+    """Recorder-on vs recorder-off loadgen, min-of-repeats wall time."""
+    base = dict(seed=11, scale=0.05, rate=24.0, duration=6.0, tenants=2)
+
+    def best_of(config: LoadgenConfig, repeats: int = 5) -> float:
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_loadgen(config)
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    off = best_of(LoadgenConfig(**base))
+    on = best_of(LoadgenConfig(timeseries_interval=0.5, **base))
+
+    report = run_loadgen(LoadgenConfig(timeseries_interval=0.5, **base))
+    ticks = len(report.recorder.records)
+    overhead = round(on / off, 3)
+
+    # per-tick microcost, measured directly (boundary-crossing polls)
+    registry = _service_registry()
+    recorder = TimeSeriesRecorder(
+        registry, interval=1.0, rules=default_service_rules(), capacity=256
+    )
+    polls = 200
+    start = time.perf_counter()
+    for step in range(polls):
+        _spin_registry(registry, step)
+        recorder.poll(float(step + 1))
+    per_tick_us = (time.perf_counter() - start) / polls * 1e6
+
+    payload = {
+        "loadgen_seconds_off": round(off, 4),
+        "loadgen_seconds_on": round(on, 4),
+        "overhead_ratio": overhead,
+        "ticks_recorded": ticks,
+        "poll_us_per_tick": round(per_tick_us, 1),
+    }
+    emit_json("timeseries_overhead", payload)
+    emit(
+        "timeseries_overhead",
+        "\n".join(
+            [
+                f"loadgen {base['duration']}s @ {base['rate']} r/s: "
+                f"off={off * 1e3:.1f}ms on={on * 1e3:.1f}ms "
+                f"({overhead}x, {ticks} ticks)",
+                f"recorder poll (snapshot + rules): {per_tick_us:.1f}us/tick",
+            ]
+        ),
+    )
+    assert ticks > 0, payload
+    # generous: the 0.5s recorder must not multiply campaign cost
+    assert overhead < 3.0, payload

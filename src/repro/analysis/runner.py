@@ -72,6 +72,10 @@ class ReproductionConfig:
     run_dir: Optional[str] = None
     #: emit live progress snapshots every N seconds (0 = off)
     heartbeat: float = 0.0
+    #: record windowed per-tick telemetry every N seconds into the run
+    #: dir's ``timeseries.jsonl`` (0 = off; implies observability and the
+    #: sharded executor, whose progress hooks poll the recorder)
+    timeseries_interval: float = 0.0
     #: stream index-addressable populations of this size instead of
     #: materializing ``crawl_scale`` builds (zgrab plane only; Chrome and
     #: its tables are skipped). Implies the sharded executor.
@@ -113,9 +117,26 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     config = config if config is not None else ReproductionConfig()
     fastpath.set_enabled(config.fastpath)
     report = ReproductionReport(config=config)
-    observe = bool(config.trace_out) or config.profile or config.run_dir is not None
+    observe = (
+        bool(config.trace_out)
+        or config.profile
+        or config.run_dir is not None
+        or config.timeseries_interval > 0
+    )
     obs = make_obs(prefix="repro") if observe else NULL_OBS
     progress = ProgressReporter(config.heartbeat) if config.heartbeat > 0 else None
+    recorder = None
+    if config.timeseries_interval > 0:
+        from repro.obs.timeseries import RecorderProgress, TimeSeriesRecorder
+
+        # origin anchored at the current obs-clock reading: tick times are
+        # relative, and a PerfClock's absolute value is arbitrary
+        recorder = TimeSeriesRecorder(
+            registry=obs.registry,
+            interval=config.timeseries_interval,
+            origin=get_clock().now(),
+        )
+        progress = RecorderProgress(recorder, progress)
     clock = get_clock()
     started = clock.now()
 
@@ -327,6 +348,8 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         ],
     )
 
+    if recorder is not None:
+        recorder.finish(get_clock().now())
     if config.profile:
         rows = profile_rows(obs.registry)
         report.sections["Stage profile"] = (
@@ -350,6 +373,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
                 "executor": config.crawl_executor,
                 "fault_profile": config.fault_profile,
                 "heartbeat": config.heartbeat,
+                "timeseries_interval": config.timeseries_interval,
                 "population_size": config.population_size,
                 "strata": config.strata,
                 "sample_per_stratum": config.sample_per_stratum,
@@ -362,6 +386,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         write_run(
             config.run_dir, manifest, registry, obs.tracer.spans, fault_ledger,
             verdicts=verdicts,
+            timeseries=recorder.timeseries() if recorder is not None else None,
         )
         log(f"[run] artifacts ({manifest.run_id}) -> {config.run_dir}")
 

@@ -124,9 +124,32 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     from repro.core import fastpath
 
     fastpath.set_enabled(args.fastpath)
-    observe = bool(args.trace_out) or args.profile or args.run_dir is not None
+    timeseries_interval = getattr(args, "timeseries_interval", 0.0) or 0.0
+    if timeseries_interval < 0:
+        print("error: --timeseries-interval must be >= 0", file=sys.stderr)
+        return 2
+    observe = (
+        bool(args.trace_out)
+        or args.profile
+        or args.run_dir is not None
+        or timeseries_interval > 0
+    )
     obs = make_obs(prefix="crawl") if observe else NULL_OBS
     progress = ProgressReporter(args.heartbeat) if args.heartbeat > 0 else None
+    recorder = None
+    if timeseries_interval > 0:
+        from repro.obs.clock import get_clock
+        from repro.obs.timeseries import RecorderProgress, TimeSeriesRecorder
+
+        # anchor the tick origin at the current obs-clock reading: under a
+        # PerfClock the absolute time is arbitrary, and TickRecord times
+        # are relative to this origin anyway
+        recorder = TimeSeriesRecorder(
+            registry=obs.registry,
+            interval=timeseries_interval,
+            origin=get_clock().now(),
+        )
+        progress = RecorderProgress(recorder, progress)
     plan = build_fault_plan(args.fault_profile, seed=args.seed)
     population_size = getattr(args, "population_size", 0) or 0
     streaming = population_size > 0
@@ -300,6 +323,15 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if args.trace_out:
         obs.tracer.write_jsonl(args.trace_out)
         print(f"trace: {len(obs.tracer.spans)} spans -> {args.trace_out}")
+    if recorder is not None:
+        from repro.obs.clock import get_clock
+
+        recorder.finish(get_clock().now())
+        fired = sum(1 for event in recorder.alerts if event.kind == "fire")
+        print(
+            f"timeseries: {len(recorder.records)} ticks at "
+            f"{timeseries_interval:g}s, alerts fired {fired}"
+        )
     if args.run_dir is not None:
         from repro.obs.ledger import RunManifest, write_run
         from repro.obs.metrics import MetricsRegistry
@@ -315,6 +347,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 "executor": args.executor,
                 "fault_profile": args.fault_profile or "",
                 "heartbeat": args.heartbeat,
+                "timeseries_interval": timeseries_interval,
                 "signature_db": signature_db or "",
                 "population_size": population_size,
                 "strata": getattr(args, "strata", "") or "",
@@ -328,6 +361,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         write_run(
             args.run_dir, manifest, registry, obs.tracer.spans, population_ledger,
             verdicts=verdicts,
+            timeseries=recorder.timeseries() if recorder is not None else None,
         )
         print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
@@ -342,13 +376,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import ServiceRequest, VerdictServer
     from repro.wasm.builder import WasmCorpusBuilder
 
+    interval = args.timeseries_interval
+    if interval < 0:
+        print("error: --timeseries-interval must be >= 0", file=sys.stderr)
+        return 2
+    if interval > 0 and args.duration <= 0:
+        print(
+            "error: --timeseries-interval needs --duration; the recorder ticks "
+            "along the simulated arrival schedule",
+            file=sys.stderr,
+        )
+        return 2
+    if args.duration > 0 and args.domains:
+        print(
+            "error: --duration runs a seeded arrival schedule and cannot be "
+            "combined with explicit domains",
+            file=sys.stderr,
+        )
+        return 2
+    if interval > 0 and interval >= args.duration:
+        print(
+            f"error: --timeseries-interval ({interval:g}s) must be smaller than "
+            f"--duration ({args.duration:g}s) — otherwise the run records at "
+            f"most one tick and every burn-rate window is unpopulated",
+            file=sys.stderr,
+        )
+        return 2
     fastpath.set_enabled(args.fastpath)
     population = build_population(args.dataset, seed=args.seed, scale=args.scale)
     server = VerdictServer(
         population=population,
         fault_plan=build_fault_plan(args.fault_profile, seed=args.seed),
     )
-    if args.domains:
+    duration_mode = args.duration > 0
+    recorder = None
+    if duration_mode:
+        config = LoadgenConfig(
+            seed=args.seed,
+            dataset=args.dataset,
+            scale=args.scale,
+            rate=args.rate,
+            duration=args.duration,
+        )
+        requests = build_requests(config, population)
+        if interval > 0:
+            from repro.obs.alerts import default_service_rules
+            from repro.obs.timeseries import TimeSeriesRecorder
+
+            flush_path = None
+            if args.run_dir is not None:
+                flush_path = pathlib.Path(args.run_dir) / "timeseries.jsonl"
+                flush_path.parent.mkdir(parents=True, exist_ok=True)
+            recorder = TimeSeriesRecorder(
+                registry=server.metrics,
+                interval=interval,
+                rules=default_service_rules(),
+                flush_path=flush_path,
+            )
+            server.recorder = recorder
+        if args.heartbeat > 0:
+            from repro.obs.heartbeat import ProgressReporter
+
+            server.progress = ProgressReporter(
+                args.heartbeat,
+                label="serve",
+                clock=lambda: server.clock.now,
+                health=server.service_health,
+            )
+        print(
+            f"dataset={args.dataset} offered={args.rate:g}r/s x "
+            f"{args.duration:g}s capacity~{server.policy.nominal_capacity:.0f}r/s"
+        )
+    elif args.domains:
         sites = {site.domain: site for site in population.sites}
         corpus = WasmCorpusBuilder(root_seed=args.seed)
         cache: dict = {}
@@ -379,31 +478,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config = LoadgenConfig(seed=args.seed, dataset=args.dataset, scale=args.scale)
         requests = build_requests(config, population)[: args.requests]
     responses = server.run(requests)
-    rows = []
-    for response in responses:
-        if response.status == "ok":
-            verdict = "MINER" if response.is_miner else "clean"
-            detail = response.method if response.is_miner else ""
-        else:
-            verdict = response.status.upper()
-            detail = response.reason
-        rows.append(
-            [
-                response.request.domain,
-                verdict,
-                detail,
-                response.tier,
-                f"{response.latency * 1000:.0f}ms",
-                response.bundle_version,
-            ]
+    if recorder is not None:
+        recorder.finish(server.clock.now)
+    if not duration_mode:
+        # the per-domain verdict table is a demo view; a --duration run
+        # serves rate x duration requests and summarizes instead
+        rows = []
+        for response in responses:
+            if response.status == "ok":
+                verdict = "MINER" if response.is_miner else "clean"
+                detail = response.method if response.is_miner else ""
+            else:
+                verdict = response.status.upper()
+                detail = response.reason
+            rows.append(
+                [
+                    response.request.domain,
+                    verdict,
+                    detail,
+                    response.tier,
+                    f"{response.latency * 1000:.0f}ms",
+                    response.bundle_version,
+                ]
+            )
+        print(
+            render_table(
+                ["domain", "verdict", "via", "tier", "latency", "bundle"],
+                rows,
+                title="verdicts",
+            )
         )
-    print(
-        render_table(
-            ["domain", "verdict", "via", "tier", "latency", "bundle"],
-            rows,
-            title="verdicts",
-        )
-    )
     metrics = server.metrics
     print(
         f"offered={metrics.counter('service.requests.offered')} "
@@ -411,7 +515,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"miners={metrics.counter('service.verdict.miner')} "
         f"errors={metrics.counter('service.fetch.errors')}"
     )
+    if recorder is not None:
+        fired = sum(1 for event in recorder.alerts if event.kind == "fire")
+        resolved = sum(1 for event in recorder.alerts if event.kind == "resolve")
+        print(
+            f"timeseries: {len(recorder.records)} ticks at {interval:g}s, "
+            f"alerts fired/resolved {fired}/{resolved}"
+        )
+        for event in recorder.alerts:
+            print(f"  [{event.kind}] {event.summary}")
     _print_fault_ledger(server.ledger)
+    if args.run_dir is not None:
+        from repro.obs.ledger import RunManifest, write_run
+        from repro.obs.metrics import MetricsRegistry
+
+        manifest = RunManifest.build(
+            "serve",
+            {
+                "dataset": args.dataset,
+                "seed": args.seed,
+                "scale": args.scale,
+                "rate": args.rate,
+                "duration": args.duration,
+                "requests": 0 if duration_mode else len(requests),
+                "domains": ",".join(args.domains or []),
+                "fault_profile": args.fault_profile or "",
+                "timeseries_interval": interval,
+                "heartbeat": args.heartbeat,
+                "fastpath": bool(args.fastpath),
+            },
+        )
+        registry = MetricsRegistry()
+        registry.merge(server.metrics)
+        registry.merge(server.ledger.as_registry())
+        write_run(
+            args.run_dir, manifest, registry, [], server.ledger,
+            verdicts=server.verdicts,
+            timeseries=recorder.timeseries() if recorder is not None else None,
+        )
+        print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
 
 
@@ -421,6 +563,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service.loadgen import LoadgenConfig, run_loadgen
 
     fastpath.set_enabled(args.fastpath)
+    if args.timeseries_interval < 0:
+        print("error: --timeseries-interval must be >= 0", file=sys.stderr)
+        return 2
     config = LoadgenConfig(
         seed=args.seed,
         dataset=args.dataset,
@@ -431,6 +576,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         fault_profile=args.fault_profile or "",
         reload_at=tuple(args.reload_at or []),
         bad_reload_at=tuple(args.bad_reload_at or []),
+        timeseries_interval=args.timeseries_interval,
+        cooldown=args.cooldown,
+        heartbeat=args.heartbeat,
     )
     print(
         f"dataset={config.dataset} offered={config.rate:.0f}r/s x "
@@ -438,8 +586,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"capacity~{config.policy.nominal_capacity:.0f}r/s"
         + (f" faults={config.fault_profile}" if config.fault_profile else "")
     )
-    report = run_loadgen(config)
+    flush_path = None
+    if args.run_dir is not None and config.timeseries_interval > 0:
+        flush_path = pathlib.Path(args.run_dir) / "timeseries.jsonl"
+        flush_path.parent.mkdir(parents=True, exist_ok=True)
+    report = run_loadgen(config, flush_path=flush_path)
     print(render_table(["metric", "value"], report.summary_rows(), title="\nload report"))
+    if report.recorder is not None:
+        for event in report.recorder.alerts:
+            print(f"[{event.kind}] {event.summary}")
     _print_fault_ledger(report.server.ledger)
     if args.run_dir is not None:
         from repro.obs.ledger import RunManifest, write_run
@@ -457,6 +612,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 "fault_profile": config.fault_profile,
                 "reload_at": ",".join(str(t) for t in config.reload_at),
                 "bad_reload_at": ",".join(str(t) for t in config.bad_reload_at),
+                "timeseries_interval": config.timeseries_interval,
+                "cooldown": config.cooldown,
+                "heartbeat": config.heartbeat,
                 "fastpath": bool(args.fastpath),
             },
         )
@@ -466,6 +624,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         write_run(
             args.run_dir, manifest, registry, [], report.server.ledger,
             verdicts=report.server.verdicts,
+            timeseries=report.timeseries,
         )
         print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
@@ -536,6 +695,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         profile=args.profile,
         run_dir=args.run_dir,
         heartbeat=args.heartbeat,
+        timeseries_interval=args.timeseries_interval,
     )
     report = run_reproduction(config)
     markdown = report.to_markdown()
@@ -873,6 +1033,194 @@ def _cmd_obs_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values) -> str:
+    """Render a value series as unicode block characters (peak-scaled)."""
+    peak = max(values, default=0)
+    if peak <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    chars = []
+    for value in values:
+        if value <= 0:
+            chars.append(_SPARK_BLOCKS[0])
+        else:
+            index = 1 + int(value / peak * (len(_SPARK_BLOCKS) - 2) + 0.5)
+            chars.append(_SPARK_BLOCKS[min(index, len(_SPARK_BLOCKS) - 1)])
+    return "".join(chars)
+
+
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    import fnmatch
+
+    from repro.obs.ledger import TornRunError, load_run
+
+    try:
+        artifacts = load_run(args.run, allow_torn=args.allow_torn)
+    except (TornRunError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    series = artifacts.timeseries
+    if series is None:
+        print(
+            f"error: {artifacts.path} has no timeseries.jsonl — re-run with "
+            f"--timeseries-interval to record windowed telemetry"
+        )
+        return 1
+    print(
+        f"timeseries: {len(series.records)} ticks at {series.interval:g}s "
+        f"({artifacts.manifest.run_id})"
+    )
+    counter_series = series.counter_series()
+    names = sorted(counter_series)
+    if args.metric:
+        names = [name for name in names if fnmatch.fnmatch(name, args.metric)]
+    if args.limit > 0 and len(names) > args.limit:
+        names = sorted(
+            names, key=lambda name: (-sum(counter_series[name]), name)
+        )[: args.limit]
+        names.sort()
+    width = max((len(name) for name in names), default=0)
+    for name in names:
+        deltas = counter_series[name]
+        total = sum(deltas)
+        peak = max(deltas, default=0) / series.interval
+        print(
+            f"  {name:<{width}} {_sparkline(deltas)} "
+            f"total={total} peak={peak:g}/s"
+        )
+    histogram_names = sorted({
+        name for record in series.records for name in record.histograms
+    })
+    if args.metric:
+        histogram_names = [
+            name for name in histogram_names if fnmatch.fnmatch(name, args.metric)
+        ]
+    for name in histogram_names:
+        p99s = [
+            record.histograms[name].quantile(0.99)
+            if name in record.histograms
+            else 0.0
+            for record in series.records
+        ]
+        print(
+            f"  {name + '.p99':<{width}} {_sparkline(p99s)} "
+            f"peak={max(p99s, default=0.0):g}s"
+        )
+    if series.alerts:
+        print("\nalerts:")
+        for event in series.alerts:
+            mark = "!!" if event.kind == "fire" else "ok"
+            print(f"  [{mark}] t={event.time:g}s {event.summary}")
+    failures = []
+    for rule in args.assert_fired or []:
+        if not series.fired(rule):
+            failures.append(f"expected alert {rule!r} to fire, but it never did")
+    for rule in args.assert_not_fired or []:
+        if series.fired(rule):
+            failures.append(f"expected alert {rule!r} to stay silent, but it fired")
+    for failure in failures:
+        print(f"assertion failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _render_top(series, window_ticks: int, limit: int) -> str:
+    from repro.obs.alerts import windowed_value, worst_tier
+
+    records = series.records[-max(1, window_ticks):]
+    span = max(len(records) * series.interval, series.interval)
+    latest = series.records[-1]
+    lines = [
+        f"tick {latest.tick} t={latest.time:g}s "
+        f"(window {span:g}s, {len(series.records)} ticks retained)"
+    ]
+    if any("service.requests.offered" in record.counters for record in records):
+        lines.append(
+            "service: "
+            f"offered={windowed_value('service.requests.offered', records, series.interval):.1f}/s "
+            f"shed={windowed_value('shed_rate', records, series.interval):.1%} "
+            f"p50={windowed_value('p50', records, series.interval) * 1000:.0f}ms "
+            f"p99={windowed_value('p99', records, series.interval) * 1000:.0f}ms "
+            f"tier={worst_tier(records)}"
+        )
+    firing_state: dict = {}
+    for event in series.alerts:
+        firing_state[event.rule] = event.kind == "fire"
+    active = sorted(rule for rule, firing in firing_state.items() if firing)
+    lines.append("alerts firing: " + (", ".join(active) if active else "none"))
+    totals: dict = {}
+    for record in records:
+        for name, delta in record.counters.items():
+            totals[name] = totals.get(name, 0) + delta
+    busiest = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    if limit > 0:
+        busiest = busiest[:limit]
+    for name, total in busiest:
+        lines.append(f"  {total / span:8.1f}/s  {name}")
+    return "\n".join(lines)
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.obs.timeseries import TimeSeriesSchemaError, read_timeseries_jsonl
+
+    path = pathlib.Path(args.run)
+    if path.is_dir():
+        path = path / "timeseries.jsonl"
+    renders = 0
+    while True:
+        if path.exists():
+            try:
+                series = read_timeseries_jsonl(path)
+            except TimeSeriesSchemaError as exc:
+                print(f"error: {exc}")
+                return 1
+            if series.records:
+                print(_render_top(series, args.window, args.limit))
+                renders += 1
+            elif args.watch <= 0:
+                print(f"error: {path} holds no tick records yet")
+                return 1
+            else:
+                print(f"(waiting) {path} holds no tick records yet")
+        elif args.watch <= 0:
+            print(
+                f"error: {path} does not exist — run with "
+                f"--run-dir and --timeseries-interval"
+            )
+            return 1
+        else:
+            # watch mode tails a run that may not have flushed yet
+            print(f"(waiting) {path} does not exist yet")
+        if args.watch <= 0:
+            break
+        if args.iterations and renders >= args.iterations:
+            break
+        time_module.sleep(args.watch)
+        print()
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import TornRunError, load_run
+    from repro.obs.prom import registry_to_prom
+
+    try:
+        artifacts = load_run(args.run, allow_torn=args.allow_torn)
+    except (TornRunError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    text = registry_to_prom(artifacts.registry)
+    if args.out:
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {len(text.splitlines())} exposition lines -> {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _identity_mismatches(base_identity: dict, head_identity: dict) -> dict:
     mismatches = {}
     for key in sorted(set(base_identity) | set(head_identity)):
@@ -940,6 +1288,15 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         default=0.0,
         metavar="SECS",
         help="emit a live progress line every SECS seconds (0 = off)",
+    )
+    p.add_argument(
+        "--timeseries-interval",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="record windowed per-tick telemetry (counter rates, "
+        "windowed latency quantiles) every SECS seconds into "
+        "timeseries.jsonl for `obs timeline` / `obs top` (0 = off)",
     )
 
 
@@ -1059,6 +1416,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded requests to serve when no domains are given",
     )
     p.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="serve a seeded open-loop arrival schedule for SECS simulated "
+        "seconds instead of the N-request demo (enables --timeseries-interval)",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=40.0,
+        help="offered load for --duration mode, requests/second",
+    )
+    p.add_argument(
+        "--timeseries-interval",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="with --duration: record windowed telemetry every SECS simulated "
+        "seconds and evaluate the default burn-rate alert rules",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="with --duration: live progress + service health (queue depth, "
+        "shed rate, degradation tier) every SECS simulated seconds",
+    )
+    p.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="persist run artifacts (metrics, verdicts, timeseries.jsonl) here",
+    )
+    p.add_argument(
         "--fault-profile",
         default="",
         help="chaos profile: none | mild | heavy | kind=rate,...",
@@ -1104,7 +1497,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-dir",
         default=None,
         metavar="DIR",
-        help="persist run artifacts here for `obs slo` / `obs explain`",
+        help="persist run artifacts here for `obs slo` / `obs explain`; with "
+        "--timeseries-interval the recorder rewrites timeseries.jsonl "
+        "atomically every tick so `obs top --watch` can follow the run live",
+    )
+    p.add_argument(
+        "--timeseries-interval",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="record windowed telemetry every SECS simulated seconds and "
+        "evaluate the default burn-rate alert rules (0 = off)",
+    )
+    p.add_argument(
+        "--cooldown",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="keep observing SECS simulated seconds after the last arrival "
+        "drains, so recovered burn-rate alerts resolve on tape",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="live progress + service health (queue depth, shed rate, "
+        "degradation tier) every SECS simulated seconds",
     )
     _add_fastpath_flag(p)
     p.set_defaults(func=_cmd_loadgen)
@@ -1250,6 +1669,110 @@ def build_parser() -> argparse.ArgumentParser:
         help="gate a run directory without a COMPLETE marker",
     )
     p_slo.set_defaults(func=_cmd_obs_slo)
+
+    p_timeline = obs_sub.add_parser(
+        "timeline",
+        help="per-metric sparklines over the run's timeseries, with "
+        "burn-rate alert annotations",
+    )
+    p_timeline.add_argument(
+        "run", metavar="RUN", help="run directory written with --timeseries-interval"
+    )
+    p_timeline.add_argument(
+        "--metric",
+        default="",
+        metavar="GLOB",
+        help="only metrics matching this glob (e.g. 'service.rejected.*')",
+    )
+    p_timeline.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="show only the N busiest counter series (0 = all)",
+    )
+    p_timeline.add_argument(
+        "--assert-fired",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="exit non-zero unless alert RULE fired during the run "
+        "(repeatable; CI gate)",
+    )
+    p_timeline.add_argument(
+        "--assert-not-fired",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="exit non-zero if alert RULE fired during the run (repeatable)",
+    )
+    p_timeline.add_argument(
+        "--allow-torn",
+        action="store_true",
+        help="read a run directory without a COMPLETE marker",
+    )
+    p_timeline.set_defaults(func=_cmd_obs_timeline)
+
+    p_top = obs_sub.add_parser(
+        "top",
+        help="live windowed service/campaign view off a (possibly still "
+        "in-flight) run directory",
+    )
+    p_top.add_argument(
+        "run",
+        metavar="RUN",
+        help="run directory (or a timeseries.jsonl path); reads the "
+        "tick-flushed artifact directly, no COMPLETE marker needed",
+    )
+    p_top.add_argument(
+        "--watch",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="re-read and re-render every SECS wall seconds (0 = render once)",
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --watch: stop after N renders (0 = until interrupted)",
+    )
+    p_top.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        metavar="K",
+        help="trailing ticks per windowed stat",
+    )
+    p_top.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="busiest counters to show (0 = all)",
+    )
+    p_top.set_defaults(func=_cmd_obs_top)
+
+    p_export = obs_sub.add_parser(
+        "export", help="export run metrics for external dashboard stacks"
+    )
+    p_export.add_argument("run", metavar="RUN", help="run directory written by --run-dir")
+    p_export.add_argument(
+        "--format",
+        choices=("prom",),
+        default="prom",
+        help="output format (prom = Prometheus text exposition)",
+    )
+    p_export.add_argument(
+        "--out", default=None, metavar="PATH", help="write here instead of stdout"
+    )
+    p_export.add_argument(
+        "--allow-torn",
+        action="store_true",
+        help="export a run directory without a COMPLETE marker",
+    )
+    p_export.set_defaults(func=_cmd_obs_export)
 
     p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")
     p.add_argument("files", nargs="+")

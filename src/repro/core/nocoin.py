@@ -152,10 +152,15 @@ def parse_rule(
         line, _, opts = line.rpartition("$")
         options = tuple(opt.strip() for opt in opts.split(","))
     if line.startswith("/") and line.endswith("/") and len(line) > 2:
+        body = line[1:-1]
+        try:
+            re.compile(body, re.IGNORECASE)
+        except re.error as exc:
+            raise FilterListError(f"bad regex rule {line!r}: {exc}")
         return FilterRule(
             raw=line,
             pattern="",
-            regex=line[1:-1],
+            regex=body,
             is_exception=is_exception,
             options=options,
             label=label,

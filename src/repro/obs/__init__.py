@@ -20,6 +20,13 @@ The three legs of production-scale campaign accounting:
   (``--heartbeat``), exactly reproducible under ``TickClock``.
 """
 
+from repro.obs.alerts import (
+    AlertEvent,
+    AlertRule,
+    AlertRuleSet,
+    default_service_rules,
+    windowed_value,
+)
 from repro.obs.clock import PerfClock, TickClock, get_clock, set_clock, use_clock
 from repro.obs.heartbeat import ProgressReporter
 from repro.obs.ledger import (
@@ -39,6 +46,19 @@ from repro.obs.profile import (
     profile_rows,
     render_profile,
 )
+from repro.obs.prom import registry_to_prom
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA_VERSION,
+    HistogramWindow,
+    RecorderProgress,
+    TickRecord,
+    TimeSeries,
+    TimeSeriesRecorder,
+    TimeSeriesSchemaError,
+    parse_dimensions,
+    read_timeseries_jsonl,
+    write_timeseries_jsonl,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     Span,
@@ -50,32 +70,48 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AlertEvent",
+    "AlertRule",
+    "AlertRuleSet",
     "DEFAULT_BOUNDS",
     "Histogram",
+    "HistogramWindow",
     "MetricsRegistry",
     "NULL_OBS",
     "OBS_SCHEMA_VERSION",
     "Obs",
     "PerfClock",
     "ProgressReporter",
+    "RecorderProgress",
     "RunArtifacts",
     "RunManifest",
     "Span",
+    "TIMESERIES_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "TickClock",
+    "TickRecord",
+    "TimeSeries",
+    "TimeSeriesRecorder",
+    "TimeSeriesSchemaError",
     "TornRunError",
     "TraceSchemaError",
     "Tracer",
+    "default_service_rules",
     "get_clock",
     "load_run",
     "make_obs",
+    "parse_dimensions",
     "parse_jsonl",
     "profile_payload",
     "profile_rows",
     "read_jsonl",
+    "read_timeseries_jsonl",
+    "registry_to_prom",
     "render_profile",
     "set_clock",
     "spans_to_jsonl",
     "use_clock",
+    "windowed_value",
     "write_run",
+    "write_timeseries_jsonl",
 ]

@@ -31,12 +31,20 @@ class ProgressReporter:
         interval: float,
         emit: Optional[Callable[[str], None]] = None,
         label: str = "campaign",
+        health: Optional[Callable[[], dict]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"heartbeat interval must be positive, got {interval!r}")
         self.interval = float(interval)
         self.label = label
         self._emit = emit
+        #: optional live-health provider: its key=value pairs (e.g. queue
+        #: depth, shed rate, degradation tier) are appended to every line
+        self._health = health
+        #: timestamps default to the obs clock; the verdict service passes
+        #: its sim clock so service heartbeats tick in simulated seconds
+        self._now = clock if clock is not None else (lambda: get_clock().now())
         self._lock = threading.Lock()
         self._active = False
         self._started = 0.0
@@ -61,7 +69,7 @@ class ProgressReporter:
             self.faults = 0
             self.breakers_opened = 0
             self.breakers_closed = 0
-            self._started = get_clock().now()
+            self._started = self._now()
             self._last_emit = self._started
             self._active = True
 
@@ -82,7 +90,7 @@ class ProgressReporter:
             self.faults += faults
             self.breakers_opened += breakers_opened
             self.breakers_closed += breakers_closed
-            now = get_clock().now()
+            now = self._now()
             if now - self._last_emit >= self.interval:
                 self._last_emit = now
                 self._out(self._line(now))
@@ -93,7 +101,7 @@ class ProgressReporter:
             if not self._active:
                 return
             self._active = False
-            self._out(self._line(get_clock().now(), final=True))
+            self._out(self._line(self._now(), final=True))
 
     # -- formatting ---------------------------------------------------------------
 
@@ -121,4 +129,6 @@ class ProgressReporter:
         parts.append(f"failed={self.failed}")
         parts.append(f"faults={self.faults}")
         parts.append(f"breakers_open={open_breakers}")
+        if self._health is not None:
+            parts.extend(f"{key}={value}" for key, value in self._health().items())
         return " ".join(parts)

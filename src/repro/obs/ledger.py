@@ -37,6 +37,7 @@ from repro.faults.ledger import FaultLedger
 from repro.obs.evidence import read_verdicts_jsonl, write_verdicts_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import profile_payload
+from repro.obs.timeseries import TimeSeries, read_timeseries_jsonl, write_timeseries_jsonl
 from repro.obs.trace import Span, read_jsonl, spans_to_jsonl
 
 #: Version of the run-directory layout (manifest/metrics/profile schemas).
@@ -50,7 +51,16 @@ COMPLETE_MARKER = "COMPLETE"
 #: fault profile against a clean baseline, 8 shards against 1, or the
 #: fastpath automatons against the rule-by-rule reference detectors).
 EXECUTION_PARAMS = frozenset(
-    {"shards", "workers", "executor", "fault_profile", "heartbeat", "fastpath"}
+    {
+        "shards",
+        "workers",
+        "executor",
+        "fault_profile",
+        "heartbeat",
+        "fastpath",
+        "timeseries_interval",
+        "cooldown",
+    }
 )
 
 
@@ -160,6 +170,7 @@ class RunArtifacts:
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
     profile: list = field(default_factory=list)
     verdicts: list = field(default_factory=list)
+    timeseries: Optional[TimeSeries] = None
     complete: bool = True
 
 
@@ -174,14 +185,17 @@ def write_run(
     spans: Iterable[Span],
     fault_ledger: Optional[FaultLedger] = None,
     verdicts=None,
+    timeseries: Optional[TimeSeries] = None,
 ) -> pathlib.Path:
     """Persist one run's artifacts; the ``COMPLETE`` marker lands last.
 
     ``verdicts`` (an iterable of
     :class:`~repro.obs.evidence.VerdictRecord`) lands as
-    ``verdicts.jsonl``; a stale verdicts file from a previous write into
-    the same directory is removed when this run has none. The manifest
-    lists every artifact file actually written.
+    ``verdicts.jsonl``, and ``timeseries`` (a
+    :class:`~repro.obs.timeseries.TimeSeries` from a run recorded with
+    ``--timeseries-interval``) as ``timeseries.jsonl``; a stale file from
+    a previous write into the same directory is removed when this run has
+    none. The manifest lists every artifact file actually written.
     """
     directory = pathlib.Path(run_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -197,6 +211,14 @@ def write_run(
         artifacts.append("verdicts.jsonl")
     elif verdicts_path.exists():
         verdicts_path.unlink()
+    timeseries_path = directory / "timeseries.jsonl"
+    has_timeseries = timeseries is not None and bool(
+        timeseries.records or timeseries.alerts
+    )
+    if has_timeseries:
+        artifacts.append("timeseries.jsonl")
+    elif timeseries_path.exists():
+        timeseries_path.unlink()
     manifest = replace(manifest, artifacts=tuple(artifacts))
     _dump_json(directory / "manifest.json", manifest.to_dict())
     _dump_json(directory / "metrics.json", registry.to_dict())
@@ -205,6 +227,8 @@ def write_run(
     _dump_json(directory / "ledger.json", (fault_ledger or FaultLedger()).to_dict())
     if verdicts:
         write_verdicts_jsonl(verdicts_path, verdicts)
+    if has_timeseries:
+        write_timeseries_jsonl(timeseries_path, timeseries)
     tmp = directory / (COMPLETE_MARKER + ".tmp")
     tmp.write_text(manifest.run_id + "\n")
     os.replace(tmp, marker)
@@ -256,6 +280,10 @@ def load_run(run_dir, allow_torn: bool = False) -> RunArtifacts:
     profile = json.loads(profile_path.read_text()) if profile_path.exists() else []
     verdicts_path = directory / "verdicts.jsonl"
     verdicts = read_verdicts_jsonl(verdicts_path) if verdicts_path.exists() else []
+    timeseries_path = directory / "timeseries.jsonl"
+    timeseries = (
+        read_timeseries_jsonl(timeseries_path) if timeseries_path.exists() else None
+    )
     return RunArtifacts(
         path=directory,
         manifest=manifest,
@@ -264,5 +292,6 @@ def load_run(run_dir, allow_torn: bool = False) -> RunArtifacts:
         fault_ledger=fault_ledger,
         profile=profile,
         verdicts=verdicts,
+        timeseries=timeseries,
         complete=complete,
     )

@@ -46,6 +46,10 @@ class Histogram:
 
     def __post_init__(self) -> None:
         self.bounds = tuple(self.bounds)
+        # bucketing compares in the exact integer-ns domain: dividing ns
+        # by 1e9 can round an observation *down* onto a bound it exceeds,
+        # silently shifting it a bucket low at bucket boundaries
+        self._bounds_ns = tuple(_to_ns(bound) for bound in self.bounds)
         if self.counts is None:
             self.counts = [0] * (len(self.bounds) + 1)
         if len(self.counts) != len(self.bounds) + 1:
@@ -55,10 +59,9 @@ class Histogram:
         self.observe_ns(_to_ns(seconds))
 
     def observe_ns(self, ns: int) -> None:
-        seconds = ns / _NS
         bucket = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if seconds <= bound:
+        for i, bound_ns in enumerate(self._bounds_ns):
+            if ns <= bound_ns:
                 bucket = i
                 break
         self.counts[bucket] += 1
@@ -94,17 +97,23 @@ class Histogram:
     def max_seconds(self) -> float:
         return (self.max_ns or 0) / _NS
 
+    @property
+    def min_seconds(self) -> float:
+        return (self.min_ns or 0) / _NS
+
     def quantile(self, q: float) -> float:
         """Approximate quantile: the upper bound of the covering bucket.
 
         Exact at the extremes (min/max are tracked precisely); inner
         quantiles are bucket-resolution, which is what a merged-histogram
-        representation can honestly offer.
+        representation can honestly offer. Inner results are clamped into
+        ``[min, max]`` so quantiles are monotone in ``q`` even when a
+        bound's float form sits a hair under the tracked extreme.
         """
         if not self.count:
             return 0.0
         if q <= 0:
-            return (self.min_ns or 0) / _NS
+            return self.min_seconds
         if q >= 1:
             return self.max_seconds
         target = q * self.count
@@ -113,7 +122,7 @@ class Histogram:
             cumulative += n
             if cumulative >= target:
                 if i < len(self.bounds):
-                    return min(self.bounds[i], self.max_seconds)
+                    return max(min(self.bounds[i], self.max_seconds), self.min_seconds)
                 return self.max_seconds
         return self.max_seconds
 

@@ -1,0 +1,116 @@
+"""Prometheus text-format export of a run's metrics.
+
+``repro obs export RUN --format prom`` renders a persisted
+:class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus exposition
+format, so any external scraper/dashboard stack can consume a run (or a
+live ``timeseries.jsonl``-refreshed run directory) without repro-specific
+tooling:
+
+- counters become ``<prefix>_<name>_total`` counter samples,
+- gauges become gauge samples,
+- histograms become the conventional cumulative ``_bucket{le=...}`` /
+  ``_sum`` / ``_count`` triplet (bounds in seconds),
+- service dimensions embedded in metric names
+  (``service.tenant.tenant-0.offered``) are lifted into labels via
+  :func:`~repro.obs.timeseries.parse_dimensions`, so per-tenant /
+  per-tier / per-bundle / per-stratum series group the way a Prometheus
+  user expects.
+
+Output is deterministically ordered (sorted metric, then sorted labels),
+so twin same-seed runs export byte-identical text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import parse_dimensions
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize(key)}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:g}"
+
+
+def registry_to_prom(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render a registry as Prometheus exposition text."""
+    lines = []
+
+    def metric_name(base: str, suffix: str = "") -> str:
+        return _sanitize(f"{prefix}.{base}") + suffix
+
+    counter_groups: dict = {}
+    for name, value in registry.counters.items():
+        base, labels = parse_dimensions(name)
+        counter_groups.setdefault(metric_name(base, "_total"), []).append(
+            (labels, value)
+        )
+    for metric in sorted(counter_groups):
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in sorted(
+            counter_groups[metric], key=lambda item: sorted(item[0].items())
+        ):
+            lines.append(f"{metric}{_labels_text(labels)} {_format_value(value)}")
+
+    gauge_groups: dict = {}
+    for name, value in registry.gauges.items():
+        base, labels = parse_dimensions(name)
+        gauge_groups.setdefault(metric_name(base), []).append((labels, value))
+    for metric in sorted(gauge_groups):
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in sorted(
+            gauge_groups[metric], key=lambda item: sorted(item[0].items())
+        ):
+            lines.append(f"{metric}{_labels_text(labels)} {_format_value(float(value))}")
+
+    for name in sorted(registry.histograms):
+        histogram = registry.histograms[name]
+        base, labels = parse_dimensions(name)
+        metric = metric_name(base, "_seconds")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.bounds, histogram.counts):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_bound(bound)
+            lines.append(
+                f"{metric}_bucket{_labels_text(bucket_labels)} {cumulative}"
+            )
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = "+Inf"
+        lines.append(f"{metric}_bucket{_labels_text(bucket_labels)} {histogram.count}")
+        lines.append(
+            f"{metric}_sum{_labels_text(labels)} {_format_value(histogram.total_ns / 1e9)}"
+        )
+        lines.append(f"{metric}_count{_labels_text(labels)} {histogram.count}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -53,6 +53,15 @@ class LoadgenConfig:
     bad_reload_at: tuple = ()
     policy: ServicePolicy = field(default_factory=ServicePolicy)
     collect_evidence: bool = True
+    #: tick width for the windowed-telemetry recorder (0 = no recorder)
+    timeseries_interval: float = 0.0
+    #: simulated seconds of quiet observation after the last arrival
+    #: drains — long enough for burn-rate alerts to resolve on tape
+    cooldown: float = 0.0
+    #: heartbeat line interval in simulated seconds (0 = no heartbeat)
+    heartbeat: float = 0.0
+    #: burn-rate rules for the recorder (None = default_service_rules())
+    alert_rules: object = None
 
 
 @dataclass
@@ -62,6 +71,8 @@ class LoadReport:
     config: LoadgenConfig
     server: VerdictServer
     responses: list
+    #: the TimeSeriesRecorder attached for this run (None when disabled)
+    recorder: object = None
 
     # -- derived views -------------------------------------------------------------
 
@@ -91,6 +102,22 @@ class LoadReport:
     def latency_quantile(self, q: float) -> float:
         histogram = self.server.metrics.histograms.get("service.latency")
         return histogram.quantile(q) if histogram is not None else 0.0
+
+    @property
+    def timeseries(self):
+        return self.recorder.timeseries() if self.recorder is not None else None
+
+    @property
+    def alerts_fired(self) -> int:
+        if self.recorder is None:
+            return 0
+        return sum(1 for event in self.recorder.alerts if event.kind == "fire")
+
+    @property
+    def alerts_resolved(self) -> int:
+        if self.recorder is None:
+            return 0
+        return sum(1 for event in self.recorder.alerts if event.kind == "resolve")
 
     def recall(self, tier: Optional[str] = None) -> Optional[float]:
         """Miner recall over served requests (optionally one tier only).
@@ -135,7 +162,14 @@ class LoadReport:
             ["miner recall (static-only)", "n/a" if recall_static is None else f"{recall_static:.0%}"],
             ["reloads applied/rejected",
              f"{self.counter('service.reload.applied')}/{self.counter('service.reload.rejected')}"],
-        ]
+        ] + (
+            [
+                ["timeseries ticks", len(self.recorder.records)],
+                ["alerts fired/resolved", f"{self.alerts_fired}/{self.alerts_resolved}"],
+            ]
+            if self.recorder is not None
+            else []
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -215,8 +249,17 @@ def build_reloads(config: LoadgenConfig) -> list:
     return reloads
 
 
-def run_loadgen(config: LoadgenConfig, population=None) -> LoadReport:
-    """Run one seeded open-loop load campaign against a fresh server."""
+def run_loadgen(config: LoadgenConfig, population=None, flush_path=None) -> LoadReport:
+    """Run one seeded open-loop load campaign against a fresh server.
+
+    With ``config.timeseries_interval > 0`` a
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder` rides the sim
+    clock, evaluating burn-rate alert rules every tick;  ``flush_path``
+    (typically ``<run-dir>/timeseries.jsonl``) makes it rewrite the
+    artifact atomically on every tick so ``repro obs top --watch`` can
+    follow the run live. ``config.cooldown`` extends observation past the
+    last drained request so recovered alerts resolve on tape.
+    """
     if population is None:
         population = build_population(
             config.dataset, seed=config.seed, scale=config.scale
@@ -227,6 +270,34 @@ def run_loadgen(config: LoadgenConfig, population=None) -> LoadReport:
         fault_plan=build_fault_plan(config.fault_profile, seed=config.seed),
         collect_evidence=config.collect_evidence,
     )
+    recorder = None
+    if config.timeseries_interval > 0:
+        from repro.obs.alerts import default_service_rules
+        from repro.obs.timeseries import TimeSeriesRecorder
+
+        rules = config.alert_rules
+        if rules is None:
+            rules = default_service_rules()
+        recorder = TimeSeriesRecorder(
+            registry=server.metrics,
+            interval=config.timeseries_interval,
+            rules=rules,
+            flush_path=flush_path,
+        )
+        server.recorder = recorder
+    if config.heartbeat > 0:
+        from repro.obs.heartbeat import ProgressReporter
+
+        server.progress = ProgressReporter(
+            config.heartbeat,
+            label="loadgen",
+            clock=lambda: server.clock.now,
+            health=server.service_health,
+        )
     requests = build_requests(config, population)
     responses = server.run(requests, reloads=build_reloads(config))
-    return LoadReport(config=config, server=server, responses=responses)
+    if recorder is not None:
+        recorder.finish(server.clock.now + max(0.0, config.cooldown))
+    return LoadReport(
+        config=config, server=server, responses=responses, recorder=recorder
+    )

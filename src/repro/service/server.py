@@ -117,6 +117,13 @@ class VerdictServer:
     verdict_sink: Optional[Callable] = None
     verdicts: list = field(default_factory=list)
     responses: list = field(default_factory=list)
+    #: optional TimeSeriesRecorder polled with sim time as it advances —
+    #: the windowed-telemetry tap (`--timeseries-interval`)
+    recorder: Optional[object] = None
+    #: optional ProgressReporter advanced per response (`--heartbeat`);
+    #: construct it with ``clock=lambda: server.clock.now`` and
+    #: ``health=server.service_health`` so lines carry live service state
+    progress: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.store is None:
@@ -130,6 +137,7 @@ class VerdictServer:
         if self.fault_plan is not None:
             self.population.attach_fault_plan(self.fault_plan)
         self._dataset = getattr(getattr(self.population, "spec", None), "name", "service")
+        self._last_tier = TIER_FULL
 
     # -- admission ----------------------------------------------------------------
 
@@ -137,12 +145,18 @@ class VerdictServer:
         # the clock tracks max(event time, completion time): an arrival that
         # lands while the server is mid-request must not rewind it
         if when > self.clock.now:
+            # poll before the move: a tick boundary exactly at `when`
+            # closes *before* the event at `when` is accounted, so the
+            # event deterministically lands in the next window
+            if self.recorder is not None:
+                self.recorder.poll(when)
             self.clock.advance_to(when)
 
     def submit(self, request: ServiceRequest) -> Optional[ServiceResponse]:
         """Admit or reject one arrival; None means enqueued."""
         self._advance(request.arrival)
         self.metrics.inc("service.requests.offered")
+        self.metrics.inc(f"service.tenant.{request.tenant}.offered")
         bucket = self._buckets.get(request.tenant)
         if bucket is None:
             bucket = TokenBucket(
@@ -170,7 +184,12 @@ class VerdictServer:
             completed=at,
         )
         self.responses.append(response)
+        self._notify_progress(response)
         return response
+
+    def _notify_progress(self, response: ServiceResponse) -> None:
+        if self.progress is not None:
+            self.progress.advance(1, failed=int(response.status != "ok"))
 
     # -- the serving loop ---------------------------------------------------------
 
@@ -188,6 +207,7 @@ class VerdictServer:
             self._busy_until = response.completed
             self._advance(self._busy_until)
             self.responses.append(response)
+            self._notify_progress(response)
 
     def drain(self) -> None:
         """Serve everything still queued (end-of-run flush)."""
@@ -204,6 +224,8 @@ class VerdictServer:
         events = [(req.arrival, 1, index, req) for index, req in enumerate(requests)]
         events += [(when, 0, index, bundle) for index, (when, bundle) in enumerate(reloads)]
         events.sort(key=lambda item: (item[0], item[1], item[2]))
+        if self.progress is not None:
+            self.progress.begin(len(requests))
         for when, kind, _index, payload in events:
             self.drain_until(when)
             if kind == 0:
@@ -211,6 +233,8 @@ class VerdictServer:
             else:
                 self.submit(payload)
         self.drain()
+        if self.progress is not None:
+            self.progress.finish()
         return list(self.responses)
 
     # -- one request through the cascade ------------------------------------------
@@ -219,6 +243,7 @@ class VerdictServer:
         policy = self.policy
         depth = self._queue.depth
         tier = policy.tier_for_depth(depth)
+        self._last_tier = tier
         bundle = self.store.active()  # ONE snapshot; every stage uses it
         if not bundle.consistent():
             self.metrics.inc("service.reload.mixed_bundle")
@@ -288,6 +313,7 @@ class VerdictServer:
         completed = start + elapsed
         self._observe_request(request, start, completed)
         self.metrics.inc("service.verdict.miner" if report.is_miner else "service.verdict.clean")
+        self.metrics.inc(f"service.bundle.{bundle.version}.verdicts")
         if self.collect_evidence:
             report.evidence = report.evidence + (
                 self._service_evidence(tier, bundle, depth, remaining),
@@ -408,3 +434,17 @@ class VerdictServer:
     @property
     def queue_depth(self) -> int:
         return self._queue.depth
+
+    def service_health(self) -> dict:
+        """Live health for heartbeat lines: queue depth, shed rate, tier."""
+        offered = self.metrics.counter("service.requests.offered")
+        rejected = (
+            self.metrics.counter("service.rejected.rate_limit")
+            + self.metrics.counter("service.rejected.queue_full")
+            + self.metrics.counter("service.rejected.deadline")
+        )
+        return {
+            "queue": self._queue.depth,
+            "shed": f"{rejected / max(1, offered):.1%}",
+            "tier": self._last_tier,
+        }

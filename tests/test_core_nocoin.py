@@ -36,6 +36,14 @@ class TestParsing:
         with pytest.raises(FilterListError):
             parse_rule("||")
 
+    def test_uncompilable_regex_body_rejected_at_parse(self):
+        # the error must surface as a FilterListError from parse_rule,
+        # not as a raw re.error later when the list compiles the rule
+        with pytest.raises(FilterListError, match="bad regex rule"):
+            parse_rule("/*/")
+        with pytest.raises(FilterListError):
+            FilterList.from_lines(["||coinhive.com^", "/a{2,1}/"])
+
 
 class TestUrlMatching:
     @pytest.fixture()

@@ -236,3 +236,79 @@ def test_ledger_export_matches_totals(a):
     assert sum(registry.counters_with_prefix("fault.injected.").values()) == a.total_injected
     assert sum(registry.counters_with_prefix("fault.observed.").values()) == a.total_observed
     assert registry.counter("health.retries") == a.retries
+
+
+# ---------------------------------------------------------------------------
+# Histogram.quantile edge cases: empty, single sample, extremes, and
+# monotonicity across bucket boundaries (the float-division misbucketing
+# fix — an observation exactly on a bound must land in that bound's
+# bucket, and quantiles must never decrease as q grows)
+
+
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram
+
+
+class TestHistogramQuantileEdges:
+    def test_empty_histogram_quantiles_are_zero(self):
+        histogram = Histogram()
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == 0.0
+
+    def test_single_sample_is_every_quantile(self):
+        histogram = Histogram()
+        histogram.observe(0.007)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.007)
+
+    def test_q0_is_min_and_q1_is_max_exactly(self):
+        histogram = Histogram()
+        histogram.observe(0.002)
+        histogram.observe(0.8)
+        assert histogram.quantile(0.0) == pytest.approx(0.002)
+        assert histogram.quantile(1.0) == pytest.approx(0.8)
+        # out-of-range q clamps rather than misindexing
+        assert histogram.quantile(-1.0) == pytest.approx(0.002)
+        assert histogram.quantile(2.0) == pytest.approx(0.8)
+
+    def test_observation_on_a_bound_lands_in_that_bucket(self):
+        # 0.05 is an exact bucket bound; float ns/1e9 division used to
+        # round it down into the next-lower bucket for some bounds
+        for bound in DEFAULT_BOUNDS:
+            histogram = Histogram()
+            histogram.observe(bound)
+            bucket = histogram.bounds.index(bound)
+            assert histogram.counts[bucket] == 1, f"bound {bound} misbucketed"
+
+    @settings(max_examples=120)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_quantiles_are_monotone_in_q(self, samples):
+        histogram = Histogram()
+        for sample in samples:
+            histogram.observe(sample)
+        qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        values = [histogram.quantile(q) for q in qs]
+        assert values == sorted(values), f"non-monotone quantiles: {values}"
+        assert values[0] == histogram.min_seconds
+        assert values[-1] == histogram.max_seconds
+
+    @settings(max_examples=120)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantiles_stay_within_observed_range(self, samples, q):
+        histogram = Histogram()
+        for sample in samples:
+            histogram.observe(sample)
+        value = histogram.quantile(q)
+        assert histogram.min_seconds <= value <= histogram.max_seconds
