@@ -122,6 +122,7 @@ def test_perf_campaign_without_run_dir_reads_no_clock(benchmark):
     # evidence-collecting mode and no verdicts are built or serialized.
     assert campaign.detector.collect_evidence is False
     assert result.verdicts == (), "NULL_OBS campaign built verdict records"
+    assert result.graph is None, "NULL_OBS campaign built an attribution graph"
 
 
 def test_perf_loadgen_without_timeseries_reads_no_clock(benchmark):

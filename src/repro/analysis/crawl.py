@@ -31,6 +31,8 @@ from repro.faults.ledger import FaultLedger
 from repro.faults.plan import FaultKind
 from repro.faults.resilience import ResiliencePolicy
 from repro.faults.taxonomy import ErrorClass
+from repro.graph.build import add_verdict
+from repro.graph.model import Graph
 from repro.internet.population import SiteSpec, WebPopulation
 from repro.obs.evidence import VerdictRecord
 from repro.obs.profile import NULL_OBS, Obs
@@ -62,6 +64,12 @@ def _replay_stage_spans(obs: Obs, stage_spans: tuple) -> None:
         with obs.span(name) as span:
             for key, value in tags:
                 span.set_tag(key, value)
+
+
+def _includers_for(population, site) -> tuple:
+    """The seeded includers of one site; ``()`` for pre-layer populations."""
+    layer = getattr(population, "includer_layer", None)
+    return layer.includers_for(site) if layer is not None else ()
 
 
 def _canonical_order(counter: Counter) -> Counter:
@@ -146,6 +154,8 @@ class ZgrabScanResult:
     #: campaign ran with observability enabled. Telemetry, not a result:
     #: excluded from equality so observed and bare runs stay comparable.
     verdicts: tuple = field(default=(), compare=False)
+    #: attribution subgraph of this pass; ``None`` on unobserved runs
+    graph: Optional[Graph] = field(default=None, compare=False)
 
     @property
     def prevalence(self) -> float:
@@ -173,6 +183,8 @@ class ZgrabScanPartial:
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
     #: ``(population index, VerdictRecord)`` pairs, observed runs only
     verdicts: list = field(default_factory=list)
+    #: attribution subgraph, observed runs only; merge is the graph union
+    graph: Graph = field(default_factory=Graph)
 
     def merge(self, other: "ZgrabScanPartial") -> "ZgrabScanPartial":
         self.domains_probed += other.domains_probed
@@ -184,6 +196,7 @@ class ZgrabScanPartial:
         self.stratum_failures.update(other.stratum_failures)
         self.fault_ledger.merge(other.fault_ledger)
         self.verdicts.extend(other.verdicts)
+        self.graph.merge(other.graph)
         return self
 
 
@@ -329,19 +342,21 @@ class ZgrabCampaign:
                 self.obs.inc("detector.nocoin.static_hits")
                 if stratum:
                     self.obs.inc(f"detector.nocoin.stratum.{stratum}.hits")
-            partial.verdicts.append(
-                (
-                    index,
-                    VerdictRecord(
-                        subject=site.domain,
-                        dataset=self.population.spec.name,
-                        pipeline=f"zgrab{scan_index}",
-                        status="error" if outcome.failed else "ok",
-                        nocoin_hit=outcome.nocoin_hit,
-                        stratum=stratum,
-                        evidence=getattr(outcome, "evidence", ()),
-                    ),
-                )
+            record = VerdictRecord(
+                subject=site.domain,
+                dataset=self.population.spec.name,
+                pipeline=f"zgrab{scan_index}",
+                status="error" if outcome.failed else "ok",
+                nocoin_hit=outcome.nocoin_hit,
+                stratum=stratum,
+                evidence=getattr(outcome, "evidence", ()),
+            )
+            partial.verdicts.append((index, record))
+            add_verdict(
+                partial.graph,
+                record,
+                site=site,
+                includers=_includers_for(self.population, site),
             )
 
     def finalize_scan(self, partial: ZgrabScanPartial, scan_index: int = 0) -> ZgrabScanResult:
@@ -366,6 +381,7 @@ class ZgrabCampaign:
                 verdict
                 for _, verdict in sorted(partial.verdicts, key=lambda item: item[0])
             ),
+            graph=partial.graph if partial.graph else None,
         )
 
     def scan(self, scan_index: int = 0) -> ZgrabScanResult:
@@ -396,6 +412,8 @@ class ChromeCampaignResult:
     #: campaign ran with observability enabled. Telemetry, not a result:
     #: excluded from equality so observed and bare runs stay comparable.
     verdicts: tuple = field(default=(), compare=False)
+    #: attribution subgraph of this crawl; ``None`` on unobserved runs
+    graph: Optional[Graph] = field(default=None, compare=False)
 
 
 @dataclass
@@ -421,10 +439,13 @@ class ChromeRunPartial:
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
     #: ``(population index, VerdictRecord)`` pairs, observed runs only
     verdicts: list = field(default_factory=list)
+    #: attribution subgraph, observed runs only; merge is the graph union
+    graph: Graph = field(default_factory=Graph)
 
     def merge(self, other: "ChromeRunPartial") -> "ChromeRunPartial":
         self.reports.extend(other.reports)
         self.verdicts.extend(other.verdicts)
+        self.graph.merge(other.graph)
         self.signature_counts.update(other.signature_counts)
         self.total_wasm_sites += other.total_wasm_sites
         self.miner_wasm_sites += other.miner_wasm_sites
@@ -580,25 +601,27 @@ class ChromeCampaign:
                 self.obs.inc("detector.nocoin.false_positives")
             if report.nocoin_false_negative:
                 self.obs.inc("detector.nocoin.false_negatives")
-            partial.verdicts.append(
-                (
-                    index,
-                    VerdictRecord(
-                        subject=site.domain,
-                        dataset=self.population.spec.name,
-                        pipeline="chrome",
-                        status=report.status,
-                        nocoin_hit=report.nocoin_hit,
-                        wasm_present=report.wasm_present,
-                        is_miner=report.is_miner,
-                        family=report.miner.family if report.miner is not None else "",
-                        method=report.miner.method if report.miner is not None else "",
-                        confidence=(
-                            report.miner.confidence if report.miner is not None else 0.0
-                        ),
-                        evidence=tuple(getattr(report, "evidence", ())),
-                    ),
-                )
+            record = VerdictRecord(
+                subject=site.domain,
+                dataset=self.population.spec.name,
+                pipeline="chrome",
+                status=report.status,
+                nocoin_hit=report.nocoin_hit,
+                wasm_present=report.wasm_present,
+                is_miner=report.is_miner,
+                family=report.miner.family if report.miner is not None else "",
+                method=report.miner.method if report.miner is not None else "",
+                confidence=(
+                    report.miner.confidence if report.miner is not None else 0.0
+                ),
+                evidence=tuple(getattr(report, "evidence", ())),
+            )
+            partial.verdicts.append((index, record))
+            add_verdict(
+                partial.graph,
+                record,
+                site=site,
+                includers=_includers_for(self.population, site),
             )
 
     def finalize_run(self, partial: ChromeRunPartial) -> ChromeCampaignResult:
@@ -625,6 +648,7 @@ class ChromeCampaign:
                 verdict
                 for _, verdict in sorted(partial.verdicts, key=lambda item: item[0])
             ),
+            graph=partial.graph if partial.graph else None,
         )
 
     def run(self) -> ChromeCampaignResult:

@@ -25,6 +25,8 @@ from repro.analysis.shortlink import ShortLinkStudy
 from repro.core import fastpath
 from repro.core.pool_association import BlockAttributor
 from repro.faults.ledger import FaultLedger
+from repro.graph.build import add_verdict
+from repro.graph.model import Graph
 from repro.obs.clock import get_clock
 from repro.obs.evidence import VerdictRecord
 from repro.obs.heartbeat import ProgressReporter
@@ -172,6 +174,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
     stratum_rows = []
     fault_ledger = FaultLedger()
     verdicts: list = []  # populated only on observed runs (campaigns gate)
+    run_graph = Graph()  # attribution graph; stays empty on unobserved runs
     for dataset in config.datasets:
         if streaming:
             from repro.internet.population import DATASETS
@@ -209,6 +212,8 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
                 zgrab_scans = ZgrabCampaign(population=population, obs=obs).both_scans()
         for scan_index, scan in enumerate(zgrab_scans):
             verdicts.extend(scan.verdicts)
+            if scan.graph is not None:
+                run_graph.merge(scan.graph)
             fig2_rows.append(
                 [dataset, scan.scan_date, scan.nocoin_domains, f"{scan.prevalence:.4%}"]
             )
@@ -249,6 +254,8 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
                 with obs.span("campaign", kind="chrome", mode="sequential", dataset=dataset):
                     result = ChromeCampaign(population=population, obs=obs).run()
             verdicts.extend(result.verdicts)
+            if result.graph is not None:
+                run_graph.merge(result.graph)
             tab = result.cross_tab
             top = ", ".join(f"{f}:{c}" for f, c in result.signature_counts.most_common(3))
             chrome_rows.append(
@@ -315,19 +322,19 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
         )
         obs.inc("detector.pool.blocks_attributed", len(explained))
         for block, evidence in explained:
-            verdicts.append(
-                VerdictRecord(
-                    subject=f"block-{block.height}",
-                    dataset="network",
-                    pipeline="pool",
-                    kind="block",
-                    is_miner=True,
-                    family="coinhive",
-                    method="pool-association",
-                    confidence=1.0,
-                    evidence=(evidence,),
-                )
+            record = VerdictRecord(
+                subject=f"block-{block.height}",
+                dataset="network",
+                pipeline="pool",
+                kind="block",
+                is_miner=True,
+                family="coinhive",
+                method="pool-association",
+                confidence=1.0,
+                evidence=(evidence,),
             )
+            verdicts.append(record)
+            add_verdict(run_graph, record)
     economics = EconomicsReport.from_attributed(observation.attributed)
     median_difficulty = observation.chain.median_difficulty(last=5000)
     pool_rate = observation.overall_share() * median_difficulty / 120
@@ -387,6 +394,7 @@ def run_reproduction(config: Optional[ReproductionConfig] = None, log=print) -> 
             config.run_dir, manifest, registry, obs.tracer.spans, fault_ledger,
             verdicts=verdicts,
             timeseries=recorder.timeseries() if recorder is not None else None,
+            graph=run_graph if run_graph else None,
         )
         log(f"[run] artifacts ({manifest.run_id}) -> {config.run_dir}")
 

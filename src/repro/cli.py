@@ -231,9 +231,14 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         zgrab = ZgrabCampaign(population=population, obs=obs)
         with obs.span("campaign", kind="zgrab", mode="sequential"):
             scans = zgrab.both_scans()
+    from repro.graph.model import Graph
+
     verdicts = []  # populated only on observed runs (campaigns gate)
+    run_graph = Graph()
     for scan_index, scan in enumerate(scans):
         verdicts.extend(scan.verdicts)
+        if scan.graph is not None:
+            run_graph.merge(scan.graph)
         # campaign-level summary counters land in the persisted metrics, so
         # run diffs (and CI --fail-on gates) can compare detection outcomes
         obs.inc(f"crawl.zgrab{scan_index}.domains_probed", scan.domains_probed)
@@ -301,6 +306,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                     population=population, detector=detector, obs=obs
                 ).run()
         verdicts.extend(result.verdicts)
+        if result.graph is not None:
+            run_graph.merge(result.graph)
         tab = result.cross_tab
         obs.inc("crawl.chrome.wasm_miners", tab.wasm_miner_hits)
         obs.inc("crawl.chrome.nocoin_hits", tab.nocoin_hits)
@@ -362,6 +369,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             args.run_dir, manifest, registry, obs.tracer.spans, population_ledger,
             verdicts=verdicts,
             timeseries=recorder.timeseries() if recorder is not None else None,
+            graph=run_graph if run_graph else None,
         )
         print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
@@ -548,10 +556,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry = MetricsRegistry()
         registry.merge(server.metrics)
         registry.merge(server.ledger.as_registry())
+        from repro.graph.build import graph_from_verdicts
+
+        graph = graph_from_verdicts(server.verdicts)
         write_run(
             args.run_dir, manifest, registry, [], server.ledger,
             verdicts=server.verdicts,
             timeseries=recorder.timeseries() if recorder is not None else None,
+            graph=graph if graph else None,
         )
         print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
@@ -621,10 +633,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         registry = MetricsRegistry()
         registry.merge(report.server.metrics)
         registry.merge(report.server.ledger.as_registry())
+        from repro.graph.build import graph_from_verdicts
+
+        graph = graph_from_verdicts(report.server.verdicts)
         write_run(
             args.run_dir, manifest, registry, [], report.server.ledger,
             verdicts=report.server.verdicts,
             timeseries=report.timeseries,
+            graph=graph if graph else None,
         )
         print(f"run artifacts ({manifest.run_id}) -> {args.run_dir}")
     return 0
@@ -951,10 +967,206 @@ def _cmd_obs_explain(args: argparse.Namespace) -> int:
         print(f"error: no verdict for {args.subject!r} in {artifacts.path}{hint}")
         return 1
     # one verdict per pipeline that saw the subject (zgrab0/zgrab1/chrome)
+    from repro.graph.build import evidence_node_id
+
     for index, verdict in enumerate(matches):
         if index:
             print()
         print(render_verdict(verdict))
+        node_ids = []
+        for evidence in verdict.evidence:
+            nid = evidence_node_id(evidence)
+            if nid is not None and nid not in node_ids:
+                node_ids.append(nid)
+        for nid in node_ids:
+            print(f"  graph node: {nid}")
+    if matches[0].kind == "block":
+        subject_node = f"block:{args.subject}"
+    else:
+        # domain nodes are dataset-qualified in the graph
+        dataset = matches[0].dataset
+        subject_node = f"domain:{dataset}/{args.subject}" if dataset else f"domain:{args.subject}"
+    print(f"\nexplore: repro obs graph neighbors {args.run} {subject_node}")
+    return 0
+
+
+def _load_run_graph(args: argparse.Namespace):
+    """``RunArtifacts`` with a graph, or ``None`` after printing the error."""
+    from repro.obs.ledger import TornRunError, load_run
+
+    try:
+        artifacts = load_run(args.run, allow_torn=args.allow_torn)
+    except (TornRunError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return None
+    if artifacts.graph is None:
+        print(
+            f"error: {artifacts.path} has no graph.jsonl — re-run the campaign "
+            f"with --run-dir under this version to record the attribution graph"
+        )
+        return None
+    return artifacts
+
+
+def _resolve_graph_node(graph, raw: str):
+    """A node id from user input; tolerates a bare domain/subject name.
+
+    Domain, includer, and stratum keys are dataset-qualified
+    (``domain:alexa/shop.com``); a bare ``shop.com`` resolves when it
+    names exactly one node across datasets.
+    """
+    if raw in graph.nodes:
+        return raw
+    bare = raw.split(":", 1)[1] if ":" in raw else raw
+    if ":" not in raw:
+        for kind in ("domain", "includer", "family", "block"):
+            candidate = f"{kind}:{raw}"
+            if candidate in graph.nodes:
+                return candidate
+    qualified = sorted(
+        nid
+        for nid in graph.nodes
+        if nid.split(":", 1)[-1].split("/", 1)[-1] == bare
+        and (":" not in raw or nid.startswith(raw.split(":", 1)[0] + ":"))
+    )
+    if len(qualified) == 1:
+        return qualified[0]
+    if qualified:
+        print(
+            f"error: {raw!r} is ambiguous across datasets: "
+            f"{', '.join(qualified)}"
+        )
+        return None
+    near = sorted(nid for nid in graph.nodes if raw in nid)[:5]
+    hint = f" (close: {', '.join(near)})" if near else ""
+    print(f"error: no graph node {raw!r}{hint}")
+    return None
+
+
+def _attrs_text(attrs: dict) -> str:
+    return " ".join(f"{name}={value}" for name, value in sorted(attrs.items()))
+
+
+def _cmd_obs_graph_neighbors(args: argparse.Namespace) -> int:
+    from repro.graph.query import neighbors
+
+    artifacts = _load_run_graph(args)
+    if artifacts is None:
+        return 1
+    graph = artifacts.graph
+    nid = _resolve_graph_node(graph, args.node)
+    if nid is None:
+        return 1
+    kind = graph.nodes[nid][0]
+    print(f"{nid}  [{kind}]  {_attrs_text(graph.node_attrs(nid))}".rstrip())
+    rows = neighbors(graph, nid)
+    for edge_kind, direction, other, attrs in rows:
+        line = f"  {direction} {edge_kind} {other}"
+        if attrs:
+            line += f"  ({_attrs_text(attrs)})"
+        print(line)
+    print(f"{len(rows)} edge(s)")
+    return 0
+
+
+def _cmd_obs_graph_path(args: argparse.Namespace) -> int:
+    from repro.graph.model import NODE_KINDS
+    from repro.graph.query import find_path
+
+    artifacts = _load_run_graph(args)
+    if artifacts is None:
+        return 1
+    graph = artifacts.graph
+    start = _resolve_graph_node(graph, args.node)
+    if start is None:
+        return 1
+    to = args.to
+    if ":" not in to and to not in NODE_KINDS:
+        print(f"error: --to wants a node id or one of: {', '.join(NODE_KINDS)}")
+        return 2
+    steps = find_path(graph, start, to)
+    if steps is None:
+        print(f"no path from {start} to {to!r}")
+        return 1
+    print(f"path: {start} to {steps[-1].node} ({len(steps) - 1} hop(s))")
+    for step in steps:
+        if step is not steps[0]:
+            via = f"    {step.direction} {step.edge_kind}"
+            if step.attrs:
+                via += f"  ({_attrs_text(step.attrs)})"
+            print(via)
+        node_attrs = graph.node_attrs(step.node)
+        line = f"  {step.node}"
+        if node_attrs:
+            line += f"  [{_attrs_text(node_attrs)}]"
+        print(line)
+    return 0
+
+
+def _cmd_obs_graph_clusters(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.graph.query import clusters
+
+    artifacts = _load_run_graph(args)
+    if artifacts is None:
+        return 1
+    parts = clusters(artifacts.graph)
+    if not parts:
+        print("no campaign clusters (graph has no includes/attributed-to edges)")
+        return 0
+    rows = [
+        [
+            part.label,
+            part.size,
+            len(part.domains),
+            part.miners,
+            f"{part.miner_share:.1%}",
+            part.wasm_hits,
+            part.blocked,
+            f"{part.detection_factor:.1f}x" if part.blocked else (
+                "inf" if part.wasm_hits else "-"
+            ),
+        ]
+        for part in parts[: args.top]
+    ]
+    print(
+        render_table(
+            ["cluster", "nodes", "domains", "miners", "miner share",
+             "wasm", "blocked", "factor"],
+            rows,
+            title="campaign clusters",
+        )
+    )
+    if len(parts) > args.top:
+        print(f"({len(parts) - args.top} smaller cluster(s) not shown)")
+    return 0
+
+
+def _cmd_obs_graph_query(args: argparse.Namespace) -> int:
+    from repro.obs import analyze
+    from repro.graph.query import evaluate_graph_threshold, graph_metrics
+
+    artifacts = _load_run_graph(args)
+    if artifacts is None:
+        return 1
+    metrics = graph_metrics(artifacts.graph)
+    for name in sorted(metrics):
+        value = metrics[name]
+        print(f"{name} = {value:g}")
+    violations = 0
+    for expression in args.fail_on or []:
+        try:
+            threshold = analyze.parse_fail_on(expression)
+            violated, detail = evaluate_graph_threshold(threshold, metrics)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        print(detail)
+        if violated:
+            violations += 1
+    if violations:
+        print(f"{violations} threshold(s) violated")
+        return 1
     return 0
 
 
@@ -981,6 +1193,14 @@ def _cmd_obs_scorecard(args: argparse.Namespace) -> int:
             title="\nper-detector scorecard",
         )
     )
+    if card.clusters:
+        print(
+            render_table(
+                scorecard.CLUSTER_HEADER,
+                scorecard.cluster_score_rows(card),
+                title="\nper-includer-cluster detection",
+            )
+        )
     violations = 0
     for expression in args.fail_on or []:
         try:
@@ -1169,22 +1389,26 @@ def _cmd_obs_top(args: argparse.Namespace) -> int:
     path = pathlib.Path(args.run)
     if path.is_dir():
         path = path / "timeseries.jsonl"
-    renders = 0
+    passes = 0
     while True:
         if path.exists():
             try:
                 series = read_timeseries_jsonl(path)
             except TimeSeriesSchemaError as exc:
-                print(f"error: {exc}")
-                return 1
-            if series.records:
-                print(_render_top(series, args.window, args.limit))
-                renders += 1
-            elif args.watch <= 0:
-                print(f"error: {path} holds no tick records yet")
-                return 1
+                if args.watch <= 0:
+                    print(f"error: {exc}")
+                    return 1
+                # a tail can catch the flusher mid-write; torn reads are
+                # transient in watch mode, so keep polling
+                print(f"(waiting) {exc}")
             else:
-                print(f"(waiting) {path} holds no tick records yet")
+                if series.records:
+                    print(_render_top(series, args.window, args.limit))
+                elif args.watch <= 0:
+                    print(f"error: {path} holds no tick records yet")
+                    return 1
+                else:
+                    print(f"(waiting) {path} holds no tick records yet")
         elif args.watch <= 0:
             print(
                 f"error: {path} does not exist — run with "
@@ -1194,9 +1418,12 @@ def _cmd_obs_top(args: argparse.Namespace) -> int:
         else:
             # watch mode tails a run that may not have flushed yet
             print(f"(waiting) {path} does not exist yet")
+        # waiting passes count toward --iterations too: a bounded watch on
+        # a run that never produces ticks must still terminate
+        passes += 1
         if args.watch <= 0:
             break
-        if args.iterations and renders >= args.iterations:
+        if args.iterations and passes >= args.iterations:
             break
         time_module.sleep(args.watch)
         print()
@@ -1736,7 +1963,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="with --watch: stop after N renders (0 = until interrupted)",
+        help="with --watch: stop after N refreshes, rendered or waiting "
+        "(0 = until interrupted)",
     )
     p_top.add_argument(
         "--window",
@@ -1773,6 +2001,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="export a run directory without a COMPLETE marker",
     )
     p_export.set_defaults(func=_cmd_obs_export)
+
+    p_graph = obs_sub.add_parser(
+        "graph", help="walk the campaign attribution graph (graph.jsonl)"
+    )
+    graph_sub = p_graph.add_subparsers(dest="graph_command", required=True)
+
+    def graph_parser(name: str, help_text: str):
+        sub_p = graph_sub.add_parser(name, help=help_text)
+        sub_p.add_argument(
+            "run", metavar="RUN", help="run directory written by --run-dir"
+        )
+        sub_p.add_argument(
+            "--allow-torn",
+            action="store_true",
+            help="read a run directory without a COMPLETE marker",
+        )
+        return sub_p
+
+    pg = graph_parser("neighbors", "one node's edges, both directions")
+    pg.add_argument(
+        "node",
+        metavar="NODE",
+        help="node id like domain:shop.com (a bare name resolves if unambiguous)",
+    )
+    pg.set_defaults(func=_cmd_obs_graph_neighbors)
+
+    pg = graph_parser(
+        "path", "shortest evidence path, e.g. which includer seeded this miner"
+    )
+    pg.add_argument("node", metavar="NODE", help="start node id (or bare domain)")
+    pg.add_argument(
+        "--to",
+        default="includer",
+        metavar="TARGET",
+        help="goal node id, or a node kind (default: includer)",
+    )
+    pg.set_defaults(func=_cmd_obs_graph_path)
+
+    pg = graph_parser(
+        "clusters", "campaign components over includes/attributed-to edges"
+    )
+    pg.add_argument(
+        "--top",
+        type=_positive_int,
+        default=20,
+        metavar="N",
+        help="largest clusters to show (default 20)",
+    )
+    pg.set_defaults(func=_cmd_obs_graph_clusters)
+
+    pg = graph_parser("query", "print graph metrics; gate them with --fail-on")
+    pg.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="exit non-zero when EXPR holds, e.g. 'clusters.max_miner_share>0.5' "
+        "or 'edges.includes<1'; absolute values only; repeatable",
+    )
+    pg.set_defaults(func=_cmd_obs_graph_query)
 
     p = sub.add_parser("disasm", help="disassemble .wasm files to WAT-style text")
     p.add_argument("files", nargs="+")

@@ -42,6 +42,7 @@ from repro.internet.domains import DomainGenerator
 from repro.sim.rng import RngStream
 from repro.wasm.builder import FAMILY_PROFILES, WasmCorpusBuilder
 from repro.web.http import Resource, SyntheticWeb
+from repro.internet.includers import IncluderLayer, layer_for_spec
 from repro.web.scripts import InjectScriptBehavior, ScriptTag, inline_key
 
 
@@ -247,6 +248,8 @@ class WebPopulation:
     behavior_registry: dict = field(default_factory=dict)
     coinhive: Optional[CoinhiveService] = None
     scale: float = 1.0
+    #: seeded third-party script-inclusion edge layer (None pre-PR-10 runs)
+    includer_layer: Optional[IncluderLayer] = None
 
     def domains(self) -> list:
         return [site.domain for site in self.sites]
@@ -291,7 +294,9 @@ def build_population(
     corpus = corpus if corpus is not None else WasmCorpusBuilder()
     rng = RngStream(seed, "population", dataset)
     namer = DomainGenerator(rng.substream("names"))
-    population = WebPopulation(spec=spec, web=web, scale=scale)
+    population = WebPopulation(
+        spec=spec, web=web, scale=scale, includer_layer=layer_for_spec(spec, seed)
+    )
 
     if coinhive is None and spec.chrome_crawl:
         chain = Blockchain(
@@ -476,6 +481,11 @@ def _materialize(site: SiteSpec, spec: DatasetSpec, population: WebPopulation, r
     site_js = f"{scheme}://{host}/js/site.js"
     static_tags.append(ScriptTag(src=site_js))
     web.register(site_js, Resource(content=b"/*site*/", content_type="text/javascript"))
+
+    # third-party includer tags: keyed by (seed, dataset, domain) only, so
+    # the shared population rng is never consumed here
+    if population.includer_layer is not None:
+        static_tags.extend(population.includer_layer.tags_for(site))
 
     if dynamic_tags:
         loader_url = f"{scheme}://{host}/js/loader.js"

@@ -56,6 +56,7 @@ from repro.internet.population import (
 from repro.sim.rng import RngStream
 from repro.wasm.builder import FAMILY_PROFILES
 from repro.web.http import Resource, SyntheticWeb, split_url
+from repro.internet.includers import layer_for_spec
 from repro.web.scripts import ScriptTag
 
 #: default rank-bucket upper bounds (1-based, inclusive); ``None`` extends
@@ -363,6 +364,7 @@ class StreamingPopulation:
         self.coinhive = None
         self.behavior_registry: dict = {}
         self.fault_plan = None
+        self.includer_layer = layer_for_spec(self.spec, self.seed)
         self.sites = _LazySites(self, cache=site_cache)
         self._web_cache = web_cache
         self._webs = threading.local()
@@ -565,6 +567,10 @@ class StreamingPopulation:
         web.register(site_js, Resource(content=b"/*site*/", content_type="text/javascript"))
         keys.append(site_js)
 
+        # third-party includer tags: domain-keyed pure function, so the
+        # streamed HTML is byte-identical to the materialized build
+        static_tags.extend(self.includer_layer.tags_for(site))
+
         if role_tags and not site.static_tags:
             # dynamic injection: static HTML shows only the first-party
             # loader, so the zgrab/NoCoin pass sees nothing — same blind
@@ -648,7 +654,9 @@ class StreamingPopulation:
         count = self.size if limit is None else min(limit, self.size)
         web = SyntheticWeb()
         web.fault_plan = self.fault_plan
-        population = WebPopulation(spec=self.spec, web=web, scale=1.0)
+        population = WebPopulation(
+            spec=self.spec, web=web, scale=1.0, includer_layer=self.includer_layer
+        )
         for index in range(count):
             population.sites.append(self.site(index))
             self.register_site(web, index)

@@ -13,6 +13,9 @@ self-describing and comparable after the process exits:
       ledger.json     fault-ledger counters
       verdicts.jsonl  per-subject detection verdicts with evidence chains
                       (observed runs only; versioned JSONL)
+      graph.jsonl     campaign attribution graph derived from the verdict
+                      evidence plus the population's includer edge layer
+                      (observed runs only; versioned JSONL)
       COMPLETE        atomic completion marker
 
 The ``COMPLETE`` marker is written last via ``os.replace`` and names the
@@ -34,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from repro.faults.ledger import FaultLedger
+from repro.graph.model import Graph, read_graph_jsonl, write_graph_jsonl
 from repro.obs.evidence import read_verdicts_jsonl, write_verdicts_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import profile_payload
@@ -171,6 +175,8 @@ class RunArtifacts:
     profile: list = field(default_factory=list)
     verdicts: list = field(default_factory=list)
     timeseries: Optional[TimeSeries] = None
+    #: attribution graph (``graph.jsonl``); ``None`` when the run has none
+    graph: Optional[Graph] = None
     complete: bool = True
 
 
@@ -186,6 +192,7 @@ def write_run(
     fault_ledger: Optional[FaultLedger] = None,
     verdicts=None,
     timeseries: Optional[TimeSeries] = None,
+    graph: Optional[Graph] = None,
 ) -> pathlib.Path:
     """Persist one run's artifacts; the ``COMPLETE`` marker lands last.
 
@@ -219,6 +226,12 @@ def write_run(
         artifacts.append("timeseries.jsonl")
     elif timeseries_path.exists():
         timeseries_path.unlink()
+    graph_path = directory / "graph.jsonl"
+    has_graph = graph is not None and bool(graph)
+    if has_graph:
+        artifacts.append("graph.jsonl")
+    elif graph_path.exists():
+        graph_path.unlink()
     manifest = replace(manifest, artifacts=tuple(artifacts))
     _dump_json(directory / "manifest.json", manifest.to_dict())
     _dump_json(directory / "metrics.json", registry.to_dict())
@@ -229,6 +242,8 @@ def write_run(
         write_verdicts_jsonl(verdicts_path, verdicts)
     if has_timeseries:
         write_timeseries_jsonl(timeseries_path, timeseries)
+    if has_graph:
+        write_graph_jsonl(graph_path, graph)
     tmp = directory / (COMPLETE_MARKER + ".tmp")
     tmp.write_text(manifest.run_id + "\n")
     os.replace(tmp, marker)
@@ -284,6 +299,8 @@ def load_run(run_dir, allow_torn: bool = False) -> RunArtifacts:
     timeseries = (
         read_timeseries_jsonl(timeseries_path) if timeseries_path.exists() else None
     )
+    graph_path = directory / "graph.jsonl"
+    graph = read_graph_jsonl(graph_path) if graph_path.exists() else None
     return RunArtifacts(
         path=directory,
         manifest=manifest,
@@ -293,5 +310,6 @@ def load_run(run_dir, allow_torn: bool = False) -> RunArtifacts:
         profile=profile,
         verdicts=verdicts,
         timeseries=timeseries,
+        graph=graph,
         complete=complete,
     )

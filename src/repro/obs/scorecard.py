@@ -17,6 +17,7 @@ CI gate on detection *quality*, alongside ``obs diff``'s gates on cost.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 from repro.obs.analyze import Threshold, _OPS
@@ -56,6 +57,19 @@ class ConfusionMatrix:
         return self.tp / denominator if denominator else 1.0
 
 
+@dataclass(frozen=True)
+class ClusterScore:
+    """Table-2 detection factor restricted to one includer campaign."""
+
+    label: str
+    domains: int
+    miners: int
+    miner_share: float
+    wasm_hits: int
+    blocked: int
+    detection_factor: float
+
+
 @dataclass
 class Scorecard:
     """Per-detector scores for one run."""
@@ -71,6 +85,8 @@ class Scorecard:
     page_verdicts: int = 0
     block_verdicts: int = 0
     datasets: tuple = ()
+    #: per-includer-cluster detection factors, from the run's graph.jsonl
+    clusters: list = field(default_factory=list)
 
     def metrics(self) -> dict:
         """Flat ``detector.<name>.<stat>`` map for ``--fail-on`` gates."""
@@ -79,6 +95,12 @@ class Scorecard:
             values[f"detector.{name}.precision"] = matrix.precision
             values[f"detector.{name}.recall"] = matrix.recall
         values["detection_factor"] = self.detection_factor
+        for row in self.clusters:
+            # labels can contain "+" (multi-includer components); fold to
+            # "-" so the gate grammar [A-Za-z0-9_.-] can address every row
+            key = re.sub(r"[^A-Za-z0-9_.\-]", "-", row.label)
+            values[f"cluster.{key}.detection_factor"] = row.detection_factor
+            values[f"cluster.{key}.miner_share"] = row.miner_share
         return values
 
 
@@ -255,7 +277,35 @@ def build_scorecard(artifacts) -> Scorecard:
         card.detection_factor = card.wasm_miner_hits / card.miners_blocked_by_nocoin
     else:
         card.detection_factor = float("inf") if card.wasm_miner_hits else 0.0
+    card.clusters = _cluster_scores(getattr(artifacts, "graph", None))
     return card
+
+
+def _cluster_scores(graph) -> list:
+    """Per-includer-cluster detection-factor rows from the run's graph.
+
+    Only components anchored by a campaign includer get a row — the
+    cluster slice answers "was the blocklist blind to this *campaign*",
+    which only makes sense where an includer defines the campaign.
+    Returns ``[]`` for runs written before graphs existed.
+    """
+    if graph is None:
+        return []
+    from repro.graph.query import clusters
+
+    return [
+        ClusterScore(
+            label=component.label,
+            domains=len(component.domains),
+            miners=component.miners,
+            miner_share=component.miner_share,
+            wasm_hits=component.wasm_hits,
+            blocked=component.blocked,
+            detection_factor=component.detection_factor,
+        )
+        for component in clusters(graph)
+        if component.includers
+    ]
 
 
 def evaluate_scorecard_threshold(threshold: Threshold, card: Scorecard):
@@ -299,6 +349,30 @@ def scorecard_rows(card: Scorecard) -> list:
             f"{matrix.recall:.3f}",
         ]
         for name, matrix in card.matrices.items()
+    ]
+
+
+CLUSTER_HEADER = [
+    "includer cluster", "domains", "miners", "miner share", "wasm", "blocked", "factor",
+]
+
+
+def cluster_score_rows(card: Scorecard) -> list:
+    """Rows for the per-includer-cluster table (pair with ``CLUSTER_HEADER``)."""
+    return [
+        [
+            row.label,
+            row.domains,
+            row.miners,
+            f"{row.miner_share:.1%}",
+            row.wasm_hits,
+            row.blocked,
+            "-" if not row.wasm_hits else (
+                "inf" if row.detection_factor == float("inf")
+                else f"{row.detection_factor:.1f}x"
+            ),
+        ]
+        for row in card.clusters
     ]
 
 

@@ -316,7 +316,7 @@ class VerdictServer:
         self.metrics.inc(f"service.bundle.{bundle.version}.verdicts")
         if self.collect_evidence:
             report.evidence = report.evidence + (
-                self._service_evidence(tier, bundle, depth, remaining),
+                self._service_evidence(tier, bundle, depth, remaining, request.tenant),
             )
         self._record_verdict(request, report, tier, bundle, depth, start, "ok")
         return ServiceResponse(
@@ -365,7 +365,7 @@ class VerdictServer:
         )
 
     def _service_evidence(
-        self, tier: str, bundle, depth: int, remaining: float
+        self, tier: str, bundle, depth: int, remaining: float, tenant: str = ""
     ) -> Evidence:
         """Why this response is (or is not) partial — for `obs explain`."""
         if tier == TIER_FULL:
@@ -391,6 +391,7 @@ class VerdictServer:
                 ("queue_depth", str(depth)),
                 ("bundle_version", bundle.version),
                 ("deadline_remaining", f"{remaining:.3f}s"),
+                ("tenant", tenant),
             ),
         )
 

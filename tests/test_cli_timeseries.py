@@ -216,6 +216,42 @@ class TestObsTop:
         out = capsys.readouterr().out
         assert out.count("ticks retained") == 2
 
+    def test_watch_terminates_on_header_only_artifact(self, tmp_path, capsys):
+        # a run that registered its flush path but never completed a tick:
+        # a bounded watch must wait, not render — and must still terminate
+        run = tmp_path / "young"
+        run.mkdir()
+        (run / "timeseries.jsonl").write_text(
+            '{"interval":0.5,"schema_version":1}\n'
+        )
+        assert main([
+            "obs", "top", str(run), "--watch", "0.01", "--iterations", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("no tick records yet") == 2
+        assert "ticks retained" not in out
+
+    def test_watch_treats_torn_artifact_as_transient(self, overload_run, tmp_path, capsys):
+        # a tail can catch the flusher mid-write; watch keeps polling
+        # instead of dying on the truncated line
+        run = tmp_path / "torn"
+        run.mkdir()
+        intact = (overload_run / "timeseries.jsonl").read_text()
+        (run / "timeseries.jsonl").write_text(intact.rstrip("\n")[:-5])
+        assert main([
+            "obs", "top", str(run), "--watch", "0.01", "--iterations", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(waiting) malformed timeseries line") == 2
+
+    def test_torn_artifact_without_watch_is_exit_1(self, overload_run, tmp_path, capsys):
+        run = tmp_path / "torn"
+        run.mkdir()
+        intact = (overload_run / "timeseries.jsonl").read_text()
+        (run / "timeseries.jsonl").write_text(intact.rstrip("\n")[:-5])
+        assert main(["obs", "top", str(run)]) == 1
+        assert "malformed timeseries line" in capsys.readouterr().out
+
 
 class TestObsExport:
     def test_prom_exposition_renders_dimensions_as_labels(self, overload_run, capsys):
@@ -236,6 +272,31 @@ class TestObsExport:
     def test_missing_run_fails_cleanly(self, tmp_path, capsys):
         assert main(["obs", "export", str(tmp_path / "nope")]) == 1
         assert "error" in capsys.readouterr().out
+
+    def test_escape_label_round_trips_specials(self):
+        # the three characters the exposition format escapes inside label
+        # values; a scraper's unescape must recover the original exactly
+        from repro.obs.prom import _escape_label
+
+        def unescape(text):
+            out, chars = [], iter(text)
+            for char in chars:
+                if char != "\\":
+                    out.append(char)
+                    continue
+                follower = next(chars)
+                out.append({"n": "\n", "\\": "\\", '"': '"'}[follower])
+            return "".join(out)
+
+        cases = [
+            "plain", "back\\slash", 'quo"te', "new\nline",
+            "\\", '\\"', "\\n",  # literal backslash-n must not become newline
+            'all\\three\n"at once"\\\n',
+        ]
+        for value in cases:
+            escaped = _escape_label(value)
+            assert "\n" not in escaped  # stays on one exposition line
+            assert unescape(escaped) == value
 
 
 class TestCrawlTimeseries:
